@@ -1,0 +1,435 @@
+package wavefront_test
+
+// One benchmark per paper artifact (see DESIGN.md's per-experiment index),
+// plus throughput benchmarks for the library's moving parts. Regenerate
+// the full figures with: go run ./cmd/wavebench -exp all
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"wavefront"
+	"wavefront/internal/cachesim"
+	"wavefront/internal/exp"
+	"wavefront/internal/field"
+	"wavefront/internal/machine"
+	"wavefront/internal/model"
+	"wavefront/internal/pipeline"
+	"wavefront/internal/scan"
+	"wavefront/internal/workload"
+	"wavefront/internal/zpl"
+)
+
+// --- E1, Figure 3: prime-operator semantics ---
+
+func benchFig3(b *testing.B, primed bool) {
+	const n = 256
+	env := wavefront.NewEnv()
+	a, err := wavefront.NewArrayIn(env, "a", wavefront.Box(0, n, 1, n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Fill(1)
+	ref := wavefront.At("a", wavefront.North)
+	if primed {
+		ref = ref.Prime()
+	}
+	blk := wavefront.Plain(wavefront.Box(1, n, 1, n),
+		wavefront.Assign("a", wavefront.Mul(wavefront.Num(0.999), ref)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wavefront.Exec(blk, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*n), "elems/op")
+}
+
+func BenchmarkFig3Unprimed(b *testing.B) { benchFig3(b, false) }
+func BenchmarkFig3Primed(b *testing.B)   { benchFig3(b, true) }
+
+// --- E2, §2.2: analysis throughput (WSV + legality + loop derivation) ---
+
+func BenchmarkWSVAnalysis(b *testing.B) {
+	t, err := workload.NewTomcatv(32, field.RowMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := t.ForwardBlock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wavefront.Analyze(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3, Equation (1) ---
+
+func BenchmarkEq1OptimalBlock(b *testing.B) {
+	m := model.Model2(1500, 72)
+	for i := 0; i < b.N; i++ {
+		_ = m.OptimalBlock(250, 8)
+	}
+}
+
+// --- E4, Figure 5(a): block-size sweep on the simulated machine ---
+
+func BenchmarkFig5aSimulation(b *testing.B) {
+	par := machine.Params{Alpha: 1500, Beta: 72, ElemCost: 1}
+	for i := 0; i < b.N; i++ {
+		for _, blk := range []int{1, 8, 23, 39, 128} {
+			if _, err := par.SimulateWavefront(machine.WavefrontSpec{
+				Rows: 250, Cols: 250, ProcsW: 8, Block: blk,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- E5, Figure 5(b): model curves only ---
+
+func BenchmarkFig5bModels(b *testing.B) {
+	m1, m2 := model.Model1(400), model.Model2(400, 186)
+	for i := 0; i < b.N; i++ {
+		for blk := 1; blk <= 64; blk++ {
+			_ = m1.Speedup(64, 16, float64(blk))
+			_ = m2.Speedup(64, 16, float64(blk))
+		}
+	}
+}
+
+// --- E6, Figure 6: the fused/unfused native kernels and cache traces ---
+
+func BenchmarkFig6TomcatvWaveUnfused(b *testing.B) {
+	t := workload.NewNativeTomcatv(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.ForwardUnfused()
+		t.BackwardUnfused()
+	}
+}
+
+func BenchmarkFig6TomcatvWaveFused(b *testing.B) {
+	t := workload.NewNativeTomcatv(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.ForwardFused()
+		t.BackwardFused()
+	}
+}
+
+func BenchmarkFig6TomcatvWhole(b *testing.B) {
+	for _, fused := range []bool{false, true} {
+		name := "unfused"
+		if fused {
+			name = "fused"
+		}
+		b.Run(name, func(b *testing.B) {
+			t := workload.NewNativeTomcatv(512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Step(fused)
+			}
+		})
+	}
+}
+
+func BenchmarkFig6SimpleSweeps(b *testing.B) {
+	for _, fused := range []bool{false, true} {
+		name := "unfused"
+		if fused {
+			name = "fused"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := workload.NewNativeSimple(512)
+			s.Hydro()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if fused {
+					s.SweepsFused()
+				} else {
+					s.SweepsUnfused()
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6CacheTrace(b *testing.B) {
+	t := workload.NewNativeTomcatv(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := cachesim.T3ELike()
+		t.TraceForward(h, true)
+	}
+}
+
+// --- E7, Figure 7: pipelined vs naive simulation across p ---
+
+func BenchmarkFig7Simulation(b *testing.B) {
+	par := machine.T3ELike
+	for i := 0; i < b.N; i++ {
+		for _, p := range []int{2, 4, 8, 16} {
+			spec := machine.WavefrontSpec{
+				Rows: 512, Cols: 512, ProcsW: p, Block: 28,
+				MsgElemsPerCol: 3, Sweeps: 2, Alternate: true,
+			}
+			if _, err := par.SimulateWavefront(spec); err != nil {
+				b.Fatal(err)
+			}
+			spec.Block = 0
+			if _, err := par.SimulateWavefront(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- E8 and the full harness ---
+
+func BenchmarkExperimentHarnessQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range []string{"fig3", "wsv", "eq1", "fig5b"} {
+			r, err := exp.Run(id, true)
+			if err != nil || r.Err != nil {
+				b.Fatalf("%s: %v %v", id, err, r.Err)
+			}
+		}
+	}
+}
+
+// --- Runtime throughput ---
+
+func BenchmarkPipelineTomcatvForward(b *testing.B) {
+	t, err := workload.NewTomcatv(128, field.RowMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := t.ForwardBlock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Run(blk, t.Env, pipeline.DefaultConfig(4, 16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialScanTomcatvForward(b *testing.B) {
+	t, err := workload.NewTomcatv(128, field.RowMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := t.ForwardBlock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := scan.Exec(blk, t.Env, scan.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPWavefront(b *testing.B) {
+	d, err := workload.NewDP(128, 1, field.RowMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := d.Block()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := scan.Exec(blk, d.Env, scan.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepOctant(b *testing.B) {
+	s, err := workload.NewSweep(64, 2, field.RowMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := s.OctantBlock(s.Octants()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := scan.Exec(blk, s.Env, scan.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Front-end throughput ---
+
+const benchZPLSrc = `
+const n = 24;
+region All  = [1..n, 1..n];
+region Wave = [2..n-2, 2..n-1];
+direction north = [-1, 0];
+var r, aa, d, dd, rx, ry : [All] double;
+[All] begin
+  aa := 0.4; dd := 4.0; d := 1.0; rx := 2.0; ry := 3.0; r := 0.0;
+end;
+[Wave] scan
+  r  := aa * d'@north;
+  d  := 1.0 / (dd - aa@north * r);
+  rx := rx - rx'@north * r;
+  ry := ry - ry'@north * r;
+end;
+`
+
+func BenchmarkZPLParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := zpl.Parse(benchZPLSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZPLRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := wavefront.RunZPL(benchZPLSrc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+func BenchmarkAblateTempVsInPlace(b *testing.B) {
+	const n = 256
+	for _, forceTemp := range []bool{false, true} {
+		name := "inplace"
+		if forceTemp {
+			name = "temp"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := wavefront.NewEnv()
+			a, err := wavefront.NewArrayIn(env, "a", wavefront.Box(0, n+1, 1, n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.Fill(1)
+			blk := wavefront.Plain(wavefront.Box(1, n, 1, n),
+				wavefront.Assign("a", wavefront.Mul(wavefront.Num(0.999), wavefront.At("a", wavefront.North))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := scan.Exec(blk, env, scan.ExecOptions{ForceTemp: forceTemp}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPipelineBlockSizes(b *testing.B) {
+	t, err := workload.NewTomcatv(128, field.RowMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := t.ForwardBlock()
+	for _, width := range []int{1, 8, 32, 0} {
+		name := "naive"
+		if width > 0 {
+			name = "b" + itoa(width)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(blk, t.Env, pipeline.DefaultConfig(4, width)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Whole-program session runtime ---
+
+func BenchmarkSessionTomcatvIteration(b *testing.B) {
+	t, err := workload.NewTomcatv(96, field.RowMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := t.Blocks()
+	sess, err := pipeline.NewSession(t.Env, blocks, pipeline.SessionConfig{
+		Procs: 4, Domain: t.All, Block: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sess.Run(func(r *pipeline.Rank) error {
+			for _, blk := range blocks {
+				if err := r.Exec(blk); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZPLParallelHeat(b *testing.B) {
+	src := `
+const n = 24;
+region Big = [0..n+1, 0..n+1];
+region R   = [1..n, 1..n];
+direction north = [-1, 0];
+direction south = [1, 0];
+direction west  = [0, -1];
+direction east  = [0, 1];
+var t, t2 : [Big] double;
+var resid : double;
+[Big] t := 0;
+[Big] t2 := 0;
+[0, 0..n+1] t := 100;
+[0, 0..n+1] t2 := 100;
+for i := 1 to 10 do
+  [R] t2 := (t@north + t@south + t@west + t@east) / 4;
+  [R] resid := max<< abs(t2 - t);
+  [R] t := t2;
+end;
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wavefront.RunZPLParallel(src, nil, 2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduceMax(b *testing.B) {
+	const n = 512
+	env := wavefront.NewEnv()
+	a, err := wavefront.NewArrayIn(env, "a", wavefront.Box(1, n, 1, n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Fill(1.5)
+	region := wavefront.Box(1, n, 1, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wavefront.Reduce(wavefront.MaxReduce, region, wavefront.Ref("a"), env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*n), "elems/op")
+}

@@ -1,0 +1,67 @@
+// Blocksize is the Equation (1) calculator: given the machine's
+// communication costs (alpha, beta, in units of one element's compute
+// time), the problem size n, and the processor count p, it prints the
+// optimal pipelining block size under Model1 (beta ignored) and Model2,
+// and optionally the predicted speedup curve.
+//
+// Usage:
+//
+//	blocksize -alpha 1500 -beta 72 -n 256 -p 8 [-curve]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"wavefront/internal/model"
+)
+
+func main() {
+	var (
+		alpha = flag.Float64("alpha", 1500, "per-message startup cost (element times)")
+		beta  = flag.Float64("beta", 72, "per-element transmission cost (element times)")
+		n     = flag.Float64("n", 256, "problem size (n x n)")
+		p     = flag.Float64("p", 8, "processors along the wavefront dimension")
+		curve = flag.Bool("curve", false, "print the speedup curve")
+	)
+	flag.Parse()
+	if *n < 2 || *p < 1 || *alpha < 0 || *beta < 0 {
+		fmt.Fprintln(os.Stderr, "blocksize: need n >= 2, p >= 1, alpha/beta >= 0")
+		os.Exit(2)
+	}
+
+	m1 := model.Model1(*alpha)
+	m2 := model.Model2(*alpha, *beta)
+	b1 := m1.OptimalBlockApprox(*n, *p)
+	b2 := m2.OptimalBlock(*n, *p)
+	bNum := m2.OptimalBlockNumeric(*n, *p, int(*n))
+
+	fmt.Printf("n=%g p=%g alpha=%g beta=%g\n\n", *n, *p, *alpha, *beta)
+	fmt.Printf("Model1 (beta=0, Hiranandani et al.): b = sqrt(alpha) = %.1f\n", b1)
+	fmt.Printf("Model2 (Equation 1):                 b = %.1f\n", b2)
+	fmt.Printf("exhaustive integer optimum:          b = %d\n\n", bNum)
+	fmt.Printf("predicted pipelined time at Model2's b: %.0f (serial %.0f, non-pipelined %.0f)\n",
+		m2.TPipe(*n, *p, math.Round(b2)), m2.TSerial(*n), m2.TNonPipe(*n, *p))
+	fmt.Printf("predicted speedup over non-pipelined:   %.2f\n", m2.Speedup(*n, *p, math.Round(b2)))
+
+	if *curve {
+		fmt.Println("\n  b    Model1   Model2")
+		for b := 1; b <= int(*n); b = next(b) {
+			fmt.Printf("%4d   %6.2f   %6.2f\n", b,
+				m1.Speedup(*n, *p, float64(b)), m2.Speedup(*n, *p, float64(b)))
+		}
+	}
+}
+
+func next(b int) int {
+	switch {
+	case b < 8:
+		return b + 1
+	case b < 64:
+		return b + 4
+	default:
+		return b + 32
+	}
+}

@@ -1,0 +1,61 @@
+// Wavebench regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	wavebench -list
+//	wavebench -exp fig5a
+//	wavebench -exp all [-quick]
+//
+// Each experiment prints the series the corresponding paper artifact
+// reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wavefront/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "all", "experiment id, or 'all'")
+		quick = flag.Bool("quick", false, "shrink problem sizes (for smoke runs)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, eid := range exp.IDs() {
+			title, _ := exp.Title(eid)
+			fmt.Printf("%-12s %s\n", eid, title)
+		}
+		return
+	}
+
+	ids := []string{*id}
+	if *id == "all" {
+		ids = exp.IDs()
+	}
+	failed := false
+	for _, eid := range ids {
+		r, err := exp.Run(eid, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s ===\n", r.ID, r.Title)
+		if r.Err != nil {
+			fmt.Printf("FAILED: %v\n\n", r.Err)
+			failed = true
+			continue
+		}
+		fmt.Println(strings.TrimRight(r.Text, "\n"))
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

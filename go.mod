@@ -1,0 +1,3 @@
+module wavefront
+
+go 1.22

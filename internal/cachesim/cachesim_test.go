@@ -1,0 +1,162 @@
+package cachesim
+
+import (
+	"strings"
+	"testing"
+)
+
+func small(assoc int) *Cache {
+	c, err := NewCache(Config{Name: "t", Size: 256, LineSize: 32, Assoc: assoc, HitCost: 1})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small(1)
+	if c.Access(0) {
+		t.Error("first touch must miss")
+	}
+	if !c.Access(8) {
+		t.Error("same line must hit")
+	}
+	if c.Accesses() != 2 || c.Misses() != 1 {
+		t.Errorf("counters = %d/%d", c.Accesses(), c.Misses())
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := small(1) // 8 sets of 32B lines
+	// Addresses 0 and 256 map to the same set and conflict.
+	c.Access(0)
+	c.Access(256)
+	if c.Access(0) {
+		t.Error("direct-mapped conflict must evict")
+	}
+}
+
+func TestAssociativityAvoidsConflict(t *testing.T) {
+	c := small(2) // 4 sets, 2 ways
+	c.Access(0)
+	c.Access(128) // same set (4 sets * 32B = 128 span)
+	if !c.Access(0) || !c.Access(128) {
+		t.Error("2-way set must hold both lines")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := small(2)
+	c.Access(0)   // set 0
+	c.Access(128) // set 0, second way
+	c.Access(0)   // refresh 0
+	c.Access(256) // set 0: evicts LRU = 128
+	if !c.Access(0) {
+		t.Error("0 must survive (was most recent)")
+	}
+	if c.Access(128) {
+		t.Error("128 must have been evicted")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small(1)
+	for i := 0; i < 8; i++ {
+		c.Access(int64(i * 8)) // 2 lines: miss,hit,hit,hit per line
+	}
+	if got := c.MissRate(); got != 0.25 {
+		t.Errorf("miss rate = %g, want 0.25", got)
+	}
+	c.Reset()
+	if c.Accesses() != 0 || c.MissRate() != 0 {
+		t.Error("reset must clear counters")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", Size: 0, LineSize: 32, Assoc: 1},
+		{Name: "npot", Size: 256, LineSize: 24, Assoc: 1},
+		{Name: "indiv", Size: 100, LineSize: 32, Assoc: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("%s: expected error", cfg.Name)
+		}
+	}
+	good := Config{Size: 8 << 10, LineSize: 32, Assoc: 2}
+	if good.Sets() != 128 {
+		t.Errorf("sets = %d", good.Sets())
+	}
+}
+
+func TestHierarchyCosts(t *testing.T) {
+	h, err := NewHierarchy(100,
+		Config{Name: "L1", Size: 64, LineSize: 32, Assoc: 1, HitCost: 1},
+		Config{Name: "L2", Size: 256, LineSize: 32, Assoc: 2, HitCost: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0) // miss both: 100
+	h.Access(0) // L1 hit: 1
+	h.Access(64)
+	h.Access(128) // evicts line 0 from L1 (2 sets) but L2 holds it
+	h.Access(0)   // L1 miss, L2 hit: 10
+	if got := h.Cycles(); got != 100+1+100+100+10 {
+		t.Errorf("cycles = %g", got)
+	}
+	rep := h.Report()
+	if !strings.Contains(rep, "L1") || !strings.Contains(rep, "cycles") {
+		t.Errorf("report = %q", rep)
+	}
+	h.Reset()
+	if h.Cycles() != 0 {
+		t.Error("reset must clear cycles")
+	}
+}
+
+// TestStridedVsUnitStride is the mechanism behind Figure 6: a unit-stride
+// pass over an array misses once per line, while a large-stride pass misses
+// on every access.
+func TestStridedVsUnitStride(t *testing.T) {
+	const n = 512 // doubles
+	unit := small(1)
+	for i := 0; i < n; i++ {
+		unit.Access(int64(i * 8))
+	}
+	strided := small(1)
+	// Column order over a 64x64 col-major... equivalently stride 64*8.
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 64; i++ {
+			strided.Access(int64((i*64 + j) * 8))
+		}
+	}
+	if !(strided.MissRate() > 3*unit.MissRate()) {
+		t.Errorf("strided %.3f vs unit %.3f: stride must hurt", strided.MissRate(), unit.MissRate())
+	}
+}
+
+func TestPresetsWork(t *testing.T) {
+	for _, h := range []*Hierarchy{T3ELike(), PowerChallengeLike()} {
+		for i := 0; i < 1000; i++ {
+			h.Access(int64(i * 8))
+		}
+		if h.Cycles() <= 0 {
+			t.Error("preset accumulated no cycles")
+		}
+	}
+}
+
+func TestFullyMissedWorkingSetTooBig(t *testing.T) {
+	// Cycling through twice the cache size with direct mapping misses all.
+	c := small(1)
+	for pass := 0; pass < 3; pass++ {
+		for a := 0; a < 512; a += 32 {
+			c.Access(int64(a))
+		}
+	}
+	if c.Misses() != c.Accesses() {
+		t.Errorf("thrashing loop should miss every access: %d/%d", c.Misses(), c.Accesses())
+	}
+}

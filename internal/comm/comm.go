@@ -1,0 +1,190 @@
+// Package comm is the message-passing substrate of the parallel runtime: a
+// fully connected topology of ranks exchanging tagged float64 payloads over
+// unbounded FIFO links, in the style of MPI point-to-point communication.
+//
+// Links are unbounded so that an eagerly pipelining sender never blocks (the
+// paper's runtime assumes asynchronous sends); receives block until a
+// matching message arrives. Every link counts messages and elements so that
+// experiments can report communication volume exactly.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is one point-to-point transfer.
+type Message struct {
+	// Tag discriminates message streams between the same pair of ranks.
+	Tag int
+	// Data is the payload; ownership transfers to the receiver.
+	Data []float64
+}
+
+// link is an unbounded FIFO queue between one ordered pair of ranks.
+type link struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+	// accounting
+	messages int64
+	elements int64
+}
+
+func newLink() *link {
+	l := &link{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *link) send(m Message) {
+	l.mu.Lock()
+	l.queue = append(l.queue, m)
+	l.messages++
+	l.elements += int64(len(m.Data))
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+func (l *link) recv(tag int) (Message, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 {
+		l.cond.Wait()
+	}
+	m := l.queue[0]
+	if m.Tag != tag {
+		return Message{}, fmt.Errorf("comm: receive tag %d but head-of-line message has tag %d", tag, m.Tag)
+	}
+	copy(l.queue, l.queue[1:])
+	l.queue = l.queue[:len(l.queue)-1]
+	return m, nil
+}
+
+// Topology is a set of P ranks with a link for every ordered pair.
+type Topology struct {
+	p     int
+	links []*link // links[from*p+to]
+}
+
+// NewTopology creates a topology of p ranks.
+func NewTopology(p int) (*Topology, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: topology needs at least 1 rank, got %d", p)
+	}
+	t := &Topology{p: p, links: make([]*link, p*p)}
+	for i := range t.links {
+		t.links[i] = newLink()
+	}
+	return t, nil
+}
+
+// P returns the number of ranks.
+func (t *Topology) P() int { return t.p }
+
+func (t *Topology) link(from, to int) *link { return t.links[from*t.p+to] }
+
+// Endpoint returns rank r's handle for sending and receiving.
+func (t *Topology) Endpoint(r int) *Endpoint {
+	if r < 0 || r >= t.p {
+		panic(fmt.Sprintf("comm: endpoint rank %d out of range [0,%d)", r, t.p))
+	}
+	return &Endpoint{rank: r, topo: t}
+}
+
+// Stats is a snapshot of communication volume.
+type Stats struct {
+	Messages int64
+	Elements int64
+}
+
+// Bytes reports the volume in bytes at 8 bytes per element.
+func (s Stats) Bytes() int64 { return s.Elements * 8 }
+
+// Stats sums message and element counts over all links.
+func (t *Topology) Stats() Stats {
+	var s Stats
+	for _, l := range t.links {
+		l.mu.Lock()
+		s.Messages += l.messages
+		s.Elements += l.elements
+		l.mu.Unlock()
+	}
+	return s
+}
+
+// PendingMessages reports the number of sent-but-unreceived messages, which
+// must be zero after a quiescent parallel section. Useful as a test oracle.
+func (t *Topology) PendingMessages() int {
+	n := 0
+	for _, l := range t.links {
+		l.mu.Lock()
+		n += len(l.queue)
+		l.mu.Unlock()
+	}
+	return n
+}
+
+// Endpoint is one rank's view of the topology.
+type Endpoint struct {
+	rank int
+	topo *Topology
+}
+
+// Rank returns the endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// P returns the topology size.
+func (e *Endpoint) P() int { return e.topo.p }
+
+// Send delivers data to rank `to` under the given tag. Sends never block.
+// The payload must not be mutated after sending.
+func (e *Endpoint) Send(to, tag int, data []float64) error {
+	if to < 0 || to >= e.topo.p {
+		return fmt.Errorf("comm: rank %d sending to invalid rank %d", e.rank, to)
+	}
+	if to == e.rank {
+		return fmt.Errorf("comm: rank %d sending to itself", e.rank)
+	}
+	e.topo.link(e.rank, to).send(Message{Tag: tag, Data: data})
+	return nil
+}
+
+// Recv blocks until the next message from rank `from` arrives and returns
+// its payload. The head-of-line message must carry the expected tag;
+// deterministic programs receive in send order.
+func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
+	if from < 0 || from >= e.topo.p {
+		return nil, fmt.Errorf("comm: rank %d receiving from invalid rank %d", e.rank, from)
+	}
+	if from == e.rank {
+		return nil, fmt.Errorf("comm: rank %d receiving from itself", e.rank)
+	}
+	m, err := e.topo.link(from, e.rank).recv(tag)
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d from %d: %w", e.rank, from, err)
+	}
+	return m.Data, nil
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them; the first non-nil error is returned. It is the SPMD entry point of
+// the runtime.
+func (t *Topology) Run(body func(e *Endpoint) error) error {
+	errs := make([]error, t.p)
+	var wg sync.WaitGroup
+	wg.Add(t.p)
+	for r := 0; r < t.p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = body(t.Endpoint(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("comm: rank %d: %w", r, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendRecvOrder(t *testing.T) {
+	topo, err := NewTopology(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e := topo.Endpoint(1)
+		for i := 0; i < 10; i++ {
+			d, err := e.Recv(0, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(d) != 1 || d[0] != float64(i) {
+				t.Errorf("message %d payload = %v", i, d)
+			}
+		}
+	}()
+	e := topo.Endpoint(0)
+	for i := 0; i < 10; i++ {
+		if err := e.Send(1, i, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	s := topo.Stats()
+	if s.Messages != 10 || s.Elements != 10 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Bytes() != 80 {
+		t.Errorf("bytes = %d", s.Bytes())
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	topo, _ := NewTopology(2)
+	if err := topo.Endpoint(0).Send(1, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Endpoint(1).Recv(0, 6); err == nil {
+		t.Error("tag mismatch must be reported")
+	}
+}
+
+func TestSelfAndRangeErrors(t *testing.T) {
+	topo, _ := NewTopology(2)
+	e := topo.Endpoint(0)
+	if err := e.Send(0, 0, nil); err == nil {
+		t.Error("self-send must fail")
+	}
+	if err := e.Send(5, 0, nil); err == nil {
+		t.Error("out-of-range send must fail")
+	}
+	if _, err := e.Recv(0, 0); err == nil {
+		t.Error("self-receive must fail")
+	}
+	if _, err := e.Recv(-1, 0); err == nil {
+		t.Error("out-of-range receive must fail")
+	}
+	if _, err := NewTopology(0); err == nil {
+		t.Error("empty topology must fail")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	topo, _ := NewTopology(3)
+	err := topo.Run(func(e *Endpoint) error {
+		if e.Rank() == 1 {
+			return errTest
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run must surface rank errors")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "boom" }
+
+func TestPendingMessages(t *testing.T) {
+	topo, _ := NewTopology(2)
+	topo.Endpoint(0).Send(1, 0, []float64{1})
+	if topo.PendingMessages() != 1 {
+		t.Error("one message should be pending")
+	}
+	topo.Endpoint(1).Recv(0, 0)
+	if topo.PendingMessages() != 0 {
+		t.Error("queue should drain")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 5
+	topo, _ := NewTopology(p)
+	var mu sync.Mutex
+	phase := make([]int, p)
+	err := topo.Run(func(e *Endpoint) error {
+		mu.Lock()
+		phase[e.Rank()] = 1
+		mu.Unlock()
+		if err := e.Barrier(); err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for r, ph := range phase {
+			if ph != 1 {
+				t.Errorf("rank %d passed barrier before rank %d entered", e.Rank(), r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	const p = 4
+	topo, _ := NewTopology(p)
+	results := make([]float64, p)
+	err := topo.Run(func(e *Endpoint) error {
+		v, err := e.AllReduce(float64(e.Rank()+1), SumOp)
+		if err != nil {
+			return err
+		}
+		results[e.Rank()] = v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range results {
+		if v != 10 { // 1+2+3+4
+			t.Errorf("rank %d: sum = %g", r, v)
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	const p = 3
+	topo, _ := NewTopology(p)
+	err := topo.Run(func(e *Endpoint) error {
+		v, err := e.AllReduce(float64(e.Rank()), MaxOp)
+		if err != nil {
+			return err
+		}
+		if v != 2 {
+			t.Errorf("rank %d: max = %g", e.Rank(), v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const p = 4
+	topo, _ := NewTopology(p)
+	err := topo.Run(func(e *Endpoint) error {
+		v := -1.0
+		if e.Rank() == 0 {
+			v = 42
+		}
+		got, err := e.Broadcast(v)
+		if err != nil {
+			return err
+		}
+		if got != 42 {
+			t.Errorf("rank %d: broadcast = %g", e.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	topo, _ := NewTopology(1)
+	e := topo.Endpoint(0)
+	if err := e.Barrier(); err != nil {
+		t.Error(err)
+	}
+	if v, _ := e.AllReduce(3, SumOp); v != 3 {
+		t.Error("p=1 allreduce must be identity")
+	}
+	if v, _ := e.Broadcast(9); v != 9 {
+		t.Error("p=1 broadcast must be identity")
+	}
+}

@@ -1,0 +1,111 @@
+// Package exp regenerates every figure and table of the paper's evaluation
+// plus the ablations DESIGN.md calls out. Each experiment renders its
+// series as text so that cmd/wavebench, the test suite, and the benchmark
+// harness share one implementation. EXPERIMENTS.md records the paper-vs-
+// measured comparison for each.
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"text/tabwriter"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	// ID is the short name used by wavebench -exp (e.g. "fig5a").
+	ID string
+	// Title states which paper artifact the experiment regenerates.
+	Title string
+	// Text is the rendered series/tables.
+	Text string
+	// Err is set when the experiment could not run.
+	Err error
+}
+
+// Runner produces a Result. Quick mode shrinks problem sizes for use in
+// unit tests.
+type Runner func(quick bool) *Result
+
+var registry = map[string]struct {
+	title string
+	run   Runner
+}{}
+
+func register(id, title string, run Runner) {
+	registry[id] = struct {
+		title string
+		run   Runner
+	}{title, run}
+}
+
+// IDs lists the registered experiments in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's title.
+func Title(id string) (string, bool) {
+	e, ok := registry[id]
+	if !ok {
+		return "", false
+	}
+	return e.title, true
+}
+
+// Run executes one experiment by ID.
+func Run(id string, quick bool) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	r := e.run(quick)
+	r.ID = id
+	r.Title = e.title
+	return r, nil
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(quick bool) []*Result {
+	var out []*Result
+	for _, id := range IDs() {
+		r, _ := Run(id, quick)
+		out = append(out, r)
+	}
+	return out
+}
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	if header != nil {
+		for i, h := range header {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, h)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return buf.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	r, err := Run(id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Err != nil {
+		t.Fatalf("%s: %v", id, r.Err)
+	}
+	if r.Text == "" {
+		t.Fatalf("%s: empty output", id)
+	}
+	return r
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{"ablate-temp", "ablate-tile", "dynamic-b", "eq1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "loc", "wsv"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+	if _, err := Run("nope", true); err == nil {
+		t.Error("unknown id must fail")
+	}
+	if title, ok := Title("fig3"); !ok || !strings.Contains(title, "Figure 3") {
+		t.Errorf("Title(fig3) = %q, %v", title, ok)
+	}
+}
+
+func TestFig3Output(t *testing.T) {
+	r := run(t, "fig3")
+	// The unprimed result has rows of 2; the primed result reaches 16.
+	if !strings.Contains(r.Text, "2 2 2 2 2") {
+		t.Errorf("missing unprimed rows:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "16 16 16 16 16") {
+		t.Errorf("missing primed row of 16s:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "high->low") || !strings.Contains(r.Text, "low->high") {
+		t.Errorf("missing loop directions:\n%s", r.Text)
+	}
+}
+
+func TestWSVOutput(t *testing.T) {
+	r := run(t, "wsv")
+	if !strings.Contains(r.Text, "OVER-CONSTRAINED") {
+		t.Errorf("example 4 must be flagged:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "(±,+)") {
+		t.Errorf("example 3 WSV missing:\n%s", r.Text)
+	}
+	if strings.Count(r.Text, "OVER-CONSTRAINED") != 1 {
+		t.Errorf("exactly one case is illegal:\n%s", r.Text)
+	}
+}
+
+func TestEq1Output(t *testing.T) {
+	r := run(t, "eq1")
+	if !strings.Contains(r.Text, "sqrt(1521) = 39") {
+		t.Errorf("Model1 reduction missing:\n%s", r.Text)
+	}
+}
+
+func TestFig4Output(t *testing.T) {
+	r := run(t, "fig4")
+	if !strings.Contains(r.Text, "naive communication") || !strings.Contains(r.Text, "pipelined, block width") {
+		t.Errorf("missing sections:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "P1") || !strings.Contains(r.Text, "P4") {
+		t.Errorf("missing processor rows:\n%s", r.Text)
+	}
+}
+
+func TestFig5aOutput(t *testing.T) {
+	r := run(t, "fig5a")
+	for _, want := range []string{"Model1", "Model2", "simulated", "optimal b"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestFig5bOutput(t *testing.T) {
+	r := run(t, "fig5b")
+	if !strings.Contains(r.Text, "Model1 suggests b = 20; Model2 suggests b = 3") {
+		t.Errorf("paper's optima not reproduced:\n%s", r.Text)
+	}
+}
+
+func TestFig6Output(t *testing.T) {
+	r := run(t, "fig6")
+	for _, want := range []string{"Tomcatv", "SIMPLE", "T3E-like", "PowerChallenge-like", "miss rate"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestFig7Output(t *testing.T) {
+	r := run(t, "fig7")
+	for _, want := range []string{"Tomcatv", "SIMPLE", "wave speedup", "whole speedup", "t3e-like"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestLocOutput(t *testing.T) {
+	r := run(t, "loc")
+	if !strings.Contains(r.Text, "626 lines") {
+		t.Errorf("paper claim missing:\n%s", r.Text)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r := run(t, "ablate-tile")
+	if !strings.Contains(r.Text, "identical: true") {
+		t.Errorf("naive must equal the b=width endpoint:\n%s", r.Text)
+	}
+	run(t, "ablate-temp")
+	run(t, "dynamic-b")
+}
+
+func TestRunAll(t *testing.T) {
+	results := RunAll(true)
+	if len(results) != len(IDs()) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.ID, r.Err)
+		}
+	}
+}

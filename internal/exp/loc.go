@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+func init() {
+	register("loc", "Section 1's code-accounting claim: explicit pipelining machinery vs the language-based expression", locTable)
+}
+
+// locTable counts the source lines of this repository's pieces to make the
+// paper's SWEEP3D point concretely: in the explicit approach every
+// application carries its own tiling, buffer management, and communication
+// (the paper counts 626 lines of which only 179 are fundamental); in the
+// language-based approach that machinery lives once in the compiler and
+// runtime, and each application states only the computation.
+func locTable(quick bool) *Result {
+	root, err := repoRoot()
+	if err != nil {
+		return &Result{Err: fmt.Errorf("exp: source tree unavailable: %w", err)}
+	}
+	groups := []struct {
+		label string
+		paths []string
+	}{
+		{"application: SWEEP3D-style sweep (scan blocks)", []string{"internal/workload/sweep3d.go"}},
+		{"application: Tomcatv (scan blocks)", []string{"internal/workload/tomcatv.go"}},
+		{"runtime written once: pipelining + messaging", []string{"internal/pipeline", "internal/comm"}},
+		{"compiler written once: analysis + executors", []string{"internal/scan", "internal/dep", "internal/wsv"}},
+	}
+	var rows [][]string
+	for _, g := range groups {
+		total := 0
+		for _, p := range g.paths {
+			n, err := countGoLines(filepath.Join(root, p))
+			if err != nil {
+				return &Result{Err: err}
+			}
+			total += n
+		}
+		rows = append(rows, []string{g.label, fmt.Sprint(total)})
+	}
+	var sb strings.Builder
+	sb.WriteString(table([]string{"component", "non-test Go lines"}, rows))
+	sb.WriteString("\npaper: the explicit SWEEP3D core is 626 lines, only 179 fundamental —\n")
+	sb.WriteString("the rest is tiling, buffering, and communication. Here that machinery is\n")
+	sb.WriteString("paid once, in the runtime, and every wavefront application stays at the\n")
+	sb.WriteString("size of its mathematics.\n")
+	return &Result{Text: sb.String()}
+}
+
+// repoRoot locates the module root from this source file's path.
+func repoRoot() (string, error) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("no caller information")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file))) // internal/exp/loc.go -> repo
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return "", err
+	}
+	return root, nil
+}
+
+// countGoLines counts lines of non-test .go files under path (a file or
+// directory, non-recursive for directories).
+func countGoLines(path string) (int, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	var files []string
+	if info.IsDir() {
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				files = append(files, filepath.Join(path, name))
+			}
+		}
+	} else {
+		files = []string{path}
+	}
+	total := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return 0, err
+		}
+		total += strings.Count(string(data), "\n")
+	}
+	return total, nil
+}

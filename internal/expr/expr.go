@@ -1,0 +1,378 @@
+// Package expr provides the expression trees that appear on the right-hand
+// side of array statements: constants, scalar references, array references
+// with optional @-shift and prime, arithmetic, and a small set of math
+// intrinsics. Trees are immutable once built.
+//
+// Expressions evaluate either directly (Eval, convenient for tests and the
+// ZPL interpreter) or after compilation to a per-point closure bound to
+// concrete fields (Compile, used by the executors' inner loops).
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+// Op enumerates binary and unary operators.
+type Op int8
+
+const (
+	Add Op = iota
+	Sub
+	Mul
+	Div
+	Neg // unary
+)
+
+func (o Op) String() string {
+	switch o {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Neg:
+		return "-"
+	}
+	return fmt.Sprintf("Op(%d)", int8(o))
+}
+
+// Node is an expression tree node.
+type Node interface {
+	// Eval computes the node's value at point p in environment env.
+	Eval(env Env, p grid.Point) float64
+	// String renders ZPL-like source text.
+	String() string
+	// walk visits the node and its children.
+	walk(fn func(Node))
+}
+
+// Env resolves the names an expression references.
+type Env interface {
+	// Array returns the field bound to an array name, or nil if unbound.
+	Array(name string) *field.Field
+	// Scalar returns the value bound to a scalar name.
+	Scalar(name string) (float64, bool)
+}
+
+// MapEnv is a simple Env backed by maps.
+type MapEnv struct {
+	Arrays  map[string]*field.Field
+	Scalars map[string]float64
+}
+
+// Array implements Env.
+func (m *MapEnv) Array(name string) *field.Field { return m.Arrays[name] }
+
+// Scalar implements Env.
+func (m *MapEnv) Scalar(name string) (float64, bool) {
+	v, ok := m.Scalars[name]
+	return v, ok
+}
+
+// Const is a floating-point literal.
+type Const float64
+
+// Eval implements Node.
+func (c Const) Eval(Env, grid.Point) float64 { return float64(c) }
+
+func (c Const) String() string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", float64(c)), ".0")
+}
+
+func (c Const) walk(fn func(Node)) { fn(c) }
+
+// Scalar references a scalar variable by name.
+type Scalar string
+
+// Eval implements Node.
+func (s Scalar) Eval(env Env, _ grid.Point) float64 {
+	v, ok := env.Scalar(string(s))
+	if !ok {
+		panic(fmt.Sprintf("expr: unbound scalar %q", string(s)))
+	}
+	return v
+}
+
+func (s Scalar) String() string     { return string(s) }
+func (s Scalar) walk(fn func(Node)) { fn(s) }
+
+// ArrayRef is a reference to array Name, optionally shifted by Shift (the
+// @-operator) and optionally primed. A nil Shift means no shift.
+type ArrayRef struct {
+	Name   string
+	Shift  grid.Direction
+	Primed bool
+	// ShiftName, if nonempty, is the declared direction name used for
+	// printing (e.g. "north").
+	ShiftName string
+}
+
+// Ref builds an unshifted, unprimed reference.
+func Ref(name string) ArrayRef { return ArrayRef{Name: name} }
+
+// At returns the reference shifted by d.
+func (a ArrayRef) At(d grid.Direction) ArrayRef {
+	a.Shift = d
+	a.ShiftName = ""
+	return a
+}
+
+// AtNamed returns the reference shifted by d, remembering the direction's
+// declared name for printing.
+func (a ArrayRef) AtNamed(name string, d grid.Direction) ArrayRef {
+	a.Shift = d
+	a.ShiftName = name
+	return a
+}
+
+// Prime returns the primed version of the reference.
+func (a ArrayRef) Prime() ArrayRef {
+	a.Primed = true
+	return a
+}
+
+// Shifted reports whether the reference carries a nonzero shift.
+func (a ArrayRef) Shifted() bool {
+	return a.Shift != nil && !a.Shift.Zero()
+}
+
+// Target returns the point the reference reads when the covering region
+// supplies point p.
+func (a ArrayRef) Target(p grid.Point) grid.Point {
+	if a.Shift == nil {
+		return p
+	}
+	q := make(grid.Point, len(p))
+	for i := range p {
+		q[i] = p[i] + a.Shift[i]
+	}
+	return q
+}
+
+// Eval implements Node.
+func (a ArrayRef) Eval(env Env, p grid.Point) float64 {
+	f := env.Array(a.Name)
+	if f == nil {
+		panic(fmt.Sprintf("expr: unbound array %q", a.Name))
+	}
+	if a.Shift == nil {
+		return f.At(p)
+	}
+	return f.At(a.Target(p))
+}
+
+func (a ArrayRef) String() string {
+	s := a.Name
+	if a.Primed {
+		s += "'"
+	}
+	if a.Shifted() {
+		if a.ShiftName != "" {
+			s += "@" + a.ShiftName
+		} else {
+			s += "@" + a.Shift.String()
+		}
+	}
+	return s
+}
+
+func (a ArrayRef) walk(fn func(Node)) { fn(a) }
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op Op
+	X  Node
+}
+
+// Eval implements Node.
+func (u Unary) Eval(env Env, p grid.Point) float64 {
+	v := u.X.Eval(env, p)
+	if u.Op == Neg {
+		return -v
+	}
+	panic(fmt.Sprintf("expr: bad unary op %v", u.Op))
+}
+
+func (u Unary) String() string { return fmt.Sprintf("(-%s)", u.X) }
+
+func (u Unary) walk(fn func(Node)) {
+	fn(u)
+	u.X.walk(fn)
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   Op
+	L, R Node
+}
+
+// Eval implements Node.
+func (b Binary) Eval(env Env, p grid.Point) float64 {
+	l, r := b.L.Eval(env, p), b.R.Eval(env, p)
+	switch b.Op {
+	case Add:
+		return l + r
+	case Sub:
+		return l - r
+	case Mul:
+		return l * r
+	case Div:
+		return l / r
+	}
+	panic(fmt.Sprintf("expr: bad binary op %v", b.Op))
+}
+
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func (b Binary) walk(fn func(Node)) {
+	fn(b)
+	b.L.walk(fn)
+	b.R.walk(fn)
+}
+
+// Intrinsic names a built-in math function.
+type Intrinsic string
+
+// The supported intrinsics.
+const (
+	Sqrt Intrinsic = "sqrt"
+	Abs  Intrinsic = "abs"
+	Exp  Intrinsic = "exp"
+	Log  Intrinsic = "log"
+	Min  Intrinsic = "min"
+	Max  Intrinsic = "max"
+	Pow  Intrinsic = "pow"
+)
+
+// Arity returns the argument count of the intrinsic, or -1 if unknown.
+func (in Intrinsic) Arity() int {
+	switch in {
+	case Sqrt, Abs, Exp, Log:
+		return 1
+	case Min, Max, Pow:
+		return 2
+	}
+	return -1
+}
+
+// Call invokes an intrinsic.
+type Call struct {
+	Fn   Intrinsic
+	Args []Node
+}
+
+// Eval implements Node.
+func (c Call) Eval(env Env, p grid.Point) float64 {
+	switch c.Fn {
+	case Sqrt:
+		return math.Sqrt(c.Args[0].Eval(env, p))
+	case Abs:
+		return math.Abs(c.Args[0].Eval(env, p))
+	case Exp:
+		return math.Exp(c.Args[0].Eval(env, p))
+	case Log:
+		return math.Log(c.Args[0].Eval(env, p))
+	case Min:
+		return math.Min(c.Args[0].Eval(env, p), c.Args[1].Eval(env, p))
+	case Max:
+		return math.Max(c.Args[0].Eval(env, p), c.Args[1].Eval(env, p))
+	case Pow:
+		return math.Pow(c.Args[0].Eval(env, p), c.Args[1].Eval(env, p))
+	}
+	panic(fmt.Sprintf("expr: unknown intrinsic %q", c.Fn))
+}
+
+func (c Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(args, ", "))
+}
+
+func (c Call) walk(fn func(Node)) {
+	fn(c)
+	for _, a := range c.Args {
+		a.walk(fn)
+	}
+}
+
+// Convenience constructors.
+
+// AddN folds terms with +. It panics on an empty argument list.
+func AddN(terms ...Node) Node { return fold(Add, terms) }
+
+// MulN folds terms with *.
+func MulN(terms ...Node) Node { return fold(Mul, terms) }
+
+func fold(op Op, terms []Node) Node {
+	if len(terms) == 0 {
+		panic("expr: fold of no terms")
+	}
+	n := terms[0]
+	for _, t := range terms[1:] {
+		n = Binary{Op: op, L: n, R: t}
+	}
+	return n
+}
+
+// Refs collects every array reference in the tree, in visit order.
+func Refs(n Node) []ArrayRef {
+	var out []ArrayRef
+	n.walk(func(m Node) {
+		if r, ok := m.(ArrayRef); ok {
+			out = append(out, r)
+		}
+	})
+	return out
+}
+
+// Scalars collects every scalar name referenced in the tree.
+func Scalars(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	n.walk(func(m Node) {
+		if s, ok := m.(Scalar); ok && !seen[string(s)] {
+			seen[string(s)] = true
+			out = append(out, string(s))
+		}
+	})
+	return out
+}
+
+// Validate checks rank consistency of all shifts in the tree and that every
+// referenced name is bound in env (scalars may be bound lazily and are not
+// checked). rank is the rank of the covering region.
+func Validate(n Node, rank int, env Env) error {
+	var err error
+	n.walk(func(m Node) {
+		if err != nil {
+			return
+		}
+		if r, ok := m.(ArrayRef); ok {
+			if r.Shift != nil && len(r.Shift) != rank {
+				err = fmt.Errorf("expr: reference %s: direction rank %d != region rank %d", r, len(r.Shift), rank)
+				return
+			}
+			if env != nil && env.Array(r.Name) == nil {
+				err = fmt.Errorf("expr: reference %s: array %q is unbound", r, r.Name)
+			}
+		}
+		if c, ok := m.(Call); ok {
+			if want := c.Fn.Arity(); want >= 0 && len(c.Args) != want {
+				err = fmt.Errorf("expr: %s takes %d arguments, got %d", c.Fn, want, len(c.Args))
+			}
+		}
+	})
+	return err
+}

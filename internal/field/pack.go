@@ -1,0 +1,25 @@
+package field
+
+import "wavefront/internal/grid"
+
+// PackRegion copies the elements of region r out of the field into a fresh
+// slice, in the canonical (all dimensions low-to-high, dimension 0
+// outermost) iteration order. It is the marshalling half of boundary
+// exchange: the packed slice is what a message carries.
+func (f *Field) PackRegion(r grid.Region) []float64 {
+	out := make([]float64, 0, r.Size())
+	r.Each(nil, func(p grid.Point) {
+		out = append(out, f.At(p))
+	})
+	return out
+}
+
+// UnpackRegion writes data into region r of the field in the same canonical
+// order used by PackRegion. It panics if data is shorter than the region.
+func (f *Field) UnpackRegion(r grid.Region, data []float64) {
+	i := 0
+	r.Each(nil, func(p grid.Point) {
+		f.Set(p, data[i])
+		i++
+	})
+}

@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"fmt"
+
+	"wavefront/internal/grid"
+)
+
+// WavefrontSpec describes the geometry of a wavefront execution over a
+// rows × cols data space, matching §4 of the paper: the wavefront travels
+// along the row dimension, which is block distributed over ProcsW
+// processors; the column dimension may additionally be block distributed
+// over ProcsO processors (Figure 4's 2×2 mesh has ProcsW = ProcsO = 2);
+// within each processor the columns are cut into tiles of width Block.
+type WavefrontSpec struct {
+	Rows, Cols int
+	// ProcsW is the pipeline depth: processors along the wavefront
+	// dimension.
+	ProcsW int
+	// ProcsO is the number of processors along the orthogonal (fully
+	// parallel) dimension; 1 reproduces the model of §4 exactly.
+	ProcsO int
+	// Block is the tile width b; 0 (or >= the local width) degenerates to
+	// the naive schedule that computes a whole processor portion before
+	// sending.
+	Block int
+	// MsgElemsPerCol scales message size: elements transferred per boundary
+	// column (halo depth × number of pipelined arrays). The paper's model
+	// uses 1.
+	MsgElemsPerCol int
+	// Sweeps repeats the wavefront (e.g. an iterative solver performing the
+	// sweep every iteration, or forward+backward substitution = 2).
+	Sweeps int
+	// Alternate reverses the wavefront direction on odd sweeps, modeling
+	// forward-elimination followed by back-substitution.
+	Alternate bool
+}
+
+func (s WavefrontSpec) withDefaults() WavefrontSpec {
+	if s.ProcsO == 0 {
+		s.ProcsO = 1
+	}
+	if s.MsgElemsPerCol == 0 {
+		s.MsgElemsPerCol = 1
+	}
+	if s.Sweeps == 0 {
+		s.Sweeps = 1
+	}
+	return s
+}
+
+// Procs returns the total processor count of the spec.
+func (s WavefrontSpec) Procs() int { return s.ProcsW * max(1, s.ProcsO) }
+
+// BuildWavefront constructs the task DAG of the schedule: task (r, c, t) is
+// processor (r, c)'s t-th tile; it depends on the processor's previous tile
+// and, across the wavefront dimension, on processor (r-1, c)'s t-th tile
+// via a message of tileWidth × MsgElemsPerCol elements.
+func BuildWavefront(spec WavefrontSpec) (*DAG, error) {
+	s := spec.withDefaults()
+	if s.Rows < 1 || s.Cols < 1 {
+		return nil, fmt.Errorf("machine: wavefront over empty %dx%d space", s.Rows, s.Cols)
+	}
+	if s.ProcsW < 1 || s.ProcsO < 1 {
+		return nil, fmt.Errorf("machine: wavefront on %dx%d processors", s.ProcsW, s.ProcsO)
+	}
+	rowParts, err := grid.Split(grid.NewRange(0, s.Rows-1), s.ProcsW)
+	if err != nil {
+		return nil, err
+	}
+	colParts, err := grid.Split(grid.NewRange(0, s.Cols-1), s.ProcsO)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDAG(s.ProcsW * s.ProcsO)
+	// prev[r][c] holds the ID of the last tile task of proc (r,c) in the
+	// current sweep ordering; tileOf[r*ProcsO+c] maps tile index → task ID
+	// for the upstream dependence of the next processor row.
+	for sweep := 0; sweep < s.Sweeps; sweep++ {
+		var lastRow [][]TaskID // tile tasks of the previous processor row, per column proc
+		for step := 0; step < s.ProcsW; step++ {
+			r := step
+			if s.Alternate && sweep%2 == 1 {
+				r = s.ProcsW - 1 - step
+			}
+			rows := rowParts[r].Size()
+			thisRow := make([][]TaskID, s.ProcsO)
+			for c := 0; c < s.ProcsO; c++ {
+				tiles := grid.Tiles(colParts[c], s.Block)
+				ids := make([]TaskID, len(tiles))
+				var prev TaskID = -1
+				// Chain sweeps on the same processor: the first tile of this
+				// sweep follows the processor's last task of the previous
+				// sweep implicitly via processor ordering (tasks run in
+				// submission order), so no explicit edge is needed.
+				for t, tile := range tiles {
+					task := Task{
+						Proc:  r*s.ProcsO + c,
+						Elems: float64(rows * tile.Size()),
+					}
+					if prev >= 0 {
+						task.Deps = append(task.Deps, Dep{Task: prev})
+					}
+					if lastRow != nil {
+						task.Deps = append(task.Deps, Dep{
+							Task:  lastRow[c][t],
+							Elems: tile.Size() * s.MsgElemsPerCol,
+						})
+					}
+					id := d.Add(task)
+					ids[t] = id
+					prev = id
+				}
+				thisRow[c] = ids
+			}
+			lastRow = thisRow
+		}
+	}
+	return d, nil
+}
+
+// SimulateWavefront builds and simulates the schedule in one step.
+func (p Params) SimulateWavefront(spec WavefrontSpec) (Result, error) {
+	d, err := BuildWavefront(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Simulate(d), nil
+}
+
+// WavefrontSerial returns the one-processor time for the spec's total work.
+func (p Params) WavefrontSerial(spec WavefrontSpec) float64 {
+	s := spec.withDefaults()
+	return float64(s.Rows) * float64(s.Cols) * float64(s.Sweeps) * p.ElemCost
+}

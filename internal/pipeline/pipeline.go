@@ -1,0 +1,231 @@
+// Package pipeline is the parallel wavefront runtime of §3.2 and §4: it
+// block-distributes a scan block's region along the wavefront dimension
+// over p ranks, gives each rank a local copy of every referenced array with
+// fluff (ghost) margins, and executes the wavefront either naively (each
+// rank computes its whole portion, then forwards its boundary) or pipelined
+// (each rank computes width-b tiles along an orthogonal dimension and
+// forwards each tile's boundary eagerly, overlapping the ranks).
+//
+// The runtime communicates only through package comm — no rank reads
+// another rank's local fields — so its message counts are exactly the
+// messages a distributed-memory implementation would send.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wavefront/internal/comm"
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// Config selects the decomposition and the tiling of a parallel run.
+type Config struct {
+	// Procs is the number of ranks along the wavefront dimension.
+	Procs int
+	// Block is the tile width b along the tile dimension; 0 requests the
+	// naive schedule (one tile spanning the whole width).
+	Block int
+	// WavefrontDim overrides the analysis' choice of wavefront dimension;
+	// -1 (or leaving Auto true semantics via -1) accepts the analysis.
+	WavefrontDim int
+	// TileDim overrides the tiled orthogonal dimension; -1 accepts the
+	// default (the first parallel dimension, else the first non-wavefront
+	// dimension).
+	TileDim int
+}
+
+// DefaultConfig returns a Config that accepts the analysis' choices.
+func DefaultConfig(procs, block int) Config {
+	return Config{Procs: procs, Block: block, WavefrontDim: -1, TileDim: -1}
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Procs        int
+	Block        int
+	WavefrontDim int
+	TileDim      int
+	Tiles        int
+	Loop         dep.LoopSpec
+	// Pipelined lists the arrays whose boundaries flowed through the
+	// pipeline, with their halo depths.
+	Pipelined map[string]int
+	Comm      comm.Stats
+	Elapsed   time.Duration
+}
+
+// ErrUnsupported marks scan blocks whose dependence pattern the 1-D
+// pipelined runtime cannot execute (e.g. true dependences crossing the
+// processor boundary against the wavefront direction).
+var ErrUnsupported = errors.New("pipeline: unsupported dependence pattern")
+
+// plan is the decomposition derived from the analysis.
+type plan struct {
+	an    *scan.Analysis
+	wDim  int
+	tDim  int
+	p     int
+	block int
+	slabs []grid.Region // indexed by pipeline position (upstream first)
+	tiles []grid.Range  // tile ranges along tDim, in traversal order
+	// tileTravel orders the tiles so every dependence points to the same or
+	// an earlier tile; it may differ from the within-tile loop direction.
+	tileTravel grid.LoopDir
+	// noTiling forces a single tile when no traversal direction respects
+	// all dependences at tile granularity.
+	noTiling bool
+	maxFwd   int // forward reach along tDim of cross-boundary reads
+	// pipeArrays maps array name -> halo depth along wDim to forward.
+	pipeArrays map[string]int
+	pipeNames  []string // sorted for deterministic message layout
+	// halo per array: negative and positive expansion per dimension.
+	halo map[string]haloSpec
+	// written arrays (gathered back at the end).
+	written map[string]bool
+}
+
+type haloSpec struct {
+	neg, pos []int
+}
+
+// Run executes the block across cfg.Procs ranks and returns statistics.
+// The result in env's fields is identical to serial execution.
+func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
+	pl, err := makePlan(b, env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := comm.NewTopology(pl.p)
+	if err != nil {
+		return nil, err
+	}
+	// Phase barriers around the parallel section: a rank must not gather
+	// into the global arrays while another is still scattering from them
+	// (and vice versa). Without pipeline messages nothing else orders the
+	// ranks.
+	phase := comm.NewSyncBarrier(pl.p)
+	start := time.Now()
+	err = topo.Run(func(e *comm.Endpoint) error {
+		return runRank(b, env, pl, e, phase)
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if n := topo.PendingMessages(); n != 0 {
+		return nil, fmt.Errorf("pipeline: %d messages left undelivered", n)
+	}
+	return &Stats{
+		Procs:        pl.p,
+		Block:        pl.block,
+		WavefrontDim: pl.wDim,
+		TileDim:      pl.tDim,
+		Tiles:        len(pl.tiles),
+		Loop:         pl.an.Loop,
+		Pipelined:    pl.pipeArrays,
+		Comm:         topo.Stats(),
+		Elapsed:      elapsed,
+	}, nil
+}
+
+// Plan exposes the decomposition the runtime would use, for tools and
+// tests.
+func Plan(b *scan.Block, env expr.Env, cfg Config) (wDim, tDim, tiles int, pipelined map[string]int, err error) {
+	pl, err := makePlan(b, env, cfg)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return pl.wDim, pl.tDim, len(pl.tiles), pl.pipeArrays, nil
+}
+
+func makePlan(b *scan.Block, env expr.Env, cfg Config) (*plan, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("pipeline: need at least 1 rank, got %d", cfg.Procs)
+	}
+	if b.Kind == scan.PlainKind && len(b.Stmts) > 1 {
+		return nil, fmt.Errorf("%w: plain multi-statement blocks run statement-at-a-time; parallelize each statement", ErrUnsupported)
+	}
+	if err := scan.CheckBounds(b, env); err != nil {
+		return nil, err
+	}
+	an, err := scan.Analyze(b, dep.Preference{PreferLow: true})
+	if err != nil {
+		return nil, err
+	}
+	if an.NeedsTemp() {
+		return nil, fmt.Errorf("%w: statement requires a temporary; no wavefront to pipeline", ErrUnsupported)
+	}
+	rank := b.Region.Rank()
+
+	// Candidate wavefront dimensions: an explicit override is tried alone;
+	// otherwise the classification's pipelined dimensions are tried first,
+	// then every remaining dimension — a dimension the three-case rule calls
+	// serial can still pipeline here when the runtime's tile-lag mechanism
+	// covers its diagonal dependences.
+	var candidates []int
+	if cfg.WavefrontDim >= 0 {
+		if cfg.WavefrontDim >= rank {
+			return nil, fmt.Errorf("pipeline: wavefront dimension %d out of range for rank %d", cfg.WavefrontDim, rank)
+		}
+		candidates = []int{cfg.WavefrontDim}
+	} else {
+		seen := make([]bool, rank)
+		for _, d := range an.Class.WavefrontDims() {
+			candidates = append(candidates, d)
+			seen[d] = true
+		}
+		for d := 0; d < rank; d++ {
+			if !seen[d] {
+				candidates = append(candidates, d)
+			}
+		}
+	}
+
+	var firstErr error
+	for _, wDim := range candidates {
+		pl := &plan{an: an, p: cfg.Procs, block: cfg.Block, wDim: wDim,
+			pipeArrays: map[string]int{}, written: map[string]bool{}}
+		pl.tDim = cfg.TileDim
+		if pl.tDim < 0 {
+			for _, d := range an.Class.ParallelDims() {
+				if d != wDim {
+					pl.tDim = d
+					break
+				}
+			}
+			if pl.tDim < 0 {
+				for d := 0; d < rank; d++ {
+					if d != wDim {
+						pl.tDim = d
+						break
+					}
+				}
+			}
+		}
+		if pl.tDim == pl.wDim {
+			return nil, fmt.Errorf("pipeline: tile dimension %d equals wavefront dimension", pl.tDim)
+		}
+		if pl.tDim >= rank {
+			return nil, fmt.Errorf("pipeline: tile dimension %d out of range for rank %d", pl.tDim, rank)
+		}
+		err := pl.analyzeRefs(b)
+		if err == nil {
+			err = pl.decompose(b)
+		}
+		if err == nil {
+			return pl, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, ErrUnsupported) && cfg.WavefrontDim >= 0 {
+			return nil, err
+		}
+	}
+	return nil, firstErr
+}

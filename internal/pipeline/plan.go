@@ -1,0 +1,272 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// analyzeRefs walks every array reference, computing per-array halo
+// requirements, the set of arrays whose boundary values must flow through
+// the pipeline, and the forward reach of cross-boundary reads along the
+// tile dimension.
+func (pl *plan) analyzeRefs(b *scan.Block) error {
+	rank := b.Region.Rank()
+	writers := b.Writers()
+	pl.halo = map[string]haloSpec{}
+	travelLow := pl.an.Loop.Dirs[pl.wDim] == grid.LowToHigh
+	pl.chooseTileTravel()
+	tileLow := pl.tileTravel == grid.LowToHigh
+	antiUpstream := map[string]bool{}
+
+	grow := func(name string, shift grid.Direction) {
+		h, ok := pl.halo[name]
+		if !ok {
+			h = haloSpec{neg: make([]int, rank), pos: make([]int, rank)}
+		}
+		for d, c := range shift {
+			if -c > h.neg[d] {
+				h.neg[d] = -c
+			}
+			if c > h.pos[d] {
+				h.pos[d] = c
+			}
+		}
+		pl.halo[name] = h
+	}
+
+	for si, s := range b.Stmts {
+		pl.written[s.LHS.Name] = true
+		if _, ok := pl.halo[s.LHS.Name]; !ok {
+			pl.halo[s.LHS.Name] = haloSpec{neg: make([]int, rank), pos: make([]int, rank)}
+		}
+		for _, r := range expr.Refs(s.RHS) {
+			shift := r.Shift
+			if shift == nil {
+				shift = make(grid.Direction, rank)
+			}
+			grow(r.Name, shift)
+			ws, written := writers[r.Name]
+			if !written {
+				continue
+			}
+			trueDep := r.Primed
+			if !trueDep {
+				for _, w := range ws {
+					if w < si {
+						trueDep = true
+						break
+					}
+				}
+			}
+			sw := shift[pl.wDim]
+			upstream := (travelLow && sw < 0) || (!travelLow && sw > 0)
+			downstream := (travelLow && sw > 0) || (!travelLow && sw < 0)
+			switch {
+			case trueDep && upstream:
+				depth := sw
+				if depth < 0 {
+					depth = -depth
+				}
+				if depth > pl.pipeArrays[r.Name] {
+					pl.pipeArrays[r.Name] = depth
+				}
+				if pl.tDim >= 0 {
+					ct := shift[pl.tDim]
+					fwd := ct
+					if !tileLow {
+						fwd = -ct
+					}
+					if fwd > pl.maxFwd {
+						pl.maxFwd = fwd
+					}
+				}
+			case trueDep && downstream:
+				return fmt.Errorf("%w: reference %s carries a true dependence against the wavefront direction across the processor boundary", ErrUnsupported, r)
+			case !trueDep && upstream:
+				antiUpstream[r.Name] = true
+			}
+		}
+	}
+	for name := range antiUpstream {
+		if pl.pipeArrays[name] > 0 {
+			return fmt.Errorf("%w: array %q is read across the upstream boundary both primed and unprimed; the runtime keeps a single halo version", ErrUnsupported, name)
+		}
+	}
+	pl.pipeNames = make([]string, 0, len(pl.pipeArrays))
+	for name := range pl.pipeArrays {
+		pl.pipeNames = append(pl.pipeNames, name)
+	}
+	sort.Strings(pl.pipeNames)
+	return nil
+}
+
+// chooseTileTravel picks the order in which tiles execute (and messages
+// flow) along the tile dimension. Tiling is a loop transformation: running
+// tile τ's rows before tile τ+1's rows is only legal when every dependence
+// distance points to the same or an earlier tile. A low-to-high traversal
+// requires every UDV's tile-dimension component to be >= 0, high-to-low
+// requires <= 0; when both signs occur no tile width is safe and the plan
+// falls back to a single tile (the naive schedule, which is always legal
+// because the whole slab then executes in the derived loop order).
+func (pl *plan) chooseTileTravel() {
+	if pl.tDim < 0 {
+		pl.tileTravel = grid.LowToHigh
+		return
+	}
+	okLow, okHigh := true, true
+	for _, u := range pl.an.UDVs {
+		if u.Zero() {
+			continue
+		}
+		c := u.Dist[pl.tDim]
+		if c < 0 {
+			okLow = false
+		}
+		if c > 0 {
+			okHigh = false
+		}
+	}
+	switch {
+	case okLow && okHigh:
+		pl.tileTravel = pl.an.Loop.Dirs[pl.tDim] // unconstrained: match the loop
+	case okLow:
+		pl.tileTravel = grid.LowToHigh
+	case okHigh:
+		pl.tileTravel = grid.HighToLow
+	default:
+		pl.noTiling = true
+		pl.tileTravel = pl.an.Loop.Dirs[pl.tDim]
+	}
+}
+
+// decompose splits the region into slabs (ordered upstream-first along the
+// travel direction) and cuts the tile dimension into traversal-ordered
+// tiles.
+func (pl *plan) decompose(b *scan.Block) error {
+	ext := b.Region.Dim(pl.wDim).Size()
+	if pl.p > ext {
+		return fmt.Errorf("pipeline: %d ranks exceed the wavefront extent %d", pl.p, ext)
+	}
+	slabs, err := grid.SplitRegion(b.Region, pl.wDim, pl.p)
+	if err != nil {
+		return err
+	}
+	if pl.an.Loop.Dirs[pl.wDim] == grid.HighToLow {
+		for i, j := 0, len(slabs)-1; i < j; i, j = i+1, j-1 {
+			slabs[i], slabs[j] = slabs[j], slabs[i]
+		}
+	}
+	// Every slab must be at least as deep as the largest pipelined halo, or
+	// a rank would need data from two ranks upstream.
+	if pl.p > 1 {
+		if d := pl.maxPipeDepth(); d > 0 {
+			for _, s := range slabs {
+				if s.Dim(pl.wDim).Size() < d {
+					return fmt.Errorf("pipeline: slab %v thinner than dependence depth %d; use fewer ranks", s, d)
+				}
+			}
+		}
+	}
+	pl.slabs = slabs
+	pl.decomposeTiles(b)
+	return nil
+}
+
+// maxPipeDepth returns the deepest pipelined halo.
+func (pl *plan) maxPipeDepth() int {
+	maxDepth := 0
+	for _, d := range pl.pipeArrays {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return maxDepth
+}
+
+// decomposeTiles cuts the tile dimension into traversal-ordered tiles.
+func (pl *plan) decomposeTiles(b *scan.Block) {
+	if pl.tDim < 0 {
+		pl.tiles = nil
+		return
+	}
+	width := pl.block
+	if pl.noTiling {
+		width = 0 // single tile: the only legal granularity
+	}
+	tiles := grid.Tiles(b.Region.Dim(pl.tDim), width)
+	if pl.tileTravel == grid.HighToLow {
+		for i, j := 0, len(tiles)-1; i < j; i, j = i+1, j-1 {
+			tiles[i], tiles[j] = tiles[j], tiles[i]
+		}
+	}
+	pl.tiles = tiles
+}
+
+// tileCount returns the number of pipeline steps per rank.
+func (pl *plan) tileCount() int {
+	if len(pl.tiles) == 0 {
+		return 1
+	}
+	return len(pl.tiles)
+}
+
+// neededUpstream returns the index of the last upstream message rank must
+// hold before computing tile t: with no forward reach it is t; diagonal
+// cross-boundary reads extend it by ceil(maxFwd / tile width) in traversal
+// position terms.
+func (pl *plan) neededUpstream(t int) int {
+	last := pl.tileCount() - 1
+	if pl.maxFwd == 0 || len(pl.tiles) == 0 {
+		return t
+	}
+	// Traversal-position of the end of tile t, plus the forward reach,
+	// locates the furthest column read; find the tile containing it.
+	pos := 0
+	end := 0
+	for k := 0; k <= t; k++ {
+		end = pos + pl.tiles[k].Size() - 1
+		pos += pl.tiles[k].Size()
+	}
+	target := end + pl.maxFwd
+	cum := 0
+	for k := 0; k < len(pl.tiles); k++ {
+		cum += pl.tiles[k].Size()
+		if target < cum {
+			return k
+		}
+	}
+	return last
+}
+
+// tileRegion restricts slab L to tile t.
+func (pl *plan) tileRegion(L grid.Region, t int) grid.Region {
+	if len(pl.tiles) == 0 {
+		return L
+	}
+	dims := L.Dims()
+	dims[pl.tDim] = pl.tiles[t]
+	return grid.MustRegion(dims...)
+}
+
+// boundaryRegion returns, in global coordinates, the rows array `name`
+// must ship downstream after tile t: the sender slab's last depth rows in
+// travel order, restricted to tile t along the tile dimension (other
+// dimensions span the slab).
+func (pl *plan) boundaryRegion(L grid.Region, name string, t int) grid.Region {
+	depth := pl.pipeArrays[name]
+	dims := L.Dims()
+	w := dims[pl.wDim]
+	if pl.an.Loop.Dirs[pl.wDim] == grid.LowToHigh {
+		dims[pl.wDim] = grid.NewRange(w.Hi-depth+1, w.Hi)
+	} else {
+		dims[pl.wDim] = grid.NewRange(w.Lo, w.Lo+depth-1)
+	}
+	if len(pl.tiles) > 0 {
+		dims[pl.tDim] = pl.tiles[t]
+	}
+	return grid.MustRegion(dims...)
+}

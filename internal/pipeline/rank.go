@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"wavefront/internal/comm"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// forwardEnv resolves arrays from the rank's local fields; scalars come
+// from the rank-local overlay first (SPMD-updated values), then the global
+// environment.
+type forwardEnv struct {
+	arrays  map[string]*field.Field
+	scalars map[string]float64 // rank-local overlay; may be nil
+	parent  expr.Env
+}
+
+func (f *forwardEnv) Array(name string) *field.Field { return f.arrays[name] }
+
+func (f *forwardEnv) Scalar(name string) (float64, bool) {
+	if v, ok := f.scalars[name]; ok {
+		return v, true
+	}
+	return f.parent.Scalar(name)
+}
+
+// runRank is the SPMD body: scatter, pipeline loop, gather. The phase
+// barrier separates global-array reads (scatter) from global-array writes
+// (gather) across ranks.
+func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *comm.SyncBarrier) error {
+	rank := e.Rank()
+	L := pl.slabs[rank]
+
+	// Scatter: allocate each referenced array locally over the slab plus
+	// its halo (clipped to the global storage box: clipped cells are
+	// corners no reference reads) and copy the global values in. The
+	// barrier is reached even on error so no sibling blocks forever.
+	locals := map[string]*field.Field{}
+	scatterErr := func() error {
+		for name, h := range pl.halo {
+			g := genv.Array(name)
+			if g == nil {
+				return fmt.Errorf("pipeline: rank %d: array %q unbound", rank, name)
+			}
+			dims := L.Dims()
+			for d := range dims {
+				lo := dims[d].Lo - h.neg[d]
+				hi := dims[d].Hi + h.pos[d]
+				gb := g.Bounds().Dim(d)
+				if lo < gb.Lo {
+					lo = gb.Lo
+				}
+				if hi > gb.Hi {
+					hi = gb.Hi
+				}
+				dims[d] = grid.NewRange(lo, hi)
+			}
+			bounds, err := grid.NewRegion(dims...)
+			if err != nil {
+				return err
+			}
+			lf, err := field.New(name, bounds, g.Layout())
+			if err != nil {
+				return err
+			}
+			lf.CopyRegion(bounds, g)
+			locals[name] = lf
+		}
+		return nil
+	}()
+
+	phase.Wait() // everyone has scattered; globals may now be overwritten
+	if scatterErr != nil {
+		return scatterErr
+	}
+
+	lenv := &forwardEnv{arrays: locals, parent: genv}
+	kern, err := scan.NewKernel(b, lenv)
+	if err != nil {
+		return err
+	}
+
+	T := pl.tileCount()
+	recvd := 0
+	for t := 0; t < T; t++ {
+		if rank > 0 && len(pl.pipeNames) > 0 {
+			for need := pl.neededUpstream(t); recvd <= need; recvd++ {
+				buf, err := e.Recv(rank-1, recvd)
+				if err != nil {
+					return err
+				}
+				off := 0
+				for _, name := range pl.pipeNames {
+					r := pl.boundaryRegion(pl.slabs[rank-1], name, recvd)
+					sz := r.Size()
+					if off+sz > len(buf) {
+						return fmt.Errorf("pipeline: rank %d: message %d too short: need %d elements at offset %d, have %d",
+							rank, recvd, sz, off, len(buf))
+					}
+					locals[name].UnpackRegion(r, buf[off:off+sz])
+					off += sz
+				}
+			}
+		}
+		kern.Run(pl.tileRegion(L, t), pl.an.Loop)
+		if rank < pl.p-1 && len(pl.pipeNames) > 0 {
+			var buf []float64
+			for _, name := range pl.pipeNames {
+				buf = append(buf, locals[name].PackRegion(pl.boundaryRegion(L, name, t))...)
+			}
+			if err := e.Send(rank+1, t, buf); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Gather: write the slab's results back to the global fields. Slabs are
+	// disjoint, so concurrent ranks touch disjoint elements.
+	for name := range pl.written {
+		genv.Array(name).CopyRegion(L, locals[name])
+	}
+	return nil
+}

@@ -1,0 +1,657 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wavefront/internal/comm"
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// A Session runs a whole program — a sequence of scan blocks, parallel
+// statements, and reductions — across a fixed decomposition, the way the
+// paper's benchmarks run: arrays are scattered once, each rank keeps its
+// local portions with fluff margins across blocks, halos are re-exchanged
+// only when stale, wavefront blocks pipeline through the ranks in either
+// travel direction, and results gather at the end. Run executes an SPMD
+// body on every rank.
+//
+//	sess, _ := pipeline.NewSession(env, blocks, pipeline.SessionConfig{Procs: 4, Domain: all, Block: 8})
+//	err := sess.Run(func(r *pipeline.Rank) error {
+//	    for i := 0; i < iters; i++ {
+//	        for _, b := range blocks {
+//	            if err := r.Exec(b); err != nil { return err }
+//	        }
+//	    }
+//	    return nil
+//	})
+type Session struct {
+	cfg   SessionConfig
+	genv  expr.Env
+	slabs []grid.Region // index order along the wavefront dimension
+	plans map[*scan.Block]*plan
+	// subBlocks maps a plain multi-statement block to its per-statement
+	// sub-blocks, which execute in order (plain array semantics).
+	subBlocks map[*scan.Block][]*scan.Block
+	halos     map[string]haloSpec // per-array union over all registered blocks
+	names     []string            // sorted array names
+	topo      *comm.Topology
+	stats     SessionStats
+}
+
+// SessionConfig fixes a session's decomposition.
+type SessionConfig struct {
+	// Procs is the number of ranks.
+	Procs int
+	// Domain is the region block-distributed along WavefrontDim; every
+	// registered block's region must lie within the domain's extent along
+	// that dimension.
+	Domain grid.Region
+	// WavefrontDim is the distributed dimension (default 0).
+	WavefrontDim int
+	// Block is the pipeline tile width for wavefront blocks (0 = naive).
+	Block int
+}
+
+// SessionStats summarizes a finished Run.
+type SessionStats struct {
+	Comm    comm.Stats
+	Elapsed time.Duration
+}
+
+// NewSession validates the blocks against the decomposition and
+// precomputes every block's plan. All arrays referenced by any block must
+// be bound in env, and every rank's slab must intersect every block's
+// region (use fewer ranks otherwise).
+func NewSession(env expr.Env, blocks []*scan.Block, cfg SessionConfig) (*Session, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("pipeline: session needs at least 1 rank, got %d", cfg.Procs)
+	}
+	if cfg.WavefrontDim < 0 || cfg.WavefrontDim >= cfg.Domain.Rank() {
+		return nil, fmt.Errorf("pipeline: session wavefront dimension %d out of range for rank %d",
+			cfg.WavefrontDim, cfg.Domain.Rank())
+	}
+	slabs, err := grid.SplitRegion(cfg.Domain, cfg.WavefrontDim, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range slabs {
+		if s.Dim(cfg.WavefrontDim).Empty() {
+			return nil, fmt.Errorf("pipeline: %d ranks exceed the domain extent %d",
+				cfg.Procs, cfg.Domain.Dim(cfg.WavefrontDim).Size())
+		}
+	}
+	sess := &Session{
+		cfg:       cfg,
+		genv:      env,
+		slabs:     slabs,
+		plans:     map[*scan.Block]*plan{},
+		subBlocks: map[*scan.Block][]*scan.Block{},
+		halos:     map[string]haloSpec{},
+	}
+	for _, b := range blocks {
+		if err := sess.register(b); err != nil {
+			return nil, err
+		}
+	}
+	sess.names = make([]string, 0, len(sess.halos))
+	for name := range sess.halos {
+		sess.names = append(sess.names, name)
+	}
+	sort.Strings(sess.names)
+	return sess, nil
+}
+
+func (s *Session) register(b *scan.Block) error {
+	if _, ok := s.plans[b]; ok {
+		return nil
+	}
+	if b.Region.Rank() != s.cfg.Domain.Rank() {
+		return fmt.Errorf("pipeline: block region %v has rank %d, domain has rank %d",
+			b.Region, b.Region.Rank(), s.cfg.Domain.Rank())
+	}
+	if !s.cfg.Domain.Dim(s.cfg.WavefrontDim).Contains(b.Region.Dim(s.cfg.WavefrontDim).Lo) ||
+		!s.cfg.Domain.Dim(s.cfg.WavefrontDim).Contains(b.Region.Dim(s.cfg.WavefrontDim).Hi) {
+		return fmt.Errorf("pipeline: block region %v exceeds the domain %v along dimension %d",
+			b.Region, s.cfg.Domain, s.cfg.WavefrontDim)
+	}
+	if err := scan.CheckBounds(b, s.genv); err != nil {
+		return err
+	}
+	if b.Kind == scan.PlainKind && len(b.Stmts) > 1 {
+		// Plain multi-statement groups execute statement at a time; register
+		// a sub-block per statement.
+		var subs []*scan.Block
+		for i := range b.Stmts {
+			sub := scan.NewPlain(b.Region, b.Stmts[i])
+			if err := s.register(sub); err != nil {
+				return err
+			}
+			subs = append(subs, sub)
+		}
+		s.subBlocks[b] = subs
+		return nil
+	}
+	an, err := scan.Analyze(b, dep.Preference{PreferLow: true})
+	if err != nil {
+		return err
+	}
+	pl := &plan{
+		an: an, p: s.cfg.Procs, block: s.cfg.Block, wDim: s.cfg.WavefrontDim,
+		pipeArrays: map[string]int{}, written: map[string]bool{},
+	}
+	pl.tDim = -1
+	for _, d := range an.Class.ParallelDims() {
+		if d != pl.wDim {
+			pl.tDim = d
+			break
+		}
+	}
+	if pl.tDim < 0 {
+		for d := 0; d < b.Region.Rank(); d++ {
+			if d != pl.wDim {
+				pl.tDim = d
+				break
+			}
+		}
+	}
+	if err := pl.analyzeRefs(b); err != nil {
+		return err
+	}
+	pl.decomposeTiles(b)
+	// Wavefront blocks flow through every rank in slab order, so every
+	// rank's portion must be nonempty and at least as deep as the
+	// pipelined halo. Fully parallel blocks (boundary-condition rows,
+	// sub-region initializations) may leave some ranks idle.
+	if depth := pl.maxPipeDepth(); depth > 0 {
+		for _, slab := range s.slabs {
+			portion, err := slab.Dim(pl.wDim).Intersect(b.Region.Dim(pl.wDim))
+			if err != nil {
+				return err
+			}
+			if portion.Empty() {
+				return fmt.Errorf("pipeline: a rank's slab %v misses wavefront region %v; use fewer ranks", slab, b.Region)
+			}
+			if s.cfg.Procs > 1 && portion.Size() < depth {
+				return fmt.Errorf("pipeline: portion %v thinner than dependence depth %d; use fewer ranks", portion, depth)
+			}
+		}
+	}
+	s.plans[b] = pl
+	// Fold the block's halo needs into the session-wide per-array halos.
+	for name, h := range pl.halo {
+		cur, ok := s.halos[name]
+		if !ok {
+			cur = haloSpec{neg: make([]int, b.Region.Rank()), pos: make([]int, b.Region.Rank())}
+		}
+		for d := range h.neg {
+			if h.neg[d] > cur.neg[d] {
+				cur.neg[d] = h.neg[d]
+			}
+			if h.pos[d] > cur.pos[d] {
+				cur.pos[d] = h.pos[d]
+			}
+		}
+		s.halos[name] = cur
+	}
+	return nil
+}
+
+// Stats returns the communication volume and elapsed time of the last Run.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// Slab returns rank r's portion of the domain.
+func (s *Session) Slab(r int) grid.Region { return s.slabs[r] }
+
+// Run scatters the arrays, executes body on every rank concurrently,
+// gathers the written portions back into the global arrays, and records
+// statistics. A Session may Run multiple times; each Run re-scatters.
+func (s *Session) Run(body func(r *Rank) error) error {
+	topo, err := comm.NewTopology(s.cfg.Procs)
+	if err != nil {
+		return err
+	}
+	s.topo = topo
+	// All ranks must finish scattering (reading the global arrays) before
+	// any rank may gather (writing them); with no other messages in flight
+	// nothing else orders the ranks.
+	phase := comm.NewSyncBarrier(s.cfg.Procs)
+	start := time.Now()
+	err = topo.Run(func(e *comm.Endpoint) error {
+		rk, err := s.newRank(e)
+		phase.Wait()
+		if err != nil {
+			return err
+		}
+		if err := body(rk); err != nil {
+			return err
+		}
+		return rk.gather()
+	})
+	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: time.Since(start)}
+	if err != nil {
+		return err
+	}
+	if n := topo.PendingMessages(); n != 0 {
+		return fmt.Errorf("pipeline: session left %d messages undelivered", n)
+	}
+	return nil
+}
+
+// Rank is one SPMD participant's handle: its local arrays, its endpoint,
+// and its view of the session's plans.
+type Rank struct {
+	sess    *Session
+	e       *comm.Endpoint
+	id      int
+	locals  map[string]*field.Field
+	lenv    *forwardEnv
+	kernels map[*scan.Block]*scan.Kernel
+	// dirty marks arrays written since their halos were last exchanged.
+	dirty map[string]bool
+	// captured records scalar values baked into compiled kernels, to
+	// detect illegal later changes.
+	captured map[string]float64
+	// wrote marks arrays written at all (gathered at the end).
+	wrote map[string]bool
+	// sendSeq/recvSeq are per-peer tag counters; because every rank
+	// executes the same operation sequence, matching counters produce
+	// matching tags.
+	sendSeq, recvSeq []int
+}
+
+func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
+	r := &Rank{
+		sess:     s,
+		e:        e,
+		id:       e.Rank(),
+		locals:   map[string]*field.Field{},
+		kernels:  map[*scan.Block]*scan.Kernel{},
+		dirty:    map[string]bool{},
+		captured: map[string]float64{},
+		wrote:    map[string]bool{},
+		sendSeq:  make([]int, s.cfg.Procs),
+		recvSeq:  make([]int, s.cfg.Procs),
+	}
+	slab := s.slabs[r.id]
+	for _, name := range s.names {
+		g := s.genv.Array(name)
+		if g == nil {
+			return nil, fmt.Errorf("pipeline: session array %q unbound", name)
+		}
+		h := s.halos[name]
+		dims := g.Bounds().Dims()
+		w := s.cfg.WavefrontDim
+		lo := slab.Dim(w).Lo - h.neg[w]
+		hi := slab.Dim(w).Hi + h.pos[w]
+		if lo < dims[w].Lo {
+			lo = dims[w].Lo
+		}
+		if hi > dims[w].Hi {
+			hi = dims[w].Hi
+		}
+		dims[w] = grid.NewRange(lo, hi)
+		bounds, err := grid.NewRegion(dims...)
+		if err != nil {
+			return nil, err
+		}
+		lf, err := field.New(name, bounds, g.Layout())
+		if err != nil {
+			return nil, err
+		}
+		lf.CopyRegion(bounds, g)
+		r.locals[name] = lf
+	}
+	r.lenv = &forwardEnv{arrays: r.locals, parent: s.genv}
+	return r, nil
+}
+
+// ID returns the rank index.
+func (r *Rank) ID() int { return r.id }
+
+// SetScalar binds a rank-local scalar, shadowing the global environment.
+// Because compiled kernels capture scalar values, a scalar already used by
+// an executed block must not change afterwards; Exec reports an error if
+// it does.
+func (r *Rank) SetScalar(name string, v float64) error {
+	if old, ok := r.captured[name]; ok && old != v {
+		return fmt.Errorf("pipeline: scalar %q was captured by a compiled block with value %g and cannot change to %g",
+			name, old, v)
+	}
+	if r.lenv.scalars == nil {
+		r.lenv.scalars = map[string]float64{}
+	}
+	r.lenv.scalars[name] = v
+	return nil
+}
+
+// GetScalar reads a scalar through the rank-local overlay.
+func (r *Rank) GetScalar(name string) (float64, bool) { return r.lenv.Scalar(name) }
+
+// P returns the session's rank count.
+func (r *Rank) P() int { return r.sess.cfg.Procs }
+
+// Barrier synchronizes all ranks.
+func (r *Rank) Barrier() error { return r.e.Barrier() }
+
+func (r *Rank) sendNext(to int, data []float64) error {
+	tag := r.sendSeq[to]
+	r.sendSeq[to]++
+	return r.e.Send(to, tag, data)
+}
+
+func (r *Rank) recvNext(from int) ([]float64, error) {
+	tag := r.recvSeq[from]
+	r.recvSeq[from]++
+	return r.e.Recv(from, tag)
+}
+
+// portion returns this rank's share of a block region: the slab's rows,
+// the block's extent elsewhere.
+func (r *Rank) portion(region grid.Region) grid.Region {
+	w := r.sess.cfg.WavefrontDim
+	dims := region.Dims()
+	rows, err := dims[w].Intersect(r.sess.slabs[r.id].Dim(w))
+	if err != nil {
+		panic(err) // strides validated at registration
+	}
+	dims[w] = rows
+	return grid.MustRegion(dims...)
+}
+
+// Exec runs one registered block on this rank, exchanging stale halos
+// first and pipelining wavefront blocks through the ranks. Plain
+// multi-statement blocks execute statement at a time.
+func (r *Rank) Exec(b *scan.Block) error {
+	if subs, ok := r.sess.subBlocks[b]; ok {
+		for _, sub := range subs {
+			if err := r.Exec(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pl, ok := r.sess.plans[b]
+	if !ok {
+		return fmt.Errorf("pipeline: block %p was not registered with the session", b)
+	}
+	// Refresh halos of dirty arrays this block reads across the slab
+	// boundary. Pipelined arrays also refresh: their upstream halo rows are
+	// overwritten by pipeline messages tile by tile, while anti-dependence
+	// reads need the pre-block values installed here.
+	var needs []string
+	w := r.sess.cfg.WavefrontDim
+	for name, h := range pl.halo {
+		if (h.neg[w] > 0 || h.pos[w] > 0) && r.dirty[name] {
+			needs = append(needs, name)
+		}
+	}
+	sort.Strings(needs)
+	if err := r.exchange(needs); err != nil {
+		return err
+	}
+
+	L := r.portion(b.Region)
+	if pl.an.NeedsTemp() {
+		// Contradictory anti-dependences: materialize the right-hand side
+		// into a temporary over this rank's portion (the halo carries the
+		// required pre-block values).
+		sub := scan.NewPlain(L, b.Stmts...)
+		if err := scan.Exec(sub, r.lenv, scan.ExecOptions{ForceTemp: true}); err != nil {
+			return err
+		}
+	} else {
+		kern, ok := r.kernels[b]
+		if !ok {
+			var err error
+			kern, err = scan.NewKernel(b, r.lenv)
+			if err != nil {
+				return err
+			}
+			r.kernels[b] = kern
+			for _, st := range b.Stmts {
+				for _, name := range expr.Scalars(st.RHS) {
+					if v, ok := r.lenv.Scalar(name); ok {
+						r.captured[name] = v
+					}
+				}
+			}
+		}
+		if len(pl.pipeNames) == 0 {
+			// Fully parallel (or anti-dependences only): compute the portion.
+			kern.Run(L, pl.an.Loop)
+		} else if err := r.execWavefront(b, pl, kern, L); err != nil {
+			return err
+		}
+	}
+	for name := range pl.written {
+		r.dirty[name] = true
+		r.wrote[name] = true
+	}
+	return nil
+}
+
+// execWavefront pipelines one wavefront block: receive upstream boundary
+// tiles, compute own tiles, forward boundary tiles downstream. Travel
+// direction follows the block's derived loop, so forward and backward
+// sweeps flow through opposite neighbours.
+func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.Region) error {
+	travelLow := pl.an.Loop.Dirs[pl.wDim] == grid.LowToHigh
+	upstream, downstream := r.id-1, r.id+1
+	if !travelLow {
+		upstream, downstream = r.id+1, r.id-1
+	}
+	hasUp := upstream >= 0 && upstream < r.P()
+	hasDown := downstream >= 0 && downstream < r.P()
+	var upPortion grid.Region
+	if hasUp {
+		dims := b.Region.Dims()
+		rows, err := dims[pl.wDim].Intersect(r.sess.slabs[upstream].Dim(pl.wDim))
+		if err != nil {
+			return err
+		}
+		dims[pl.wDim] = rows
+		upPortion = grid.MustRegion(dims...)
+	}
+
+	T := pl.tileCount()
+	recvd := 0
+	for t := 0; t < T; t++ {
+		if hasUp {
+			for need := pl.neededUpstream(t); recvd <= need; recvd++ {
+				buf, err := r.recvNext(upstream)
+				if err != nil {
+					return err
+				}
+				off := 0
+				for _, name := range pl.pipeNames {
+					reg := pl.boundaryRegion(upPortion, name, recvd)
+					sz := reg.Size()
+					if off+sz > len(buf) {
+						return fmt.Errorf("pipeline: rank %d: wavefront message %d too short", r.id, recvd)
+					}
+					r.locals[name].UnpackRegion(reg, buf[off:off+sz])
+					off += sz
+				}
+			}
+		}
+		kern.Run(pl.tileRegion(L, t), pl.an.Loop)
+		if hasDown {
+			var buf []float64
+			for _, name := range pl.pipeNames {
+				buf = append(buf, r.locals[name].PackRegion(pl.boundaryRegion(L, name, t))...)
+			}
+			if err := r.sendNext(downstream, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// exchange swaps boundary rows of the named arrays with both neighbours
+// and marks them clean. Message layout is deterministic: names in sorted
+// order, each array's region in canonical order.
+func (r *Rank) exchange(names []string) error {
+	if len(names) == 0 || r.P() == 1 {
+		for _, n := range names {
+			r.dirty[n] = false
+		}
+		return nil
+	}
+	w := r.sess.cfg.WavefrontDim
+	slab := r.sess.slabs[r.id]
+	// sendRegion(neighbor side): rows of MY slab the neighbour's halo
+	// needs; recvRegion: rows of the neighbour's slab my halo needs.
+	rowRegion := func(name string, rows grid.Range) grid.Region {
+		g := r.locals[name]
+		dims := g.Bounds().Dims()
+		dims[w] = rows
+		return grid.MustRegion(dims...)
+	}
+	type xfer struct {
+		peer int
+		send []float64
+		recv []grid.Region // per name, in order
+	}
+	var xfers []xfer
+	for _, peer := range []int{r.id - 1, r.id + 1} {
+		if peer < 0 || peer >= r.P() {
+			continue
+		}
+		x := xfer{peer: peer}
+		peerSlab := r.sess.slabs[peer]
+		for _, name := range names {
+			h := r.sess.halos[name]
+			if peer == r.id-1 {
+				// Peer below me in index order: it needs my lowest pos[w]
+				// rows; I need its highest neg[w] rows.
+				if h.pos[w] > 0 {
+					lo := slab.Dim(w).Lo
+					x.send = append(x.send, r.locals[name].PackRegion(
+						rowRegion(name, grid.NewRange(lo, lo+h.pos[w]-1)))...)
+				}
+				if h.neg[w] > 0 {
+					hi := peerSlab.Dim(w).Hi
+					x.recv = append(x.recv, rowRegion(name, grid.NewRange(hi-h.neg[w]+1, hi)))
+				} else {
+					x.recv = append(x.recv, grid.Region{})
+				}
+			} else {
+				// Peer above me: it needs my highest neg[w] rows; I need its
+				// lowest pos[w] rows.
+				if h.neg[w] > 0 {
+					hi := slab.Dim(w).Hi
+					x.send = append(x.send, r.locals[name].PackRegion(
+						rowRegion(name, grid.NewRange(hi-h.neg[w]+1, hi)))...)
+				}
+				if h.pos[w] > 0 {
+					lo := peerSlab.Dim(w).Lo
+					x.recv = append(x.recv, rowRegion(name, grid.NewRange(lo, lo+h.pos[w]-1)))
+				} else {
+					x.recv = append(x.recv, grid.Region{})
+				}
+			}
+		}
+		xfers = append(xfers, x)
+	}
+	// Send everything first (sends never block), then receive.
+	for _, x := range xfers {
+		if err := r.sendNext(x.peer, x.send); err != nil {
+			return err
+		}
+	}
+	for _, x := range xfers {
+		buf, err := r.recvNext(x.peer)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for i, name := range names {
+			reg := x.recv[i]
+			if reg.Rank() == 0 {
+				continue
+			}
+			sz := reg.Size()
+			if off+sz > len(buf) {
+				return fmt.Errorf("pipeline: rank %d: halo message from %d too short", r.id, x.peer)
+			}
+			r.locals[name].UnpackRegion(reg, buf[off:off+sz])
+			off += sz
+		}
+	}
+	for _, n := range names {
+		r.dirty[n] = false
+	}
+	return nil
+}
+
+// Reduce folds an expression over the region across all ranks: a local
+// fold over this rank's portion combined through an all-reduce, after
+// refreshing any stale halos the operand reads across the boundary.
+func (r *Rank) Reduce(op scan.ReduceOp, region grid.Region, node expr.Node) (float64, error) {
+	w := r.sess.cfg.WavefrontDim
+	var needs []string
+	for _, ref := range expr.Refs(node) {
+		if ref.Shift != nil && ref.Shift[w] != 0 && r.dirty[ref.Name] {
+			needs = append(needs, ref.Name)
+		}
+	}
+	sort.Strings(needs)
+	needs = dedup(needs)
+	if err := r.exchange(needs); err != nil {
+		return 0, err
+	}
+	local, err := scan.Reduce(op, r.portion(region), node, r.lenv)
+	if err != nil {
+		return 0, err
+	}
+	commOp := comm.SumOp
+	switch op {
+	case scan.MaxReduce:
+		commOp = comm.MaxOp
+	case scan.MinReduce:
+		commOp = func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		}
+	}
+	return r.e.AllReduce(local, commOp)
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// gather writes every written array's slab back to the global fields.
+func (r *Rank) gather() error {
+	w := r.sess.cfg.WavefrontDim
+	for name := range r.wrote {
+		g := r.sess.genv.Array(name)
+		lf := r.locals[name]
+		dims := g.Bounds().Dims()
+		rows, err := dims[w].Intersect(r.sess.slabs[r.id].Dim(w))
+		if err != nil {
+			return err
+		}
+		if rows.Empty() {
+			continue
+		}
+		dims[w] = rows
+		g.CopyRegion(grid.MustRegion(dims...), lf)
+	}
+	return nil
+}

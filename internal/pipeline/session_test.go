@@ -1,0 +1,310 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+	"wavefront/internal/workload"
+)
+
+// TestSessionTomcatvWholeProgram runs several full Tomcatv iterations —
+// parallel stencils, both wavefront sweeps, reductions — through a
+// persistent session and compares every array against serial execution.
+func TestSessionTomcatvWholeProgram(t *testing.T) {
+	n, iters := 26, 3
+	for _, p := range []int{1, 2, 4} {
+		ref, err := workload.NewTomcatv(n, field.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, _ := workload.NewTomcatv(n, field.RowMajor)
+
+		var refResid []float64
+		for i := 0; i < iters; i++ {
+			if _, err := ref.Step(); err != nil {
+				t.Fatal(err)
+			}
+			refResid = append(refResid, ref.ResidualMax())
+		}
+
+		blocks := par.Blocks()
+		sess, err := NewSession(par.Env, blocks, SessionConfig{
+			Procs: p, Domain: par.All, Block: 4,
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		var parResid []float64
+		err = sess.Run(func(r *Rank) error {
+			absRx := expr.Call{Fn: expr.Abs, Args: []expr.Node{expr.Ref("rx")}}
+			absRy := expr.Call{Fn: expr.Abs, Args: []expr.Node{expr.Ref("ry")}}
+			for i := 0; i < iters; i++ {
+				for _, b := range blocks {
+					if err := r.Exec(b); err != nil {
+						return err
+					}
+				}
+				vx, err := r.Reduce(scan.MaxReduce, par.Interior, absRx)
+				if err != nil {
+					return err
+				}
+				vy, err := r.Reduce(scan.MaxReduce, par.Interior, absRy)
+				if err != nil {
+					return err
+				}
+				if r.ID() == 0 {
+					parResid = append(parResid, math.Max(vx, vy))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for _, name := range workload.TomcatvArrays {
+			if d := par.Env.Arrays[name].MaxAbsDiff(par.All, ref.Env.Arrays[name]); d != 0 {
+				t.Errorf("p=%d: %s differs from serial by %g", p, name, d)
+			}
+		}
+		for i := range refResid {
+			if parResid[i] != refResid[i] {
+				t.Errorf("p=%d iter %d: residual %g != %g", p, i, parResid[i], refResid[i])
+			}
+		}
+	}
+}
+
+// TestSessionSimpleWholeProgram: the SIMPLE step (hydro + both conduction
+// sweeps) through a session.
+func TestSessionSimpleWholeProgram(t *testing.T) {
+	n, steps := 24, 3
+	ref, err := workload.NewSimple(n, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _ := workload.NewSimple(n, field.RowMajor)
+	for i := 0; i < steps; i++ {
+		if _, err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := par.Blocks()
+	sess, err := NewSession(par.Env, blocks, SessionConfig{Procs: 3, Domain: par.All, Block: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.Run(func(r *Rank) error {
+		for i := 0; i < steps; i++ {
+			for _, b := range blocks {
+				if err := r.Exec(b); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range workload.SimpleArrays {
+		if d := par.Env.Arrays[name].MaxAbsDiff(par.All, ref.Env.Arrays[name]); d != 0 {
+			t.Errorf("%s differs from serial by %g", name, d)
+		}
+	}
+	if sess.Stats().Comm.Messages == 0 {
+		t.Error("session reported no communication")
+	}
+}
+
+// TestSessionHaloLaziness: halos are exchanged only when stale. A pair of
+// parallel blocks where the second reads the first's output across the
+// boundary must exchange once per iteration, and a third block reading an
+// array never rewritten must not re-exchange it.
+func TestSessionHaloLaziness(t *testing.T) {
+	n := 12
+	bounds := grid.MustRegion(grid.NewRange(0, n+1), grid.NewRange(0, n+1))
+	inner := grid.Square(2, 1, n)
+	env := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
+	for _, name := range []string{"a", "b", "c", "r"} {
+		f := field.MustNew(name, bounds, field.RowMajor)
+		f.FillFunc(bounds, func(p grid.Point) float64 { return float64(p[0] + 2*p[1]) })
+		env.Arrays[name] = f
+	}
+	writeA := scan.NewPlain(inner, scan.Stmt{LHS: expr.Ref("a"), RHS: expr.Binary{
+		Op: expr.Add, L: expr.Ref("a"), R: expr.Const(1)}})
+	readA := scan.NewPlain(inner, scan.Stmt{LHS: expr.Ref("b"), RHS: expr.Binary{
+		Op: expr.Add, L: expr.Ref("a").At(grid.North), R: expr.Ref("a").At(grid.South)}})
+	readC := scan.NewPlain(inner, scan.Stmt{LHS: expr.Ref("r"), RHS: expr.Ref("c").At(grid.North)}) // c never written
+
+	p := 3
+	sess, err := NewSession(env, []*scan.Block{writeA, readA, readC}, SessionConfig{Procs: p, Domain: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.Run(func(r *Rank) error {
+		for i := 0; i < 4; i++ {
+			if err := r.Exec(writeA); err != nil {
+				return err
+			}
+			if err := r.Exec(readA); err != nil {
+				return err
+			}
+			if err := r.Exec(readC); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected messages: per iteration, readA triggers one exchange of "a":
+	// each interior boundary swaps two messages... each rank sends to each
+	// neighbour once => total messages per exchange = 2*(p-1). c is never
+	// dirty, so readC never exchanges. 4 iterations.
+	want := int64(4 * 2 * (p - 1))
+	if got := sess.Stats().Comm.Messages; got != want {
+		t.Errorf("messages = %d, want %d (halo exchange must be lazy)", got, want)
+	}
+
+	// Correctness of the final state against serial.
+	serialEnv := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
+	for _, name := range []string{"a", "b", "c", "r"} {
+		f := field.MustNew(name, bounds, field.RowMajor)
+		f.FillFunc(bounds, func(p grid.Point) float64 { return float64(p[0] + 2*p[1]) })
+		serialEnv.Arrays[name] = f
+	}
+	for i := 0; i < 4; i++ {
+		for _, b := range []*scan.Block{writeA, readA, readC} {
+			if err := scan.Exec(b, serialEnv, scan.ExecOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, name := range []string{"a", "b", "r"} {
+		if d := env.Arrays[name].MaxAbsDiff(bounds, serialEnv.Arrays[name]); d != 0 {
+			t.Errorf("%s differs from serial by %g", name, d)
+		}
+	}
+}
+
+// TestSessionBackwardSweepDirection: a session must route a south-to-north
+// wavefront through the opposite neighbours.
+func TestSessionBackwardSweep(t *testing.T) {
+	n := 16
+	bounds := grid.MustRegion(grid.NewRange(1, n+1), grid.NewRange(1, n))
+	region := grid.MustRegion(grid.NewRange(1, n), grid.NewRange(1, n))
+	mk := func() *expr.MapEnv {
+		env := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
+		f := field.MustNew("a", bounds, field.RowMajor)
+		f.FillFunc(bounds, func(p grid.Point) float64 { return 1 + 0.01*float64(p[0]*p[1]%13) })
+		env.Arrays["a"] = f
+		return env
+	}
+	blk := scan.NewScan(region, scan.Stmt{
+		LHS: expr.Ref("a"),
+		RHS: expr.Binary{Op: expr.Add,
+			L: expr.MulN(expr.Const(0.5), expr.Ref("a").At(grid.South).Prime()),
+			R: expr.Const(0.1)},
+	})
+	ref := mk()
+	if err := scan.Exec(blk, ref, scan.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	par := mk()
+	sess, err := NewSession(par, []*scan.Block{blk}, SessionConfig{Procs: 4, Domain: region, Block: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(func(r *Rank) error { return r.Exec(blk) }); err != nil {
+		t.Fatal(err)
+	}
+	if d := par.Arrays["a"].MaxAbsDiff(region, ref.Arrays["a"]); d != 0 {
+		t.Errorf("backward sweep differs by %g", d)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	n := 8
+	bounds := grid.Square(2, 0, n+1)
+	inner := grid.Square(2, 1, n)
+	env := &expr.MapEnv{Arrays: map[string]*field.Field{
+		"a": field.MustNew("a", bounds, field.RowMajor),
+	}, Scalars: map[string]float64{}}
+	blk := scan.NewPlain(inner, scan.Stmt{LHS: expr.Ref("a"), RHS: expr.Const(1)})
+
+	if _, err := NewSession(env, []*scan.Block{blk}, SessionConfig{Procs: 0, Domain: inner}); err == nil {
+		t.Error("0 ranks must fail")
+	}
+	if _, err := NewSession(env, []*scan.Block{blk}, SessionConfig{Procs: 50, Domain: inner}); err == nil {
+		t.Error("too many ranks must fail")
+	}
+	if _, err := NewSession(env, []*scan.Block{blk}, SessionConfig{Procs: 2, Domain: inner, WavefrontDim: 5}); err == nil {
+		t.Error("bad wavefront dim must fail")
+	}
+	rank1 := scan.NewPlain(grid.MustRegion(grid.NewRange(1, n)), scan.Stmt{LHS: expr.Ref("a"), RHS: expr.Const(1)})
+	if _, err := NewSession(env, []*scan.Block{rank1}, SessionConfig{Procs: 2, Domain: inner}); err == nil {
+		t.Error("rank mismatch must fail")
+	}
+
+	sess, err := NewSession(env, []*scan.Block{blk}, SessionConfig{Procs: 2, Domain: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := scan.NewPlain(inner, scan.Stmt{LHS: expr.Ref("a"), RHS: expr.Const(2)})
+	err = sess.Run(func(r *Rank) error { return r.Exec(other) })
+	if err == nil {
+		t.Error("executing an unregistered block must fail")
+	}
+}
+
+// TestSessionReduceOps checks the three reduction folds across ranks.
+func TestSessionReduceOps(t *testing.T) {
+	n := 9
+	bounds := grid.Square(2, 1, n)
+	env := &expr.MapEnv{Arrays: map[string]*field.Field{
+		"a": field.MustNew("a", bounds, field.RowMajor),
+	}, Scalars: map[string]float64{}}
+	env.Arrays["a"].FillFunc(bounds, func(p grid.Point) float64 {
+		return float64(p[0]*10 + p[1])
+	})
+	blk := scan.NewPlain(bounds, scan.Stmt{LHS: expr.Ref("a"), RHS: expr.Ref("a")})
+	sess, err := NewSession(env, []*scan.Block{blk}, SessionConfig{Procs: 3, Domain: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, max, min float64
+	err = sess.Run(func(r *Rank) error {
+		s, err := r.Reduce(scan.SumReduce, bounds, expr.Ref("a"))
+		if err != nil {
+			return err
+		}
+		mx, err := r.Reduce(scan.MaxReduce, bounds, expr.Ref("a"))
+		if err != nil {
+			return err
+		}
+		mn, err := r.Reduce(scan.MinReduce, bounds, expr.Ref("a"))
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			sum, max, min = s, mx, mn
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := 0.0
+	bounds.Each(nil, func(p grid.Point) { wantSum += float64(p[0]*10 + p[1]) })
+	if sum != wantSum {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+	if max != 99 || min != 11 {
+		t.Errorf("max/min = %g/%g, want 99/11", max, min)
+	}
+}

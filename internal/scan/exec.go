@@ -1,0 +1,182 @@
+package scan
+
+import (
+	"fmt"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+// ExecOptions controls serial block execution.
+type ExecOptions struct {
+	// Prefer biases the derived loop structure (e.g. contiguous dimension
+	// innermost for cache studies).
+	Prefer dep.Preference
+	// ForceTemp makes plain statements always materialize their right-hand
+	// side into a temporary before assigning, even when a legal in-place
+	// loop order exists. Used by the temp-vs-in-place ablation.
+	ForceTemp bool
+}
+
+// Exec runs the block serially against env. Scan blocks execute as a single
+// fused loop nest in the derived order; plain blocks execute statement by
+// statement with ordinary array semantics.
+func Exec(b *Block, env expr.Env, opt ExecOptions) error {
+	if err := checkBounds(b, env); err != nil {
+		return err
+	}
+	switch b.Kind {
+	case ScanKind:
+		an, err := Analyze(b, opt.Prefer)
+		if err != nil {
+			return err
+		}
+		return execFused(b, env, an.Loop)
+	case PlainKind:
+		for i := range b.Stmts {
+			sub := &Block{Kind: PlainKind, Region: b.Region, Stmts: b.Stmts[i : i+1]}
+			an, err := Analyze(sub, opt.Prefer)
+			if err != nil {
+				return err
+			}
+			if an.NeedsTemp() || opt.ForceTemp {
+				if err := execViaTemp(sub, env); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := execFused(sub, env, an.Loop); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("scan: unknown block kind %v", b.Kind)
+}
+
+// CheckBounds verifies that the covering region and every shifted read stay
+// within each referenced field's storage. It is exported for the parallel
+// runtime, which performs the same validation against the global fields
+// before decomposing.
+func CheckBounds(b *Block, env expr.Env) error { return checkBounds(b, env) }
+
+// checkBounds verifies that the covering region and every shifted read stay
+// within each referenced field's storage.
+func checkBounds(b *Block, env expr.Env) error {
+	check := func(r expr.ArrayRef, si int) error {
+		f := env.Array(r.Name)
+		if f == nil {
+			return fmt.Errorf("scan: statement %d: array %q is unbound", si, r.Name)
+		}
+		reg := b.Region
+		if r.Shift != nil {
+			var err error
+			reg, err = reg.Shift(r.Shift)
+			if err != nil {
+				return fmt.Errorf("scan: statement %d: %s: %w", si, r, err)
+			}
+		}
+		if !f.Bounds().ContainsRegion(reg) {
+			return fmt.Errorf("scan: statement %d: reference %s reads %v outside bounds %v of %q",
+				si, r, reg, f.Bounds(), r.Name)
+		}
+		return nil
+	}
+	for si, s := range b.Stmts {
+		if err := check(s.LHS, si); err != nil {
+			return err
+		}
+		for _, r := range expr.Refs(s.RHS) {
+			if err := check(r, si); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// execFused runs the block's statements in a single fused loop nest with
+// the given structure, reading and writing fields in place.
+func execFused(b *Block, env expr.Env, loop dep.LoopSpec) error {
+	k, err := NewKernel(b, env)
+	if err != nil {
+		return err
+	}
+	k.Run(b.Region, loop)
+	return nil
+}
+
+// execViaTemp evaluates each statement's right-hand side into a fresh
+// temporary over the region and then assigns, implementing the pure array
+// semantics directly.
+func execViaTemp(b *Block, env expr.Env) error {
+	for _, s := range b.Stmts {
+		dst := env.Array(s.LHS.Name)
+		tmp, err := field.New("tmp$"+s.LHS.Name, b.Region, dst.Layout())
+		if err != nil {
+			return err
+		}
+		rhs, err := expr.Compile(s.RHS, env)
+		if err != nil {
+			return err
+		}
+		b.Region.Each(nil, func(p grid.Point) {
+			tmp.Set(p, rhs(p))
+		})
+		b.Region.Each(nil, func(p grid.Point) {
+			dst.Set(p, tmp.At(p))
+		})
+	}
+	return nil
+}
+
+func allRank2(b *Block, env expr.Env) bool {
+	ok := true
+	for _, s := range b.Stmts {
+		if f := env.Array(s.LHS.Name); f == nil || f.Rank() != 2 {
+			return false
+		}
+		for _, r := range expr.Refs(s.RHS) {
+			if f := env.Array(r.Name); f == nil || f.Rank() != 2 {
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// forEach iterates the region with the loop structure: spec.Perm[0] is the
+// outermost dimension and spec.Dirs is indexed by dimension. The point
+// passed to fn is reused across calls.
+func forEach(r grid.Region, spec dep.LoopSpec, fn func(grid.Point)) {
+	for d := 0; d < r.Rank(); d++ {
+		if r.Dim(d).Empty() {
+			return
+		}
+	}
+	p := make(grid.Point, r.Rank())
+	forEachLevel(r, spec, 0, p, fn)
+}
+
+func forEachLevel(r grid.Region, spec dep.LoopSpec, lvl int, p grid.Point, fn func(grid.Point)) {
+	if lvl == len(spec.Perm) {
+		fn(p)
+		return
+	}
+	dim := spec.Perm[lvl]
+	d := r.Dim(dim)
+	n := d.Size()
+	if spec.Dirs[dim] == grid.LowToHigh {
+		for i := 0; i < n; i++ {
+			p[dim] = d.Lo + i*d.Stride
+			forEachLevel(r, spec, lvl+1, p, fn)
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			p[dim] = d.Lo + i*d.Stride
+			forEachLevel(r, spec, lvl+1, p, fn)
+		}
+	}
+}

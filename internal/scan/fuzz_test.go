@@ -1,0 +1,104 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+// TestFuzzInPlaceEqualsTempSemantics: the compiler's central serial claim
+// is that the derived loop order lets a plain array statement execute in
+// place while preserving pure array semantics (right-hand side evaluated
+// before assignment). Temp-buffer execution IS those semantics by
+// construction, so for every random unprimed statement the two paths must
+// agree bit for bit — including statements whose anti-dependences force
+// the analyzer itself to choose the temp path.
+func TestFuzzInPlaceEqualsTempSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	names := []string{"a", "b"}
+	const n, halo = 12, 2
+	bounds := grid.Square(2, 1-halo, n+halo)
+	region := grid.Square(2, 1, n)
+
+	mkEnv := func(seed int64) *expr.MapEnv {
+		env := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
+		r := rand.New(rand.NewSource(seed))
+		for _, name := range names {
+			f := field.MustNew(name, bounds, field.RowMajor)
+			f.FillFunc(bounds, func(grid.Point) float64 { return r.Float64() })
+			env.Arrays[name] = f
+		}
+		return env
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		lhs := names[rng.Intn(len(names))]
+		nRefs := 1 + rng.Intn(3)
+		terms := []expr.Node{expr.Const(0.05)}
+		for i := 0; i < nRefs; i++ {
+			ref := expr.Ref(names[rng.Intn(len(names))])
+			if rng.Intn(5) > 0 {
+				ref = ref.At(grid.Direction{
+					rng.Intn(2*halo+1) - halo,
+					rng.Intn(2*halo+1) - halo,
+				})
+			}
+			terms = append(terms, expr.MulN(expr.Const(0.4), ref))
+		}
+		blk := NewPlain(region, Stmt{LHS: expr.Ref(lhs), RHS: expr.AddN(terms...)})
+
+		inPlace := mkEnv(int64(trial))
+		if err := Exec(blk, inPlace, ExecOptions{}); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, blk)
+		}
+		viaTemp := mkEnv(int64(trial))
+		if err := Exec(blk, viaTemp, ExecOptions{ForceTemp: true}); err != nil {
+			t.Fatalf("trial %d (temp): %v\n%s", trial, err, blk)
+		}
+		for _, name := range names {
+			if d := inPlace.Arrays[name].MaxAbsDiff(bounds, viaTemp.Arrays[name]); d != 0 {
+				t.Fatalf("trial %d: %q differs by %g between in-place and temp\n%s",
+					trial, name, d, blk)
+			}
+		}
+	}
+}
+
+// TestFuzzScanAnalysisTotal: Analyze must always terminate with either a
+// legality verdict or a loop structure that satisfies its own UDVs, for
+// random blocks including primed references.
+func TestFuzzScanAnalysisTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	names := []string{"a", "b", "c"}
+	region := grid.Square(2, 1, 8)
+	for trial := 0; trial < 500; trial++ {
+		nStmts := 1 + rng.Intn(3)
+		var stmts []Stmt
+		for i := 0; i < nStmts; i++ {
+			ref := expr.Ref(names[rng.Intn(len(names))])
+			if rng.Intn(4) > 0 {
+				ref = ref.At(grid.Direction{rng.Intn(5) - 2, rng.Intn(5) - 2})
+			}
+			if rng.Intn(2) == 0 {
+				ref = ref.Prime()
+			}
+			stmts = append(stmts, Stmt{
+				LHS: expr.Ref(names[rng.Intn(len(names))]),
+				RHS: expr.Binary{Op: expr.Add, L: ref, R: expr.Const(1)},
+			})
+		}
+		blk := NewScan(region, stmts...)
+		an, err := Analyze(blk, dep.Preference{PreferLow: true})
+		if err != nil {
+			continue
+		}
+		if !an.Loop.Satisfies(an.UDVs) {
+			t.Fatalf("trial %d: derived loop %v violates its own UDVs %v\n%s",
+				trial, an.Loop, an.UDVs, blk)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package scan
+
+import (
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+// Kernel is a block compiled against a concrete environment: the statement
+// right-hand sides are specialized to their fields and the destinations are
+// resolved. A Kernel can run repeatedly over different sub-regions, which
+// is how the pipelined runtime executes one tile at a time without
+// recompiling.
+type Kernel struct {
+	rank int
+	// Generic path.
+	dst []*field.Field
+	rhs []expr.Compiled
+	// Rank-2 fast path (nil when unavailable).
+	rhs2 []expr.Compiled2
+	data [][]float64
+	base []int
+	str0 []int
+	str1 []int
+}
+
+// NewKernel compiles the block's statements against env. Scalars are
+// captured at compile time.
+func NewKernel(b *Block, env expr.Env) (*Kernel, error) {
+	k := &Kernel{rank: b.Region.Rank()}
+	for _, s := range b.Stmts {
+		c, err := expr.Compile(s.RHS, env)
+		if err != nil {
+			return nil, err
+		}
+		k.dst = append(k.dst, env.Array(s.LHS.Name))
+		k.rhs = append(k.rhs, c)
+	}
+	if k.rank == 2 && allRank2(b, env) {
+		for i, s := range b.Stmts {
+			c, err := expr.Compile2(s.RHS, env)
+			if err != nil {
+				return nil, err
+			}
+			f := k.dst[i]
+			k.rhs2 = append(k.rhs2, c)
+			k.data = append(k.data, f.Data())
+			k.str0 = append(k.str0, f.Stride(0))
+			k.str1 = append(k.str1, f.Stride(1))
+			k.base = append(k.base, -f.Bounds().Dim(0).Lo*f.Stride(0)-f.Bounds().Dim(1).Lo*f.Stride(1))
+		}
+	}
+	return k, nil
+}
+
+// Run executes the fused statements over region in the given loop order.
+// The region must lie within every referenced field's bounds (the caller
+// checks once, up front).
+func (k *Kernel) Run(region grid.Region, loop dep.LoopSpec) {
+	if k.rhs2 != nil && region.Rank() == 2 {
+		k.run2(region, loop)
+		return
+	}
+	forEach(region, loop, func(p grid.Point) {
+		for i := range k.rhs {
+			k.dst[i].Set(p, k.rhs[i](p))
+		}
+	})
+}
+
+func (k *Kernel) run2(region grid.Region, loop dep.LoopSpec) {
+	d0, d1 := region.Dim(0), region.Dim(1)
+	if d0.Empty() || d1.Empty() {
+		return
+	}
+	i0, i1, st0 := d0.Lo, d0.Lo+(d0.Size()-1)*d0.Stride, d0.Stride
+	if loop.Dirs[0] == grid.HighToLow {
+		i0, i1, st0 = i1, i0, -st0
+	}
+	j0, j1, st1 := d1.Lo, d1.Lo+(d1.Size()-1)*d1.Stride, d1.Stride
+	if loop.Dirs[1] == grid.HighToLow {
+		j0, j1, st1 = j1, j0, -st1
+	}
+	past := func(x, end, step int) bool {
+		if step > 0 {
+			return x > end
+		}
+		return x < end
+	}
+	n := len(k.rhs2)
+	if len(loop.Perm) == 2 && loop.Perm[0] == 1 {
+		for j := j0; !past(j, j1, st1); j += st1 {
+			for i := i0; !past(i, i1, st0); i += st0 {
+				for s := 0; s < n; s++ {
+					k.data[s][k.base[s]+i*k.str0[s]+j*k.str1[s]] = k.rhs2[s](i, j)
+				}
+			}
+		}
+		return
+	}
+	for i := i0; !past(i, i1, st0); i += st0 {
+		for j := j0; !past(j, j1, st1); j += st1 {
+			for s := 0; s < n; s++ {
+				k.data[s][k.base[s]+i*k.str0[s]+j*k.str1[s]] = k.rhs2[s](i, j)
+			}
+		}
+	}
+}

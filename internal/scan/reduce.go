@@ -1,0 +1,108 @@
+package scan
+
+import (
+	"fmt"
+	"math"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/grid"
+)
+
+// Reductions are ZPL's parallel fold operators (+<<, max<<, min<<). The
+// paper's legality condition (v) requires that parallel operators' operands
+// other than the shift operator may not be primed, because they are pulled
+// out of scan blocks during compilation; Reduce enforces that and evaluates
+// the fold directly. Parallel reductions combine per-rank partial results
+// through comm.AllReduce (see pipeline.Rank.Reduce).
+
+// ReduceOp selects the fold.
+type ReduceOp int8
+
+// The supported reductions.
+const (
+	SumReduce ReduceOp = iota
+	MaxReduce
+	MinReduce
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case SumReduce:
+		return "+<<"
+	case MaxReduce:
+		return "max<<"
+	case MinReduce:
+		return "min<<"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", int8(op))
+}
+
+// Identity returns the fold's neutral element.
+func (op ReduceOp) Identity() float64 {
+	switch op {
+	case SumReduce:
+		return 0
+	case MaxReduce:
+		return math.Inf(-1)
+	case MinReduce:
+		return math.Inf(1)
+	}
+	panic(fmt.Sprintf("scan: bad reduce op %d", int8(op)))
+}
+
+// Combine folds one value into an accumulator.
+func (op ReduceOp) Combine(acc, v float64) float64 {
+	switch op {
+	case SumReduce:
+		return acc + v
+	case MaxReduce:
+		if v > acc {
+			return v
+		}
+		return acc
+	case MinReduce:
+		if v < acc {
+			return v
+		}
+		return acc
+	}
+	panic(fmt.Sprintf("scan: bad reduce op %d", int8(op)))
+}
+
+// Reduce folds the expression over the region. Legality condition (v):
+// the operand may not contain primed references.
+func Reduce(op ReduceOp, region grid.Region, node expr.Node, env expr.Env) (float64, error) {
+	for _, r := range expr.Refs(node) {
+		if r.Primed {
+			return 0, &LegalityError{Condition: 5, Msg: fmt.Sprintf(
+				"reduction operand contains primed reference %s", r)}
+		}
+	}
+	if err := expr.Validate(node, region.Rank(), env); err != nil {
+		return 0, err
+	}
+	// Bounds: every shifted read must stay inside its field.
+	for _, r := range expr.Refs(node) {
+		f := env.Array(r.Name)
+		reg := region
+		if r.Shift != nil {
+			var err error
+			reg, err = reg.Shift(r.Shift)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !f.Bounds().ContainsRegion(reg) {
+			return 0, fmt.Errorf("scan: reduction reference %s reads %v outside bounds %v", r, reg, f.Bounds())
+		}
+	}
+	c, err := expr.Compile(node, env)
+	if err != nil {
+		return 0, err
+	}
+	acc := op.Identity()
+	region.Each(nil, func(p grid.Point) {
+		acc = op.Combine(acc, c(p))
+	})
+	return acc, nil
+}

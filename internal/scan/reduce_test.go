@@ -1,0 +1,143 @@
+package scan
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+func reduceEnv(n int) *expr.MapEnv {
+	bounds := grid.Square(2, 0, n+1)
+	env := &expr.MapEnv{Arrays: map[string]*field.Field{
+		"a": field.MustNew("a", bounds, field.RowMajor),
+	}, Scalars: map[string]float64{}}
+	env.Arrays["a"].FillFunc(bounds, func(p grid.Point) float64 {
+		return float64(p[0]*10 + p[1])
+	})
+	return env
+}
+
+func TestReduceOps(t *testing.T) {
+	env := reduceEnv(4)
+	region := grid.Square(2, 1, 4)
+
+	sum, err := Reduce(SumReduce, region, expr.Ref("a"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	region.Each(nil, func(p grid.Point) { want += float64(p[0]*10 + p[1]) })
+	if sum != want {
+		t.Errorf("sum = %g, want %g", sum, want)
+	}
+
+	max, err := Reduce(MaxReduce, region, expr.Ref("a"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 44 {
+		t.Errorf("max = %g, want 44", max)
+	}
+
+	min, err := Reduce(MinReduce, region, expr.Ref("a"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 11 {
+		t.Errorf("min = %g, want 11", min)
+	}
+}
+
+func TestReduceShiftedOperand(t *testing.T) {
+	env := reduceEnv(4)
+	region := grid.Square(2, 1, 4)
+	// max over |a@north - a| : shifts are allowed in reduction operands.
+	node := expr.Call{Fn: expr.Abs, Args: []expr.Node{
+		expr.Binary{Op: expr.Sub, L: expr.Ref("a").At(grid.North), R: expr.Ref("a")},
+	}}
+	v, err := Reduce(MaxReduce, region, node, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Errorf("max |a@n - a| = %g, want 10", v)
+	}
+}
+
+// TestReduceLegalityConditionV: primed operands are forbidden — parallel
+// operators are pulled out of scan blocks, so a primed operand has no
+// wavefront to refer to.
+func TestReduceLegalityConditionV(t *testing.T) {
+	env := reduceEnv(4)
+	region := grid.Square(2, 1, 4)
+	_, err := Reduce(MaxReduce, region, expr.Ref("a").At(grid.North).Prime(), env)
+	var le *LegalityError
+	if !errors.As(err, &le) || le.Condition != 5 {
+		t.Fatalf("err = %v, want legality condition (v)", err)
+	}
+}
+
+func TestReduceBoundsChecked(t *testing.T) {
+	env := reduceEnv(4)
+	// Region touching the storage edge with an out-of-bounds shift.
+	region := grid.Square(2, 0, 5)
+	if _, err := Reduce(SumReduce, region, expr.Ref("a").At(grid.North), env); err == nil {
+		t.Error("out-of-bounds reduction read must fail")
+	}
+}
+
+func TestReduceUnboundArray(t *testing.T) {
+	env := reduceEnv(4)
+	if _, err := Reduce(SumReduce, grid.Square(2, 1, 4), expr.Ref("zz"), env); err == nil {
+		t.Error("unbound array must fail")
+	}
+}
+
+func TestReduceIdentities(t *testing.T) {
+	if SumReduce.Identity() != 0 {
+		t.Error("sum identity")
+	}
+	if !math.IsInf(MaxReduce.Identity(), -1) || !math.IsInf(MinReduce.Identity(), 1) {
+		t.Error("max/min identities")
+	}
+	if SumReduce.Combine(2, 3) != 5 || MaxReduce.Combine(2, 3) != 3 || MinReduce.Combine(2, 3) != 2 {
+		t.Error("combine")
+	}
+	if SumReduce.String() != "+<<" || MaxReduce.String() != "max<<" {
+		t.Error("strings")
+	}
+}
+
+// TestReduceEmptyRegion: folding nothing yields the identity.
+func TestReduceEmptyRegion(t *testing.T) {
+	env := reduceEnv(4)
+	empty := grid.MustRegion(grid.NewRange(3, 2), grid.NewRange(1, 4))
+	v, err := Reduce(SumReduce, empty, expr.Ref("a"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("empty sum = %g", v)
+	}
+}
+
+// TestPrimedOverconstrainedPlainRejected: a plain statement whose primed
+// references over-constrain the nest must be an error, not a silent temp
+// fallback (temps cannot honor true dependences).
+func TestPrimedOverconstrainedPlainRejected(t *testing.T) {
+	region := grid.Square(2, 2, 8)
+	blk := NewPlain(region, Stmt{
+		LHS: expr.Ref("a"),
+		RHS: expr.Binary{Op: expr.Add,
+			L: expr.Ref("a").At(grid.West).Prime(),
+			R: expr.Ref("a").At(grid.East).Prime()},
+	})
+	if _, err := Analyze(blk, dep.Preference{}); !errors.Is(err, ErrOverconstrained) {
+		t.Fatalf("err = %v, want ErrOverconstrained", err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package scan implements the paper's language extension at the IR level:
+// array statements, scan blocks, the prime operator, the statically checked
+// legality conditions of §2.2, dependence analysis via unconstrained
+// distance vectors, and derived-loop-order serial execution.
+//
+// A Block is a region-covered sequence of array statements. With Kind
+// ScanKind the block is the paper's scan block: its statements are fused
+// into a single loop nest within which primed references observe values
+// written by any statement of the block in earlier iterations. With Kind
+// PlainKind the statements execute one at a time with ordinary array
+// semantics (right-hand side fully evaluated before assignment).
+package scan
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/grid"
+	"wavefront/internal/wsv"
+)
+
+// Kind distinguishes scan blocks from plain statement sequences.
+type Kind int8
+
+const (
+	// PlainKind executes statements one at a time with RHS-before-LHS
+	// array semantics.
+	PlainKind Kind = iota
+	// ScanKind fuses the statements into one loop nest and gives primed
+	// references wavefront semantics.
+	ScanKind
+)
+
+func (k Kind) String() string {
+	if k == ScanKind {
+		return "scan"
+	}
+	return "plain"
+}
+
+// Stmt is one array assignment: LHS := RHS. The left-hand side must be an
+// unshifted, unprimed array reference.
+type Stmt struct {
+	LHS expr.ArrayRef
+	RHS expr.Node
+}
+
+func (s Stmt) String() string {
+	return fmt.Sprintf("%s := %s;", s.LHS, s.RHS)
+}
+
+// Block is a region-covered group of statements.
+type Block struct {
+	Kind   Kind
+	Region grid.Region
+	Stmts  []Stmt
+	// Label names the block in diagnostics; optional.
+	Label string
+}
+
+// NewScan builds a scan block.
+func NewScan(region grid.Region, stmts ...Stmt) *Block {
+	return &Block{Kind: ScanKind, Region: region, Stmts: stmts}
+}
+
+// NewPlain builds an ordinary statement group.
+func NewPlain(region grid.Region, stmts ...Stmt) *Block {
+	return &Block{Kind: PlainKind, Region: region, Stmts: stmts}
+}
+
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s", b.Region, b.Kind)
+	if b.Kind == ScanKind {
+		sb.WriteString(" begin\n")
+	} else {
+		sb.WriteString(" begin\n")
+	}
+	for _, s := range b.Stmts {
+		fmt.Fprintf(&sb, "  %s\n", s)
+	}
+	sb.WriteString("end;")
+	return sb.String()
+}
+
+// Writers maps each array name to the statement indices that assign it.
+func (b *Block) Writers() map[string][]int {
+	w := map[string][]int{}
+	for i, s := range b.Stmts {
+		w[s.LHS.Name] = append(w[s.LHS.Name], i)
+	}
+	return w
+}
+
+// LegalityError describes a violation of the statically checked conditions
+// of §2.2, identifying which condition failed.
+type LegalityError struct {
+	// Condition is the paper's roman-numeral condition: 1 through 5, or 0
+	// for structural errors outside the paper's list (e.g. a shifted LHS).
+	Condition int
+	Msg       string
+}
+
+func (e *LegalityError) Error() string {
+	if e.Condition == 0 {
+		return "scan: " + e.Msg
+	}
+	return fmt.Sprintf("scan: legality condition (%s): %s", roman(e.Condition), e.Msg)
+}
+
+func roman(n int) string {
+	switch n {
+	case 1:
+		return "i"
+	case 2:
+		return "ii"
+	case 3:
+		return "iii"
+	case 4:
+		return "iv"
+	case 5:
+		return "v"
+	}
+	return fmt.Sprint(n)
+}
+
+// ErrOverconstrained wraps dep.OverconstrainedError as legality condition
+// (ii) for callers that match with errors.Is.
+var ErrOverconstrained = errors.New("scan: over-constrained wavefront")
+
+// Analysis is the result of analyzing a block: the programmer-facing WSV
+// calculus plus the compiler-facing dependence summary and loop structure.
+type Analysis struct {
+	// PrimedDirs collects the directions on primed references (the WSV's
+	// inputs), including the zero direction for unshifted primes.
+	PrimedDirs []grid.Direction
+	// WSV is the wavefront summary vector of PrimedDirs.
+	WSV wsv.Vector
+	// Class applies the three-case rule of §2.2 to WSV.
+	Class wsv.Classification
+	// UDVs are all dependence distance vectors constraining the loop nest.
+	UDVs []dep.UDV
+	// Loop is a legal loop structure satisfying UDVs.
+	Loop dep.LoopSpec
+
+	// needsTemp records that in-place execution is impossible for a plain
+	// block and the executor must materialize the RHS into a temporary.
+	needsTemp bool
+}
+
+// WavefrontDims returns the pipelined (wavefront) dimensions.
+func (a *Analysis) WavefrontDims() []int { return a.Class.WavefrontDims() }
+
+// Analyze checks the block's static legality and derives its loop structure.
+// The preference biases the loop search (e.g. to put a contiguous dimension
+// innermost); pass the zero Preference for defaults.
+func Analyze(b *Block, pref dep.Preference) (*Analysis, error) {
+	if len(b.Stmts) == 0 {
+		return nil, &LegalityError{Msg: "empty block"}
+	}
+	rank := b.Region.Rank()
+	if rank == 0 {
+		return nil, &LegalityError{Msg: "rank-0 region"}
+	}
+	writers := b.Writers()
+	var udvs []dep.UDV
+	var primed []grid.Direction
+
+	for si, s := range b.Stmts {
+		if s.LHS.Primed {
+			return nil, &LegalityError{Msg: fmt.Sprintf("statement %d: primed left-hand side %s", si, s.LHS)}
+		}
+		if s.LHS.Shifted() {
+			return nil, &LegalityError{Msg: fmt.Sprintf("statement %d: shifted left-hand side %s", si, s.LHS)}
+		}
+		if err := expr.Validate(s.RHS, rank, nil); err != nil {
+			return nil, &LegalityError{Condition: 3, Msg: fmt.Sprintf("statement %d: %v", si, err)}
+		}
+		for _, r := range expr.Refs(s.RHS) {
+			d := r.Shift
+			if d == nil {
+				d = make(grid.Direction, rank)
+			}
+			ws, written := writers[r.Name]
+			if r.Primed {
+				if b.Kind != ScanKind && r.Name != s.LHS.Name {
+					return nil, &LegalityError{Condition: 1, Msg: fmt.Sprintf(
+						"statement %d: primed reference %s outside a scan block may only name the statement's own target %q", si, r, s.LHS.Name)}
+				}
+				if !written {
+					return nil, &LegalityError{Condition: 1, Msg: fmt.Sprintf(
+						"statement %d: primed array %q is not defined in the block", si, r.Name)}
+				}
+				primed = append(primed, append(grid.Direction(nil), d...))
+				udvs = append(udvs, dep.FromPrimed(d, r.Name, si))
+				continue
+			}
+			if !written {
+				continue // reads of arrays defined outside the block are free
+			}
+			// Non-primed reference to an array written in the block: the
+			// reader must see values of lexically preceding statements and
+			// pre-block values with respect to the current and later ones.
+			earlier, laterOrSame := false, false
+			for _, w := range ws {
+				if w < si {
+					earlier = true
+				} else {
+					laterOrSame = true
+				}
+			}
+			if earlier {
+				udvs = append(udvs, dep.FromUnprimed(d, true, r.Name, si))
+			}
+			if laterOrSame {
+				udvs = append(udvs, dep.FromUnprimed(d, false, r.Name, si))
+			}
+		}
+	}
+
+	w, err := wsv.New(rank, primed)
+	if err != nil {
+		return nil, err
+	}
+	an := &Analysis{
+		PrimedDirs: primed,
+		WSV:        w,
+		Class:      wsv.Classify(w),
+		UDVs:       udvs,
+	}
+	loop, err := dep.DerivePreferred(rank, udvs, pref)
+	if err != nil {
+		var oc *dep.OverconstrainedError
+		if errors.As(err, &oc) {
+			if b.Kind == ScanKind || len(primed) > 0 {
+				// Primed references demand loop-carried true dependences; a
+				// temporary cannot honor them, so over-constraint is an
+				// error whether or not the statement sits in a scan block.
+				return nil, fmt.Errorf("%w: legality condition (ii): %v (WSV %v)", ErrOverconstrained, oc, w)
+			}
+			// A plain statement whose anti-dependences over-constrain the
+			// in-place nest is still legal; the executor materializes the
+			// right-hand side into a temporary. Mark the loop identity.
+			an.Loop = dep.Identity(rank)
+			an.needsTemp = true
+			return an, nil
+		}
+		return nil, err
+	}
+	an.Loop = loop
+	return an, nil
+}
+
+// needsTemp (on Analysis) records that in-place execution is impossible for
+// a plain block and a temporary must be used.
+func (a *Analysis) NeedsTemp() bool { return a.needsTemp }
+
+// String renders the analysis for diagnostics and the zplwc tool.
+func (a *Analysis) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "WSV %v (simple=%v, case %d)\n", a.WSV, a.WSV.Simple(), a.Class.Case)
+	for i, r := range a.Class.Roles {
+		fmt.Fprintf(&sb, "  dim %d: %s\n", i, r)
+	}
+	fmt.Fprintf(&sb, "loop: %s", a.Loop)
+	if a.needsTemp {
+		sb.WriteString(" (via temporary)")
+	}
+	return sb.String()
+}

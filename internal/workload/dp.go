@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// DP is a dynamic-programming wavefront in the Smith-Waterman /
+// edit-distance family, the other class of wavefront codes the paper's
+// introduction cites. The score recurrence
+//
+//	s = max(0, max(s'@nw + match, max(s'@north, s'@west) - gap))
+//
+// depends on three upwind neighbours including the diagonal, making it a
+// sterner test of the runtime than Tomcatv's single cardinal direction.
+type DP struct {
+	N   int
+	Env *expr.MapEnv
+
+	All, Inner grid.Region
+
+	Gap float64
+}
+
+// NewDP allocates an n×n alignment problem with a reproducible random
+// match matrix.
+func NewDP(n int, seed int64, layout field.Layout) (*DP, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("workload: dp needs n >= 4, got %d", n)
+	}
+	d := &DP{
+		N:     n,
+		All:   grid.Square(2, 0, n),
+		Inner: grid.Square(2, 1, n),
+		Gap:   0.4,
+		Env:   &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}},
+	}
+	for _, name := range []string{"s", "match"} {
+		f, err := field.New(name, d.All, layout)
+		if err != nil {
+			return nil, err
+		}
+		d.Env.Arrays[name] = f
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d.Env.Arrays["match"].FillFunc(d.All, func(grid.Point) float64 {
+		if rng.Float64() < 0.25 {
+			return 1 // match reward
+		}
+		return -0.6 // mismatch penalty
+	})
+	d.Env.Arrays["s"].Fill(0)
+	return d, nil
+}
+
+// Block is the alignment recurrence as a scan block.
+func (d *DP) Block() *scan.Block {
+	gap := expr.Const(d.Gap)
+	diag := expr.Binary{Op: expr.Add,
+		L: expr.Ref("s").AtNamed("nw", grid.NW).Prime(),
+		R: expr.Ref("match")}
+	vert := expr.Binary{Op: expr.Sub, L: expr.Ref("s").AtNamed("north", grid.North).Prime(), R: gap}
+	horz := expr.Binary{Op: expr.Sub, L: expr.Ref("s").AtNamed("west", grid.West).Prime(), R: gap}
+	rhs := expr.Call{Fn: expr.Max, Args: []expr.Node{
+		expr.Const(0),
+		expr.Call{Fn: expr.Max, Args: []expr.Node{
+			diag,
+			expr.Call{Fn: expr.Max, Args: []expr.Node{vert, horz}},
+		}},
+	}}
+	return scan.NewScan(d.Inner, scan.Stmt{LHS: expr.Ref("s"), RHS: rhs})
+}
+
+// Run fills the score table through the scan executor and returns the best
+// score.
+func (d *DP) Run() (float64, error) {
+	if err := scan.Exec(d.Block(), d.Env, scan.ExecOptions{}); err != nil {
+		return 0, err
+	}
+	return d.Best(), nil
+}
+
+// Reference fills a score table with straight Go loops, the test oracle.
+func (d *DP) Reference() *field.Field {
+	s := field.MustNew("ref", d.All, field.RowMajor)
+	match := d.Env.Arrays["match"]
+	for i := 1; i <= d.N; i++ {
+		for j := 1; j <= d.N; j++ {
+			diag := s.At2(i-1, j-1) + match.At2(i, j)
+			vert := s.At2(i-1, j) - d.Gap
+			horz := s.At2(i, j-1) - d.Gap
+			best := 0.0
+			for _, v := range []float64{diag, vert, horz} {
+				if v > best {
+					best = v
+				}
+			}
+			s.Set2(i, j, best)
+		}
+	}
+	return s
+}
+
+// Best returns the maximum score.
+func (d *DP) Best() float64 {
+	s := d.Env.Arrays["s"]
+	best := 0.0
+	d.Inner.Each(nil, func(p grid.Point) {
+		if v := s.At(p); v > best {
+			best = v
+		}
+	})
+	return best
+}
+
+// Jacobi is the control workload: a four-point relaxation with no loop-
+// carried dependence at all. The paper's extensions must leave such fully
+// parallel codes untouched (no performance degradation, no messages).
+type Jacobi struct {
+	N   int
+	Env *expr.MapEnv
+
+	All, Inner grid.Region
+}
+
+// NewJacobi allocates an n×n relaxation problem.
+func NewJacobi(n int, layout field.Layout) (*Jacobi, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("workload: jacobi needs n >= 4, got %d", n)
+	}
+	j := &Jacobi{
+		N:     n,
+		All:   grid.Square(2, 0, n+1),
+		Inner: grid.Square(2, 1, n),
+		Env:   &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}},
+	}
+	for _, name := range []string{"a", "b"} {
+		f, err := field.New(name, j.All, layout)
+		if err != nil {
+			return nil, err
+		}
+		j.Env.Arrays[name] = f
+	}
+	j.Env.Arrays["b"].FillFunc(j.All, func(p grid.Point) float64 {
+		return float64(p[0]%7) - float64(p[1]%5)
+	})
+	return j, nil
+}
+
+// Block is the Jacobi statement: a := (b@n + b@s + b@w + b@e)/4.
+func (j *Jacobi) Block() *scan.Block {
+	return scan.NewPlain(j.Inner, scan.Stmt{
+		LHS: expr.Ref("a"),
+		RHS: expr.Binary{Op: expr.Div,
+			L: expr.AddN(
+				expr.Ref("b").AtNamed("north", grid.North),
+				expr.Ref("b").AtNamed("south", grid.South),
+				expr.Ref("b").AtNamed("west", grid.West),
+				expr.Ref("b").AtNamed("east", grid.East)),
+			R: expr.Const(4)},
+	})
+}
+
+// Step runs one relaxation then swaps the roles of a and b.
+func (j *Jacobi) Step() error {
+	if err := scan.Exec(j.Block(), j.Env, scan.ExecOptions{}); err != nil {
+		return err
+	}
+	j.Env.Arrays["a"], j.Env.Arrays["b"] = j.Env.Arrays["b"], j.Env.Arrays["a"]
+	return nil
+}

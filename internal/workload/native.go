@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"math"
+
+	"wavefront/internal/cachesim"
+)
+
+// This file holds the native, column-major kernels behind the uniprocessor
+// cache experiment (Figure 6). The Fortran 90 baseline of Figure 1(b)
+// executes the wavefront as an explicit row loop of four separate vector
+// statements; with column-major storage each vector statement strides
+// across memory by n. The scan-block compilation of §5.1 fuses the four
+// statements into one loop nest and interchanges it so the inner loop runs
+// down the contiguous dimension — one unit-stride pass instead of four
+// strided ones. Both kernels compute bit-identical results; only their
+// access order differs.
+//
+// Arrays are indexed (j, i) with j the contiguous (first) dimension, as in
+// the paper's Fortran. The wavefront travels along j: element (j, i)
+// depends on (j-1, i).
+
+// NativeTomcatv is the raw-slice Tomcatv used for timing and cache tracing.
+type NativeTomcatv struct {
+	N                    int
+	R, AA, D, DD, RX, RY []float64
+	X, Y                 []float64
+}
+
+// NewNativeTomcatv allocates and initializes the column-major problem.
+func NewNativeTomcatv(n int) *NativeTomcatv {
+	t := &NativeTomcatv{N: n}
+	sz := n * n
+	for _, p := range []*[]float64{&t.R, &t.AA, &t.D, &t.DD, &t.RX, &t.RY, &t.X, &t.Y} {
+		*p = make([]float64, sz)
+	}
+	t.Reset()
+	return t
+}
+
+// Idx maps 1-based (j, i) to the column-major offset.
+func (t *NativeTomcatv) Idx(j, i int) int { return (i-1)*t.N + (j - 1) }
+
+// Reset restores the initial state.
+func (t *NativeTomcatv) Reset() {
+	n := float64(t.N)
+	for i := 1; i <= t.N; i++ {
+		for j := 1; j <= t.N; j++ {
+			k := t.Idx(j, i)
+			fi, fj := float64(i), float64(j)
+			t.X[k] = fi/n + 0.08*math.Sin(3*fj/n)*math.Cos(2*fi/n)
+			t.Y[k] = fj/n + 0.08*math.Cos(2*fj/n)*math.Sin(3*fi/n)
+			t.AA[k] = -1 - 0.1*math.Sin(fi/n)*math.Sin(fi/n)
+			t.DD[k] = 4 + 0.1*math.Cos(fj/n)*math.Cos(fj/n)
+			t.D[k] = 1
+			t.RX[k] = 0.01 * fi
+			t.RY[k] = 0.01 * fj
+			t.R[k] = 0
+		}
+	}
+}
+
+// ForwardUnfused is the Figure 1(b) form: an explicit j loop of four
+// separate vector statements, each striding across memory.
+func (t *NativeTomcatv) ForwardUnfused() {
+	n := t.N
+	for j := 2; j <= n-2; j++ {
+		for i := 2; i <= n-1; i++ {
+			t.R[t.Idx(j, i)] = t.AA[t.Idx(j, i)] * t.D[t.Idx(j-1, i)]
+		}
+		for i := 2; i <= n-1; i++ {
+			t.D[t.Idx(j, i)] = 1.0 / (t.DD[t.Idx(j, i)] - t.AA[t.Idx(j-1, i)]*t.R[t.Idx(j, i)])
+		}
+		for i := 2; i <= n-1; i++ {
+			t.RX[t.Idx(j, i)] -= t.RX[t.Idx(j-1, i)] * t.R[t.Idx(j, i)]
+		}
+		for i := 2; i <= n-1; i++ {
+			t.RY[t.Idx(j, i)] -= t.RY[t.Idx(j-1, i)] * t.R[t.Idx(j, i)]
+		}
+	}
+}
+
+// ForwardFused is the scan-block compilation: one fused nest, interchanged
+// so the inner loop runs down the contiguous j dimension.
+func (t *NativeTomcatv) ForwardFused() {
+	n := t.N
+	for i := 2; i <= n-1; i++ {
+		col := (i - 1) * n // base of column i
+		for j := 2; j <= n-2; j++ {
+			k := col + j - 1
+			up := k - 1
+			r := t.AA[k] * t.D[up]
+			t.R[k] = r
+			t.D[k] = 1.0 / (t.DD[k] - t.AA[up]*r)
+			t.RX[k] -= t.RX[up] * r
+			t.RY[k] -= t.RY[up] * r
+		}
+	}
+}
+
+// BackwardUnfused is the back-substitution sweep in explicit-loop form.
+func (t *NativeTomcatv) BackwardUnfused() {
+	n := t.N
+	for j := n - 2; j >= 2; j-- {
+		for i := 2; i <= n-1; i++ {
+			k, dn := t.Idx(j, i), t.Idx(j+1, i)
+			t.RX[k] = (t.RX[k] - t.AA[k]*t.RX[dn]) * t.D[k]
+		}
+		for i := 2; i <= n-1; i++ {
+			k, dn := t.Idx(j, i), t.Idx(j+1, i)
+			t.RY[k] = (t.RY[k] - t.AA[k]*t.RY[dn]) * t.D[k]
+		}
+	}
+}
+
+// BackwardFused is the fused, interchanged back substitution.
+func (t *NativeTomcatv) BackwardFused() {
+	n := t.N
+	for i := 2; i <= n-1; i++ {
+		col := (i - 1) * n
+		for j := n - 2; j >= 2; j-- {
+			k := col + j - 1
+			dn := k + 1
+			t.RX[k] = (t.RX[k] - t.AA[k]*t.RX[dn]) * t.D[k]
+			t.RY[k] = (t.RY[k] - t.AA[k]*t.RY[dn]) * t.D[k]
+		}
+	}
+}
+
+// Rest is the non-wavefront remainder of an iteration (residual stencils
+// and mesh update), identical in both program variants.
+func (t *NativeTomcatv) Rest() {
+	n := t.N
+	for i := 2; i <= n-1; i++ {
+		col := (i - 1) * n
+		colW, colE := col-n, col+n
+		for j := 2; j <= n-1; j++ {
+			k := col + j - 1
+			t.RX[k] = t.X[colW+j-1] + t.X[colE+j-1] + t.X[k-1] + t.X[k+1] - 4*t.X[k]
+			t.RY[k] = t.Y[colW+j-1] + t.Y[colE+j-1] + t.Y[k-1] + t.Y[k+1] - 4*t.Y[k]
+		}
+	}
+	for i := 2; i <= n-1; i++ {
+		col := (i - 1) * n
+		for j := 2; j <= n-1; j++ {
+			k := col + j - 1
+			t.X[k] += 0.3 * t.RX[k]
+			t.Y[k] += 0.3 * t.RY[k]
+		}
+	}
+}
+
+// Step runs one full iteration; fused selects the wavefront compilation.
+func (t *NativeTomcatv) Step(fused bool) {
+	t.Rest()
+	if fused {
+		t.ForwardFused()
+		t.BackwardFused()
+	} else {
+		t.ForwardUnfused()
+		t.BackwardUnfused()
+	}
+}
+
+// Checksum folds the solver arrays for equivalence tests.
+func (t *NativeTomcatv) Checksum() float64 {
+	s := 0.0
+	for k := range t.RX {
+		s += t.RX[k] - t.RY[k] + 0.5*t.D[k]
+	}
+	return s
+}
+
+// --- Cache tracing ---
+
+// arrayBase assigns each array a distinct base address, padded to avoid
+// pathological aliasing between arrays (real linkers do the same).
+func arrayBase(ord, n int) int64 {
+	stride := int64(n*n*8 + 256)
+	return int64(ord) * stride
+}
+
+// TraceForward replays the forward wavefront's exact access stream into a
+// cache hierarchy; fused selects the compilation. Array order: r, aa, d,
+// dd, rx, ry.
+func (t *NativeTomcatv) TraceForward(h *cachesim.Hierarchy, fused bool) {
+	n := t.N
+	addr := func(ord, j, i int) int64 {
+		return arrayBase(ord, n) + int64(t.Idx(j, i))*8
+	}
+	const (
+		r = iota
+		aa
+		d
+		dd
+		rx
+		ry
+	)
+	if !fused {
+		for j := 2; j <= n-2; j++ {
+			for i := 2; i <= n-1; i++ {
+				h.Access(addr(aa, j, i))
+				h.Access(addr(d, j-1, i))
+				h.Access(addr(r, j, i))
+			}
+			for i := 2; i <= n-1; i++ {
+				h.Access(addr(dd, j, i))
+				h.Access(addr(aa, j-1, i))
+				h.Access(addr(r, j, i))
+				h.Access(addr(d, j, i))
+			}
+			for i := 2; i <= n-1; i++ {
+				h.Access(addr(rx, j-1, i))
+				h.Access(addr(r, j, i))
+				h.Access(addr(rx, j, i))
+			}
+			for i := 2; i <= n-1; i++ {
+				h.Access(addr(ry, j-1, i))
+				h.Access(addr(r, j, i))
+				h.Access(addr(ry, j, i))
+			}
+		}
+		return
+	}
+	for i := 2; i <= n-1; i++ {
+		for j := 2; j <= n-2; j++ {
+			h.Access(addr(aa, j, i))
+			h.Access(addr(d, j-1, i))
+			h.Access(addr(r, j, i))
+			h.Access(addr(dd, j, i))
+			h.Access(addr(aa, j-1, i))
+			h.Access(addr(d, j, i))
+			h.Access(addr(rx, j-1, i))
+			h.Access(addr(rx, j, i))
+			h.Access(addr(ry, j-1, i))
+			h.Access(addr(ry, j, i))
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"math"
+
+	"wavefront/internal/cachesim"
+)
+
+// NativeSimple is the raw-slice, column-major SIMPLE step for timing and
+// cache tracing: a hydro phase shared by both variants, and the two
+// conduction sweeps in unfused (explicit row loop, strided) and fused
+// (interchanged, unit-stride) compilations. Arrays are indexed (j, i) with
+// j contiguous, as in NativeTomcatv.
+type NativeSimple struct {
+	N                  int
+	U, V, Rho, E, P, Q []float64
+	CC, DD2, GG, TT    []float64
+}
+
+// NewNativeSimple allocates and initializes the column-major problem.
+func NewNativeSimple(n int) *NativeSimple {
+	s := &NativeSimple{N: n}
+	for _, p := range []*[]float64{&s.U, &s.V, &s.Rho, &s.E, &s.P, &s.Q, &s.CC, &s.DD2, &s.GG, &s.TT} {
+		*p = make([]float64, n*n)
+	}
+	s.Reset()
+	return s
+}
+
+// Idx maps 1-based (j, i) to the column-major offset.
+func (s *NativeSimple) Idx(j, i int) int { return (i-1)*s.N + (j - 1) }
+
+// Reset restores the initial state.
+func (s *NativeSimple) Reset() {
+	n := float64(s.N)
+	for i := 1; i <= s.N; i++ {
+		for j := 1; j <= s.N; j++ {
+			k := s.Idx(j, i)
+			fi, fj := float64(i), float64(j)
+			s.Rho[k] = 1 + 0.3*math.Exp(-((fi-n/2)*(fi-n/2)+(fj-n/2)*(fj-n/2))/(n*n/16))
+			s.E[k] = 2 + 0.5*math.Sin(4*fi/n)*math.Cos(3*fj/n)
+			s.U[k] = 0.1 * math.Sin(2*fj/n)
+			s.V[k] = 0.1 * math.Cos(2*fi/n)
+			s.TT[k] = 1 + 0.2*math.Cos(5*(fi+fj)/n)
+			s.P[k], s.Q[k], s.CC[k], s.DD2[k], s.GG[k] = 0, 0, 0, 0, 0
+		}
+	}
+}
+
+// Hydro is the explicit phase, identical in both variants (fused loops,
+// unit stride).
+func (s *NativeSimple) Hydro() {
+	n := s.N
+	const gm1, dt = 0.4, 0.002
+	for i := 2; i <= n-1; i++ {
+		col := (i - 1) * n
+		colW, colE := col-n, col+n
+		for j := 2; j <= n-1; j++ {
+			k := col + j - 1
+			s.P[k] = gm1 * s.Rho[k] * s.E[k]
+			du := s.U[colE+j-1] - s.U[k]
+			dv := s.V[k+1] - s.V[k]
+			s.Q[k] = s.Rho[k] * (du*du + dv*dv)
+			s.U[k] -= dt * ((s.P[colE+j-1] - s.P[colW+j-1]) + (s.Q[colE+j-1] - s.Q[colW+j-1]))
+			s.V[k] -= dt * ((s.P[k+1] - s.P[k-1]) + (s.Q[k+1] - s.Q[k-1]))
+			s.E[k] -= dt * (s.P[k] + s.Q[k]) * ((s.U[colE+j-1] - s.U[colW+j-1]) + (s.V[k+1] - s.V[k-1]))
+			s.CC[k] = -1 - 0.1*s.Rho[k]
+			s.DD2[k] = 4 + 0.2*s.E[k]
+		}
+	}
+}
+
+// SweepsUnfused runs the conduction sweeps as explicit row loops of
+// separate vector statements (strided accesses).
+func (s *NativeSimple) SweepsUnfused() {
+	n := s.N
+	for j := 2; j <= n-2; j++ {
+		for i := 2; i <= n-1; i++ {
+			k, up := s.Idx(j, i), s.Idx(j-1, i)
+			s.GG[k] = 1.0 / (s.DD2[k] - s.CC[k]*s.GG[up]*s.CC[up])
+		}
+		for i := 2; i <= n-1; i++ {
+			k, up := s.Idx(j, i), s.Idx(j-1, i)
+			s.TT[k] -= s.CC[k] * s.TT[up] * s.GG[k]
+		}
+	}
+	for j := n - 2; j >= 2; j-- {
+		for i := 2; i <= n-1; i++ {
+			k, dn := s.Idx(j, i), s.Idx(j+1, i)
+			s.TT[k] = (s.TT[k] - s.CC[k]*s.TT[dn]) * s.GG[k]
+		}
+		for i := 2; i <= n-1; i++ {
+			k := s.Idx(j, i)
+			s.E[k] += 0.01 * s.TT[k]
+		}
+	}
+}
+
+// SweepsFused runs the same sweeps fused and interchanged (unit stride).
+func (s *NativeSimple) SweepsFused() {
+	n := s.N
+	for i := 2; i <= n-1; i++ {
+		col := (i - 1) * n
+		for j := 2; j <= n-2; j++ {
+			k := col + j - 1
+			up := k - 1
+			s.GG[k] = 1.0 / (s.DD2[k] - s.CC[k]*s.GG[up]*s.CC[up])
+			s.TT[k] -= s.CC[k] * s.TT[up] * s.GG[k]
+		}
+	}
+	for i := 2; i <= n-1; i++ {
+		col := (i - 1) * n
+		for j := n - 2; j >= 2; j-- {
+			k := col + j - 1
+			dn := k + 1
+			s.TT[k] = (s.TT[k] - s.CC[k]*s.TT[dn]) * s.GG[k]
+			s.E[k] += 0.01 * s.TT[k]
+		}
+	}
+}
+
+// Step runs one full step; fused selects the sweep compilation.
+func (s *NativeSimple) Step(fused bool) {
+	s.Hydro()
+	if fused {
+		s.SweepsFused()
+	} else {
+		s.SweepsUnfused()
+	}
+}
+
+// Checksum folds the state for equivalence tests.
+func (s *NativeSimple) Checksum() float64 {
+	sum := 0.0
+	for k := range s.E {
+		sum += s.E[k] + 0.5*s.TT[k]
+	}
+	return sum
+}
+
+// TraceSweeps replays the conduction sweeps' access stream into a cache
+// hierarchy. Array order: gg, dd2, cc, tt, e.
+func (s *NativeSimple) TraceSweeps(h *cachesim.Hierarchy, fused bool) {
+	n := s.N
+	addr := func(ord, j, i int) int64 {
+		return arrayBase(ord, n) + int64(s.Idx(j, i))*8
+	}
+	const (
+		gg = iota
+		dd2
+		cc
+		tt
+		e
+	)
+	if !fused {
+		for j := 2; j <= n-2; j++ {
+			for i := 2; i <= n-1; i++ {
+				h.Access(addr(dd2, j, i))
+				h.Access(addr(cc, j, i))
+				h.Access(addr(gg, j-1, i))
+				h.Access(addr(cc, j-1, i))
+				h.Access(addr(gg, j, i))
+			}
+			for i := 2; i <= n-1; i++ {
+				h.Access(addr(cc, j, i))
+				h.Access(addr(tt, j-1, i))
+				h.Access(addr(gg, j, i))
+				h.Access(addr(tt, j, i))
+			}
+		}
+		for j := n - 2; j >= 2; j-- {
+			for i := 2; i <= n-1; i++ {
+				h.Access(addr(tt, j, i))
+				h.Access(addr(cc, j, i))
+				h.Access(addr(tt, j+1, i))
+				h.Access(addr(gg, j, i))
+			}
+			for i := 2; i <= n-1; i++ {
+				h.Access(addr(tt, j, i))
+				h.Access(addr(e, j, i))
+			}
+		}
+		return
+	}
+	for i := 2; i <= n-1; i++ {
+		for j := 2; j <= n-2; j++ {
+			h.Access(addr(dd2, j, i))
+			h.Access(addr(cc, j, i))
+			h.Access(addr(gg, j-1, i))
+			h.Access(addr(cc, j-1, i))
+			h.Access(addr(gg, j, i))
+			h.Access(addr(tt, j-1, i))
+			h.Access(addr(tt, j, i))
+		}
+	}
+	for i := 2; i <= n-1; i++ {
+		for j := n - 2; j >= 2; j-- {
+			h.Access(addr(tt, j, i))
+			h.Access(addr(cc, j, i))
+			h.Access(addr(tt, j+1, i))
+			h.Access(addr(gg, j, i))
+			h.Access(addr(e, j, i))
+		}
+	}
+}

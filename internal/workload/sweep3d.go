@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// Sweep is a discrete-ordinates transport sweep in the style of the ASCI
+// SWEEP3D benchmark the paper's introduction highlights: for each ordinate
+// octant, a wavefront propagates the angular flux from one corner of the
+// domain to the opposite corner:
+//
+//	flux = (src + μ·flux'@dx + η·flux'@dy [+ ξ·flux'@dz]) / σ
+//
+// Octants differ only in the sign of the upwind directions, so the same
+// scan block runs with four (rank 2) or eight (rank 3) direction sets —
+// exercising every wavefront orientation the language supports.
+type Sweep struct {
+	N    int
+	Rank int
+	Env  *expr.MapEnv
+
+	All, Inner grid.Region
+
+	// Mu, Eta, Xi are the direction cosines; Sigma the total cross section.
+	Mu, Eta, Xi, Sigma float64
+}
+
+// NewSweep allocates an n^rank problem (rank 2 or 3).
+func NewSweep(n, rank int, layout field.Layout) (*Sweep, error) {
+	if rank != 2 && rank != 3 {
+		return nil, fmt.Errorf("workload: sweep rank must be 2 or 3, got %d", rank)
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("workload: sweep needs n >= 4, got %d", n)
+	}
+	all := grid.Square(rank, 0, n+1)
+	inner := grid.Square(rank, 1, n)
+	s := &Sweep{
+		N: n, Rank: rank, All: all, Inner: inner,
+		Mu: 0.35, Eta: 0.25, Xi: 0.15, Sigma: 2.0,
+		Env: &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}},
+	}
+	for _, name := range []string{"flux", "src"} {
+		f, err := field.New(name, all, layout)
+		if err != nil {
+			return nil, err
+		}
+		s.Env.Arrays[name] = f
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset restores the source term and clears the flux.
+func (s *Sweep) Reset() {
+	src := s.Env.Arrays["src"]
+	src.FillFunc(s.All, func(p grid.Point) float64 {
+		v := 1.0
+		for _, x := range p {
+			v += 0.01 * float64(x)
+		}
+		return v
+	})
+	s.Env.Arrays["flux"].Fill(0)
+}
+
+// Octants returns the upwind direction sets: each octant's sweep reads the
+// neighbour opposite to its travel, so e.g. the (+,+) octant reads
+// flux'@(-1,0) and flux'@(0,-1).
+func (s *Sweep) Octants() [][]grid.Direction {
+	signs := []int{-1, 1}
+	var out [][]grid.Direction
+	if s.Rank == 2 {
+		for _, sx := range signs {
+			for _, sy := range signs {
+				out = append(out, []grid.Direction{{sx, 0}, {0, sy}})
+			}
+		}
+		return out
+	}
+	for _, sx := range signs {
+		for _, sy := range signs {
+			for _, sz := range signs {
+				out = append(out, []grid.Direction{{sx, 0, 0}, {0, sy, 0}, {0, 0, sz}})
+			}
+		}
+	}
+	return out
+}
+
+// OctantBlock builds the scan block for one octant's sweep.
+func (s *Sweep) OctantBlock(dirs []grid.Direction) *scan.Block {
+	terms := []expr.Node{expr.Ref("src")}
+	cos := []float64{s.Mu, s.Eta, s.Xi}
+	for i, d := range dirs {
+		terms = append(terms, expr.MulN(expr.Const(cos[i]), expr.Ref("flux").At(d).Prime()))
+	}
+	rhs := expr.Binary{Op: expr.Div, L: expr.AddN(terms...), R: expr.Const(s.Sigma)}
+	return scan.NewScan(s.Inner, scan.Stmt{LHS: expr.Ref("flux"), RHS: rhs})
+}
+
+// SweepAll runs all octants in order and returns the flux total.
+func (s *Sweep) SweepAll() (float64, error) {
+	for _, dirs := range s.Octants() {
+		if err := scan.Exec(s.OctantBlock(dirs), s.Env, scan.ExecOptions{}); err != nil {
+			return 0, err
+		}
+	}
+	return s.FluxTotal(), nil
+}
+
+// FluxTotal sums the flux over the inner region.
+func (s *Sweep) FluxTotal() float64 {
+	f := s.Env.Arrays["flux"]
+	sum := 0.0
+	s.Inner.Each(nil, func(p grid.Point) { sum += f.At(p) })
+	return sum
+}
+
+// Reference computes one octant's sweep with straight Go loops (rank 2
+// only), the oracle for tests.
+func (s *Sweep) Reference(dirs []grid.Direction) *field.Field {
+	if s.Rank != 2 {
+		panic("workload: Reference is rank-2 only")
+	}
+	flux := s.Env.Arrays["flux"].Clone()
+	src := s.Env.Arrays["src"]
+	// Travel opposite the upwind shifts: iterate so that p+d is computed
+	// before p for each upwind d.
+	iLo, iHi, iStep := 1, s.N, 1
+	if dirs[0][0] > 0 {
+		iLo, iHi, iStep = s.N, 1, -1
+	}
+	jLo, jHi, jStep := 1, s.N, 1
+	if dirs[1][1] > 0 {
+		jLo, jHi, jStep = s.N, 1, -1
+	}
+	for i := iLo; i != iHi+iStep; i += iStep {
+		for j := jLo; j != jHi+jStep; j += jStep {
+			up1 := flux.At2(i+dirs[0][0], j)
+			up2 := flux.At2(i, j+dirs[1][1])
+			flux.Set2(i, j, (src.At2(i, j)+s.Mu*up1+s.Eta*up2)/s.Sigma)
+		}
+	}
+	return flux
+}

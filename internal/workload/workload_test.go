@@ -1,0 +1,430 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"wavefront/internal/cachesim"
+	"wavefront/internal/dep"
+	"wavefront/internal/field"
+	"wavefront/internal/pipeline"
+	"wavefront/internal/scan"
+)
+
+// TestTomcatvScanMatchesExplicit: the scan-block iteration and the
+// explicit-loop iteration must produce identical arrays across several
+// steps (Figure 2(a) vs 2(b) at whole-program scale).
+func TestTomcatvScanMatchesExplicit(t *testing.T) {
+	n := 24
+	a, err := NewTomcatv(n, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTomcatv(n, field.ColMajor) // layout must not affect values
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.StepExplicitLoop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range TomcatvArrays {
+		if d := a.Env.Arrays[name].MaxAbsDiff(a.All, b.Env.Arrays[name]); d > 1e-12 {
+			t.Errorf("%s: scan vs explicit differ by %g", name, d)
+		}
+	}
+}
+
+// TestTomcatvParallelWavefronts: both wavefront blocks run identically
+// under the pipelined runtime.
+func TestTomcatvParallelWavefronts(t *testing.T) {
+	n := 30
+	ref, _ := NewTomcatv(n, field.RowMajor)
+	par, _ := NewTomcatv(n, field.RowMajor)
+	// Advance both to a mid-iteration state so the wavefront inputs are
+	// nontrivial.
+	for _, w := range []*Tomcatv{ref, par} {
+		if err := scan.Exec(w.ResidualBlock(), w.Env, scan.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := scan.Exec(w.CoefficientBlock(), w.Env, scan.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := scan.Exec(ref.ForwardBlock(), ref.Env, scan.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.Run(par.ForwardBlock(), par.Env, pipeline.DefaultConfig(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.Exec(ref.BackwardBlock(), ref.Env, scan.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.Run(par.BackwardBlock(), par.Env, pipeline.DefaultConfig(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range TomcatvArrays {
+		if d := ref.Env.Arrays[name].MaxAbsDiff(ref.All, par.Env.Arrays[name]); d != 0 {
+			t.Errorf("%s: parallel differs by %g", name, d)
+		}
+	}
+}
+
+func TestTomcatvConverges(t *testing.T) {
+	w, _ := NewTomcatv(16, field.RowMajor)
+	first, err := w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 20; i++ {
+		last, err = w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(last) || math.IsInf(last, 0) {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+	if !(last < first) {
+		t.Errorf("residual did not shrink: %g -> %g", first, last)
+	}
+}
+
+func TestTomcatvRejectsTiny(t *testing.T) {
+	if _, err := NewTomcatv(4, field.RowMajor); err == nil {
+		t.Error("tiny problem must be rejected")
+	}
+}
+
+func TestSimpleScanMatchesExplicit(t *testing.T) {
+	n := 20
+	a, _ := NewSimple(n, field.RowMajor)
+	b, _ := NewSimple(n, field.ColMajor)
+	for step := 0; step < 3; step++ {
+		ea, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := b.StepExplicitLoop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ea-eb) > 1e-9 {
+			t.Fatalf("step %d: energies differ: %g vs %g", step, ea, eb)
+		}
+	}
+	for _, name := range SimpleArrays {
+		if d := a.Env.Arrays[name].MaxAbsDiff(a.All, b.Env.Arrays[name]); d > 1e-12 {
+			t.Errorf("%s: scan vs explicit differ by %g", name, d)
+		}
+	}
+}
+
+func TestSimpleParallelSweeps(t *testing.T) {
+	n := 26
+	ref, _ := NewSimple(n, field.RowMajor)
+	par, _ := NewSimple(n, field.RowMajor)
+	for _, w := range []*Simple{ref, par} {
+		for _, blk := range w.HydroBlocks() {
+			if err := scan.Exec(blk, w.Env, scan.ExecOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := scan.Exec(w.ConductionSetupBlock(), w.Env, scan.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := scan.Exec(ref.ForwardSweepBlock(), ref.Env, scan.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pipeline.Run(par.ForwardSweepBlock(), par.Env, pipeline.DefaultConfig(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Pipelined) != 2 { // gg and tt
+		t.Errorf("pipelined arrays = %v, want gg and tt", stats.Pipelined)
+	}
+	if err := scan.Exec(ref.BackwardSweepBlock(), ref.Env, scan.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.Run(par.BackwardSweepBlock(), par.Env, pipeline.DefaultConfig(4, 6)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range SimpleArrays {
+		if d := ref.Env.Arrays[name].MaxAbsDiff(ref.All, par.Env.Arrays[name]); d != 0 {
+			t.Errorf("%s: parallel differs by %g", name, d)
+		}
+	}
+}
+
+func TestSimpleStable(t *testing.T) {
+	s, _ := NewSimple(16, field.RowMajor)
+	for i := 0; i < 20; i++ {
+		e, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+}
+
+// TestSweepMatchesReference: every rank-2 octant's scan block must equal
+// the hand-written loop oracle.
+func TestSweepMatchesReference(t *testing.T) {
+	s, err := NewSweep(16, 2, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oct, dirs := range s.Octants() {
+		s.Reset()
+		want := s.Reference(dirs)
+		if err := scan.Exec(s.OctantBlock(dirs), s.Env, scan.ExecOptions{}); err != nil {
+			t.Fatalf("octant %d: %v", oct, err)
+		}
+		if d := s.Env.Arrays["flux"].MaxAbsDiff(s.Inner, want); d > 1e-13 {
+			t.Errorf("octant %d (dirs %v): diff %g", oct, dirs, d)
+		}
+	}
+}
+
+func TestSweepParallel(t *testing.T) {
+	ref, _ := NewSweep(18, 2, field.RowMajor)
+	par, _ := NewSweep(18, 2, field.RowMajor)
+	for _, dirs := range ref.Octants() {
+		if err := scan.Exec(ref.OctantBlock(dirs), ref.Env, scan.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pipeline.Run(par.OctantBlock(dirs), par.Env, pipeline.DefaultConfig(3, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := ref.Env.Arrays["flux"].MaxAbsDiff(ref.Inner, par.Env.Arrays["flux"]); d != 0 {
+		t.Errorf("parallel sweep differs by %g", d)
+	}
+}
+
+func TestSweepRank3(t *testing.T) {
+	s, err := NewSweep(8, 3, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := s.SweepAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(total > 0) || math.IsNaN(total) {
+		t.Errorf("flux total = %g", total)
+	}
+	if len(s.Octants()) != 8 {
+		t.Errorf("rank-3 octants = %d", len(s.Octants()))
+	}
+}
+
+func TestSweepRank3Parallel(t *testing.T) {
+	ref, _ := NewSweep(8, 3, field.RowMajor)
+	par, _ := NewSweep(8, 3, field.RowMajor)
+	dirs := ref.Octants()[0]
+	if err := scan.Exec(ref.OctantBlock(dirs), ref.Env, scan.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.Run(par.OctantBlock(dirs), par.Env, pipeline.DefaultConfig(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if d := ref.Env.Arrays["flux"].MaxAbsDiff(ref.Inner, par.Env.Arrays["flux"]); d != 0 {
+		t.Errorf("rank-3 parallel sweep differs by %g", d)
+	}
+}
+
+func TestDPMatchesReference(t *testing.T) {
+	d, err := NewDP(40, 7, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Reference()
+	if diff := d.Env.Arrays["s"].MaxAbsDiff(d.Inner, want); diff > 1e-13 {
+		t.Errorf("scan DP differs from reference by %g", diff)
+	}
+	if !(best > 0) {
+		t.Errorf("best score = %g; the random matrix should admit some alignment", best)
+	}
+}
+
+func TestDPParallel(t *testing.T) {
+	ref, _ := NewDP(30, 3, field.RowMajor)
+	par, _ := NewDP(30, 3, field.RowMajor)
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4} {
+		par.Env.Arrays["s"].Fill(0)
+		if _, err := pipeline.Run(par.Block(), par.Env, pipeline.DefaultConfig(p, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if d := ref.Env.Arrays["s"].MaxAbsDiff(ref.Inner, par.Env.Arrays["s"]); d != 0 {
+			t.Errorf("p=%d: parallel DP differs by %g", p, d)
+		}
+	}
+}
+
+func TestJacobiNoMessages(t *testing.T) {
+	j, err := NewJacobi(16, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pipeline.Run(j.Block(), j.Env, pipeline.DefaultConfig(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Comm.Messages != 0 {
+		t.Errorf("jacobi sent %d messages", stats.Comm.Messages)
+	}
+	if err := j.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNativeFusedEquivalence: the fused and unfused native kernels must be
+// bit-identical — the cache experiment compares access orders, not values.
+func TestNativeFusedEquivalence(t *testing.T) {
+	n := 40
+	a, b := NewNativeTomcatv(n), NewNativeTomcatv(n)
+	for i := 0; i < 3; i++ {
+		a.Step(true)
+		b.Step(false)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Errorf("tomcatv checksums differ: %g vs %g", a.Checksum(), b.Checksum())
+	}
+	for k := range a.RX {
+		if a.RX[k] != b.RX[k] || a.D[k] != b.D[k] {
+			t.Fatalf("tomcatv element %d differs", k)
+		}
+	}
+
+	c, d := NewNativeSimple(n), NewNativeSimple(n)
+	for i := 0; i < 3; i++ {
+		c.Step(true)
+		d.Step(false)
+	}
+	if c.Checksum() != d.Checksum() {
+		t.Errorf("simple checksums differ: %g vs %g", c.Checksum(), d.Checksum())
+	}
+}
+
+// TestTraceFusedFewerCycles: the fused access stream must cost fewer cache
+// cycles than the unfused one on both machine models — the mechanism of
+// Figure 6.
+func TestTraceFusedFewerCycles(t *testing.T) {
+	n := 128
+	tom := NewNativeTomcatv(n)
+	sim := NewNativeSimple(n)
+	machines := map[string]func() *cachesim.Hierarchy{
+		"t3e": cachesim.T3ELike, "powerchallenge": cachesim.PowerChallengeLike,
+	}
+	for name, mk := range machines {
+		hu, hf := mk(), mk()
+		tom.TraceForward(hu, false)
+		tom.TraceForward(hf, true)
+		if !(hf.Cycles() < hu.Cycles()) {
+			t.Errorf("%s tomcatv: fused %g !< unfused %g", name, hf.Cycles(), hu.Cycles())
+		}
+		su, sf := mk(), mk()
+		sim.TraceSweeps(su, false)
+		sim.TraceSweeps(sf, true)
+		if !(sf.Cycles() < su.Cycles()) {
+			t.Errorf("%s simple: fused %g !< unfused %g", name, sf.Cycles(), su.Cycles())
+		}
+	}
+}
+
+// TestGaussSeidelMatchesReference: the mixed primed/unprimed scan block
+// must reproduce the hand-written natural-ordering sweep exactly.
+func TestGaussSeidelMatchesReference(t *testing.T) {
+	g, err := NewGaussSeidel(16, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := g.Env.Arrays["u"].Clone()
+	for sweep := 0; sweep < 3; sweep++ {
+		if err := g.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+		g.Reference(ref)
+		if d := g.Env.Arrays["u"].MaxAbsDiff(g.Inner, ref); d != 0 {
+			t.Fatalf("sweep %d differs from reference by %g", sweep, d)
+		}
+	}
+}
+
+func TestGaussSeidelAnalysis(t *testing.T) {
+	g, _ := NewGaussSeidel(8, field.RowMajor)
+	an, err := scan.Analyze(g.Block(), dep.Preference{PreferLow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.WSV.String(); got != "(-,-)" {
+		t.Errorf("WSV = %s, want (-,-) (the paper's Example 2 pattern)", got)
+	}
+}
+
+func TestGaussSeidelParallel(t *testing.T) {
+	ref, _ := NewGaussSeidel(20, field.RowMajor)
+	par, _ := NewGaussSeidel(20, field.RowMajor)
+	for i := 0; i < 2; i++ {
+		if err := ref.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := []*scan.Block{par.Block()}
+	sess, err := pipeline.NewSession(par.Env, blocks, pipeline.SessionConfig{
+		Procs: 4, Domain: par.All, Block: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.Run(func(r *pipeline.Rank) error {
+		for i := 0; i < 2; i++ {
+			if err := r.Exec(blocks[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := par.Env.Arrays["u"].MaxAbsDiff(par.Inner, ref.Env.Arrays["u"]); d != 0 {
+		t.Errorf("parallel Gauss-Seidel differs by %g", d)
+	}
+}
+
+func TestGaussSeidelConverges(t *testing.T) {
+	g, _ := NewGaussSeidel(12, field.RowMajor)
+	first, err := g.Residual()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 60; i++ {
+		last, err = g.Residual()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gauss-Seidel's spectral radius at n=12 is ~cos²(π/13) ≈ 0.94, so 60
+	// sweeps shrink the update by roughly 0.94^60 ≈ 0.02.
+	if !(last < first/5) {
+		t.Errorf("residual did not decay: %g -> %g", first, last)
+	}
+}

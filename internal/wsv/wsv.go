@@ -1,0 +1,262 @@
+// Package wsv implements the wavefront summary vector (WSV) calculus of
+// §2.2 of the paper: the sign-combine function f(i,j), per-dimension sign
+// summaries of the direction set used with primed array references, the
+// "simple" predicate, and the three-case rule by which programmers determine
+// wavefront dimensions and fully parallel dimensions.
+//
+// The WSV is the programmer-facing approximation of the dependence analysis;
+// simple WSVs are always legal, while non-simple WSVs require the full loop
+// structure derivation in package dep to decide legality.
+package wsv
+
+import (
+	"fmt"
+	"strings"
+
+	"wavefront/internal/grid"
+)
+
+// Sign is one entry of a wavefront summary vector.
+type Sign int8
+
+const (
+	// Zero: every direction has a zero component in this dimension.
+	Zero Sign = iota
+	// Plus: all nonzero components in this dimension are positive.
+	Plus
+	// Minus: all nonzero components in this dimension are negative.
+	Minus
+	// Both: components of both signs appear (the paper's ± entry).
+	Both
+)
+
+func (s Sign) String() string {
+	switch s {
+	case Zero:
+		return "0"
+	case Plus:
+		return "+"
+	case Minus:
+		return "-"
+	case Both:
+		return "±"
+	}
+	return fmt.Sprintf("Sign(%d)", int8(s))
+}
+
+// SignOf returns the sign of a single integer component.
+func SignOf(i int) Sign {
+	switch {
+	case i > 0:
+		return Plus
+	case i < 0:
+		return Minus
+	}
+	return Zero
+}
+
+// F is the paper's combine function f(i,j) on two integer components:
+//
+//	f(i,j) = 0  if i = j = 0
+//	         ±  if ij < 0
+//	         +  if ij >= 0 and (i > 0 or j > 0)
+//	         -  if ij >= 0 and (i < 0 or j < 0)
+func F(i, j int) Sign { return Combine(SignOf(i), SignOf(j)) }
+
+// Combine extends f to the sign lattice so that direction sets of any size
+// fold component-wise: Zero is the identity, Both is absorbing, and opposite
+// signs meet in Both.
+func Combine(a, b Sign) Sign {
+	switch {
+	case a == Zero:
+		return b
+	case b == Zero:
+		return a
+	case a == b:
+		return a
+	default:
+		return Both
+	}
+}
+
+// Vector is a wavefront summary vector: one Sign per dimension.
+type Vector []Sign
+
+// New computes the WSV of a set of directions, all of which must share the
+// given rank. An empty set yields the all-Zero vector.
+func New(rank int, dirs []grid.Direction) (Vector, error) {
+	w := make(Vector, rank)
+	for _, d := range dirs {
+		if len(d) != rank {
+			return nil, fmt.Errorf("wsv: direction %v has rank %d, want %d", d, len(d), rank)
+		}
+		for i, c := range d {
+			w[i] = Combine(w[i], SignOf(c))
+		}
+	}
+	return w, nil
+}
+
+// Must is New for known-good inputs; it panics on rank mismatch.
+func Must(rank int, dirs ...grid.Direction) Vector {
+	w, err := New(rank, dirs)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Simple reports whether no entry is ± (the paper's "simple" predicate).
+// Simple WSVs are always legal: a wavefront may travel along any nonzero
+// dimension, always referring to values behind it.
+func (w Vector) Simple() bool {
+	for _, s := range w {
+		if s == Both {
+			return false
+		}
+	}
+	return true
+}
+
+// Trivial reports whether every entry is Zero (no primed shifts at all).
+func (w Vector) Trivial() bool {
+	for _, s := range w {
+		if s != Zero {
+			return false
+		}
+	}
+	return true
+}
+
+func (w Vector) String() string {
+	parts := make([]string, len(w))
+	for i, s := range w {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Role is the parallelization character of one dimension of the data space,
+// as determined by the three-case rule of §2.2.
+type Role int8
+
+const (
+	// Parallel dimensions carry no wavefront dependence and are completely
+	// parallel.
+	Parallel Role = iota
+	// Pipelined dimensions are wavefront dimensions: they benefit from
+	// pipelined parallelism.
+	Pipelined
+	// Serial dimensions are fully serialized by the dependences; they gain
+	// nothing from distribution.
+	Serial
+)
+
+func (r Role) String() string {
+	switch r {
+	case Parallel:
+		return "parallel"
+	case Pipelined:
+		return "pipelined"
+	case Serial:
+		return "serial"
+	}
+	return fmt.Sprintf("Role(%d)", int8(r))
+}
+
+// Classification is the per-dimension outcome of the three-case rule.
+type Classification struct {
+	// Roles holds one Role per dimension.
+	Roles []Role
+	// Case is 1, 2, or 3: which of the paper's three WSV cases applied.
+	// Case 0 means the WSV was trivial (no wavefront at all).
+	Case int
+}
+
+// WavefrontDims lists the dimensions classified as Pipelined, in order.
+func (c Classification) WavefrontDims() []int {
+	var dims []int
+	for i, r := range c.Roles {
+		if r == Pipelined {
+			dims = append(dims, i)
+		}
+	}
+	return dims
+}
+
+// ParallelDims lists the dimensions classified as Parallel, in order.
+func (c Classification) ParallelDims() []int {
+	var dims []int
+	for i, r := range c.Roles {
+		if r == Parallel {
+			dims = append(dims, i)
+		}
+	}
+	return dims
+}
+
+// Classify applies the paper's three-case rule:
+//
+//	(i)   the WSV contains at least one 0 entry: dimensions with + or - entries
+//	      benefit from pipelined parallelism and 0 dimensions are completely
+//	      parallel (± dimensions, if any, are serialized);
+//	(ii)  no 0 entries and at least one ± entry: all but the ± entries benefit
+//	      from pipelined parallelism;
+//	(iii) only + and - entries: any dimension could carry the wavefront; the
+//	      leftmost entry is arbitrarily selected to be the serialized dimension
+//	      (minimizing the impact of pipelining on cache performance) and the
+//	      remaining dimensions are pipelined.
+//
+// A trivial WSV (all zeros) classifies every dimension Parallel with Case 0.
+func Classify(w Vector) Classification {
+	roles := make([]Role, len(w))
+	if w.Trivial() {
+		return Classification{Roles: roles, Case: 0}
+	}
+	zeros, boths := 0, 0
+	for _, s := range w {
+		switch s {
+		case Zero:
+			zeros++
+		case Both:
+			boths++
+		}
+	}
+	switch {
+	case zeros > 0:
+		for i, s := range w {
+			switch s {
+			case Zero:
+				roles[i] = Parallel
+			case Both:
+				roles[i] = Serial
+			default:
+				roles[i] = Pipelined
+			}
+		}
+		return Classification{Roles: roles, Case: 1}
+	case boths > 0:
+		for i, s := range w {
+			if s == Both {
+				roles[i] = Serial
+			} else {
+				roles[i] = Pipelined
+			}
+		}
+		return Classification{Roles: roles, Case: 2}
+	default:
+		for i := range w {
+			if i == 0 {
+				roles[i] = Serial
+			} else {
+				roles[i] = Pipelined
+			}
+		}
+		// Rank-1 wavefronts have a single dimension that both carries the
+		// dependence and is the only distribution target; it pipelines.
+		if len(w) == 1 {
+			roles[0] = Pipelined
+		}
+		return Classification{Roles: roles, Case: 3}
+	}
+}

@@ -1,0 +1,158 @@
+package wsv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wavefront/internal/grid"
+)
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		i, j int
+		want Sign
+	}{
+		{0, 0, Zero},
+		{1, -1, Both},
+		{-2, 3, Both},
+		{1, 0, Plus},
+		{0, 2, Plus},
+		{3, 4, Plus},
+		{-1, 0, Minus},
+		{0, -5, Minus},
+		{-2, -3, Minus},
+	}
+	for _, c := range cases {
+		if got := F(c.i, c.j); got != c.want {
+			t.Errorf("f(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestCombineLattice(t *testing.T) {
+	signs := []Sign{Zero, Plus, Minus, Both}
+	for _, a := range signs {
+		if Combine(Zero, a) != a || Combine(a, Zero) != a {
+			t.Errorf("Zero must be identity, failed for %v", a)
+		}
+		if Combine(Both, a) != Both || Combine(a, Both) != Both {
+			t.Errorf("Both must absorb, failed for %v", a)
+		}
+		if Combine(a, a) != a {
+			t.Errorf("Combine must be idempotent, failed for %v", a)
+		}
+		for _, b := range signs {
+			if Combine(a, b) != Combine(b, a) {
+				t.Errorf("Combine must commute: %v %v", a, b)
+			}
+		}
+	}
+	if Combine(Plus, Minus) != Both {
+		t.Error("opposite signs must meet in Both")
+	}
+}
+
+func TestCombineAssociative(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		x, y, z := Sign(a%4), Sign(b%4), Sign(c%4)
+		return Combine(Combine(x, y), z) == Combine(x, Combine(y, z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaperWSVExamples checks the four worked examples given in §2.2 of the
+// paper, plus the WSV set examples preceding them.
+func TestPaperWSVExamples(t *testing.T) {
+	cases := []struct {
+		name   string
+		dirs   []grid.Direction
+		want   string
+		simple bool
+	}{
+		{"set1", []grid.Direction{{-1, 0}, {-2, 0}}, "(-,0)", true},
+		{"set2", []grid.Direction{{-1, 0}, {-2, 0}, {-1, 2}}, "(-,+)", true},
+		{"set3", []grid.Direction{{-1, 0}, {0, -1}}, "(-,-)", true},
+		{"set4", []grid.Direction{{-1, 0}, {1, -2}}, "(±,-)", false},
+		{"example1", []grid.Direction{{-1, 0}, {-1, 0}}, "(-,0)", true},
+		{"example2", []grid.Direction{{-1, 0}, {0, -1}}, "(-,-)", true},
+		{"example3", []grid.Direction{{-1, 0}, {1, 1}}, "(±,+)", false},
+		{"example4", []grid.Direction{{0, -1}, {0, 1}}, "(0,±)", false},
+		{"tomcatv", []grid.Direction{{-1, 0}}, "(-,0)", true},
+	}
+	for _, c := range cases {
+		w := Must(2, c.dirs...)
+		if got := w.String(); got != c.want {
+			t.Errorf("%s: WSV = %s, want %s", c.name, got, c.want)
+		}
+		if w.Simple() != c.simple {
+			t.Errorf("%s: Simple() = %v, want %v", c.name, w.Simple(), c.simple)
+		}
+	}
+}
+
+func TestClassifyCases(t *testing.T) {
+	// Case 1: zero entry present.
+	c := Classify(Must(2, grid.Direction{-1, 0}))
+	if c.Case != 1 {
+		t.Fatalf("case = %d", c.Case)
+	}
+	if c.Roles[0] != Pipelined || c.Roles[1] != Parallel {
+		t.Errorf("tomcatv roles = %v", c.Roles)
+	}
+	if dims := c.WavefrontDims(); len(dims) != 1 || dims[0] != 0 {
+		t.Errorf("wavefront dims = %v", dims)
+	}
+	if dims := c.ParallelDims(); len(dims) != 1 || dims[0] != 1 {
+		t.Errorf("parallel dims = %v", dims)
+	}
+
+	// Case 2: no zeros, a ± present (paper example 3).
+	c = Classify(Must(2, grid.Direction{-1, 0}, grid.Direction{1, 1}))
+	if c.Case != 2 {
+		t.Fatalf("case = %d", c.Case)
+	}
+	if c.Roles[0] != Serial || c.Roles[1] != Pipelined {
+		t.Errorf("example3 roles = %v (want serial, pipelined)", c.Roles)
+	}
+
+	// Case 3: only + and - (paper example 2): wavefront travels along the
+	// second dimension, the first is serialized.
+	c = Classify(Must(2, grid.Direction{-1, 0}, grid.Direction{0, -1}))
+	if c.Case != 3 {
+		t.Fatalf("case = %d", c.Case)
+	}
+	if c.Roles[0] != Serial || c.Roles[1] != Pipelined {
+		t.Errorf("example2 roles = %v (want serial, pipelined)", c.Roles)
+	}
+
+	// Trivial: no primed shifts at all.
+	c = Classify(Must(2))
+	if c.Case != 0 || c.Roles[0] != Parallel || c.Roles[1] != Parallel {
+		t.Errorf("trivial classification = %+v", c)
+	}
+
+	// Rank-1 case 3 still pipelines its only dimension.
+	c = Classify(Must(1, grid.Direction{-1}))
+	if c.Roles[0] != Pipelined {
+		t.Errorf("rank-1 role = %v", c.Roles[0])
+	}
+}
+
+func TestNewRankMismatch(t *testing.T) {
+	if _, err := New(2, []grid.Direction{{1}}); err == nil {
+		t.Error("rank mismatch must fail")
+	}
+}
+
+func TestCaseZeroWithBoth(t *testing.T) {
+	// Case 1 with a ± entry alongside a zero: ± serializes.
+	c := Classify(Must(3, grid.Direction{-1, 0, 1}, grid.Direction{-1, 0, -1}))
+	if c.Case != 1 {
+		t.Fatalf("case = %d", c.Case)
+	}
+	if c.Roles[0] != Pipelined || c.Roles[1] != Parallel || c.Roles[2] != Serial {
+		t.Errorf("roles = %v", c.Roles)
+	}
+}

@@ -1,0 +1,702 @@
+package zpl
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// Options configures an interpreter.
+type Options struct {
+	// Out receives writeln output; nil discards it.
+	Out io.Writer
+	// Layout selects array storage order; the paper's Fortran setting is
+	// column-major.
+	Layout field.Layout
+	// Exec configures the underlying serial executors.
+	Exec scan.ExecOptions
+}
+
+// Interp holds a program's runtime state: declared constants, regions,
+// directions, arrays, and scalar variables.
+type Interp struct {
+	opts    Options
+	regions map[string]grid.Region
+	dirs    map[string]grid.Direction
+	// consts and scalar variables (including live loop variables) share the
+	// scalar namespace, stored in env.Scalars.
+	constNames map[string]bool
+	scalarVars map[string]bool
+	env        *expr.MapEnv
+	regionOf   map[string]string // array name -> region name
+}
+
+// New creates an empty interpreter.
+func New(opts Options) *Interp {
+	return &Interp{
+		opts:       opts,
+		regions:    map[string]grid.Region{},
+		dirs:       map[string]grid.Direction{},
+		constNames: map[string]bool{},
+		scalarVars: map[string]bool{},
+		env: &expr.MapEnv{
+			Arrays:  map[string]*field.Field{},
+			Scalars: map[string]float64{},
+		},
+		regionOf: map[string]string{},
+	}
+}
+
+// RunSource parses and executes src, returning the interpreter for
+// inspection of its final state.
+func RunSource(src string, opts Options) (*Interp, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	it := New(opts)
+	if err := it.Run(prog); err != nil {
+		return it, err
+	}
+	return it, nil
+}
+
+// Env exposes the arrays and scalars, e.g. for tests and tools.
+func (it *Interp) Env() *expr.MapEnv { return it.env }
+
+// Region returns a declared region by name.
+func (it *Interp) Region(name string) (grid.Region, bool) {
+	r, ok := it.regions[name]
+	return r, ok
+}
+
+// RegionOf returns the declaration region of an array.
+func (it *Interp) RegionOf(array string) (grid.Region, bool) {
+	rn, ok := it.regionOf[array]
+	if !ok {
+		return grid.Region{}, false
+	}
+	return it.Region(rn)
+}
+
+// Run executes a parsed program: declarations first, then statements.
+func (it *Interp) Run(prog *Program) error {
+	for _, d := range prog.Decls {
+		if err := it.declare(d); err != nil {
+			return err
+		}
+	}
+	for _, s := range prog.Stmts {
+		if err := it.exec(s, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (it *Interp) defined(name string) bool {
+	return it.constNames[name] || it.scalarVars[name] ||
+		it.env.Arrays[name] != nil || it.regions[name].Rank() > 0 || it.dirs[name] != nil
+}
+
+func (it *Interp) declare(d Decl) error {
+	switch t := d.(type) {
+	case *ConstDecl:
+		if it.defined(t.Name) {
+			return errf(t.Pos, "%q redeclared", t.Name)
+		}
+		v, err := it.evalScalar(t.Value)
+		if err != nil {
+			return err
+		}
+		it.constNames[t.Name] = true
+		it.env.Scalars[t.Name] = v
+		return nil
+
+	case *RegionDecl:
+		if it.defined(t.Name) {
+			return errf(t.Pos, "%q redeclared", t.Name)
+		}
+		if t.OfDir != "" {
+			reg, err := it.borderRegion(t.OfDir, t.OfBase, t.Pos)
+			if err != nil {
+				return err
+			}
+			it.regions[t.Name] = reg
+			return nil
+		}
+		reg, err := it.evalRegion(t.Ranges, t.Pos)
+		if err != nil {
+			return err
+		}
+		it.regions[t.Name] = reg
+		return nil
+
+	case *DirectionDecl:
+		if it.defined(t.Name) {
+			return errf(t.Pos, "%q redeclared", t.Name)
+		}
+		dir := make(grid.Direction, len(t.Comps))
+		for i, c := range t.Comps {
+			v, err := it.evalInt(c, t.Pos)
+			if err != nil {
+				return err
+			}
+			dir[i] = v
+		}
+		it.dirs[t.Name] = dir
+		return nil
+
+	case *VarDecl:
+		reg, ok := it.regions[t.Region]
+		if !ok {
+			return errf(t.Pos, "undeclared region %q", t.Region)
+		}
+		for _, name := range t.Names {
+			if it.defined(name) {
+				return errf(t.Pos, "%q redeclared", name)
+			}
+			f, err := field.New(name, reg, it.opts.Layout)
+			if err != nil {
+				return errf(t.Pos, "array %q: %v", name, err)
+			}
+			it.env.Arrays[name] = f
+			it.regionOf[name] = t.Region
+		}
+		return nil
+
+	case *ScalarVarDecl:
+		for _, name := range t.Names {
+			if it.defined(name) {
+				return errf(t.Pos, "%q redeclared", name)
+			}
+			it.scalarVars[name] = true
+			it.env.Scalars[name] = 0
+		}
+		return nil
+	}
+	return fmt.Errorf("zpl: unknown declaration %T", d)
+}
+
+// exec runs one statement under the current covering region (nil if none).
+func (it *Interp) exec(s Stmt, region *grid.Region) error {
+	switch t := s.(type) {
+	case *RegionStmt:
+		reg, err := it.resolveRegion(t)
+		if err != nil {
+			return err
+		}
+		return it.exec(t.Body, &reg)
+
+	case *BeginStmt:
+		for _, sub := range t.Body {
+			if err := it.exec(sub, region); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ScanStmt:
+		if region == nil {
+			return errf(t.Pos, "scan block needs a covering region")
+		}
+		var stmts []scan.Stmt
+		for _, sub := range t.Body {
+			as, ok := sub.(*AssignStmt)
+			if !ok {
+				// Legality (iii)/(iv): only array assignments covered by the
+				// same region may appear in a scan block.
+				return errf(t.Pos, "scan blocks may contain only array assignments covered by the block's region")
+			}
+			st, err := it.lowerAssign(as, region.Rank())
+			if err != nil {
+				return err
+			}
+			stmts = append(stmts, st)
+		}
+		blk := scan.NewScan(*region, stmts...)
+		if err := scan.Exec(blk, it.env, it.opts.Exec); err != nil {
+			return errf(t.Pos, "%v", err)
+		}
+		return nil
+
+	case *AssignStmt:
+		if t.Reduce != "" {
+			return it.execReduce(t, region)
+		}
+		if it.env.Arrays[t.Name] != nil {
+			if region == nil {
+				return errf(t.Pos, "array assignment to %q needs a covering region", t.Name)
+			}
+			st, err := it.lowerAssign(t, region.Rank())
+			if err != nil {
+				return err
+			}
+			blk := scan.NewPlain(*region, st)
+			if err := scan.Exec(blk, it.env, it.opts.Exec); err != nil {
+				return errf(t.Pos, "%v", err)
+			}
+			return nil
+		}
+		if it.scalarVars[t.Name] {
+			v, err := it.evalScalar(t.RHS)
+			if err != nil {
+				return err
+			}
+			it.env.Scalars[t.Name] = v
+			return nil
+		}
+		if it.constNames[t.Name] {
+			return errf(t.Pos, "cannot assign to constant %q", t.Name)
+		}
+		return errf(t.Pos, "assignment to undeclared name %q", t.Name)
+
+	case *ForStmt:
+		from, err := it.evalInt(t.From, t.Pos)
+		if err != nil {
+			return err
+		}
+		to, err := it.evalInt(t.To, t.Pos)
+		if err != nil {
+			return err
+		}
+		if it.env.Arrays[t.Var] != nil || it.constNames[t.Var] {
+			return errf(t.Pos, "loop variable %q shadows a constant or array", t.Var)
+		}
+		saved, had := it.env.Scalars[t.Var]
+		wasVar := it.scalarVars[t.Var]
+		it.scalarVars[t.Var] = true
+		defer func() {
+			if had {
+				it.env.Scalars[t.Var] = saved
+			} else {
+				delete(it.env.Scalars, t.Var)
+			}
+			it.scalarVars[t.Var] = wasVar
+		}()
+		step := 1
+		if t.Down {
+			step = -1
+		}
+		for v := from; (step > 0 && v <= to) || (step < 0 && v >= to); v += step {
+			it.env.Scalars[t.Var] = float64(v)
+			for _, sub := range t.Body {
+				if err := it.exec(sub, region); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+
+	case *IfStmt:
+		v, err := it.evalCond(t.Cond)
+		if err != nil {
+			return err
+		}
+		body := t.Then
+		if !v {
+			body = t.Else
+		}
+		for _, sub := range body {
+			if err := it.exec(sub, region); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *RepeatStmt:
+		for {
+			for _, sub := range t.Body {
+				if err := it.exec(sub, region); err != nil {
+					return err
+				}
+			}
+			v, err := it.evalCond(t.Cond)
+			if err != nil {
+				return err
+			}
+			if v {
+				return nil
+			}
+		}
+
+	case *WritelnStmt:
+		if it.opts.Out == nil {
+			return nil
+		}
+		var parts []string
+		for _, a := range t.Args {
+			switch arg := a.(type) {
+			case *StrLit:
+				parts = append(parts, arg.S)
+			case *NameRef:
+				if f := it.env.Arrays[arg.Name]; f != nil && !arg.Primed && arg.ShiftName == "" && arg.ShiftComps == nil {
+					reg, _ := it.RegionOf(arg.Name)
+					parts = append(parts, "\n"+f.Format2(reg))
+					continue
+				}
+				v, err := it.evalScalar(a)
+				if err != nil {
+					return err
+				}
+				parts = append(parts, trim(v))
+			default:
+				v, err := it.evalScalar(a)
+				if err != nil {
+					return err
+				}
+				parts = append(parts, trim(v))
+			}
+		}
+		fmt.Fprintln(it.opts.Out, strings.Join(parts, " "))
+		return nil
+	}
+	return fmt.Errorf("zpl: unknown statement %T", s)
+}
+
+// execReduce evaluates `x := op<< expr;` — a full reduction of the array
+// expression over the covering region into a scalar.
+func (it *Interp) execReduce(t *AssignStmt, region *grid.Region) error {
+	if region == nil {
+		return errf(t.Pos, "reduction needs a covering region")
+	}
+	if it.env.Arrays[t.Name] != nil {
+		return errf(t.Pos, "reduction target %q must be a scalar (partial reductions are not supported)", t.Name)
+	}
+	if !it.scalarVars[t.Name] {
+		return errf(t.Pos, "reduction target %q is not a declared scalar", t.Name)
+	}
+	var op scan.ReduceOp
+	switch t.Reduce {
+	case "+":
+		op = scan.SumReduce
+	case "max":
+		op = scan.MaxReduce
+	case "min":
+		op = scan.MinReduce
+	default:
+		return errf(t.Pos, "unknown reduction %q", t.Reduce)
+	}
+	node, err := it.lowerExpr(t.RHS, region.Rank())
+	if err != nil {
+		return err
+	}
+	v, err := scan.Reduce(op, *region, node, it.env)
+	if err != nil {
+		return errf(t.Pos, "%v", err)
+	}
+	it.env.Scalars[t.Name] = v
+	return nil
+}
+
+func trim(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// borderRegion evaluates `dir of base` (ZPL's of-operator).
+func (it *Interp) borderRegion(dirName, baseName string, pos Pos) (grid.Region, error) {
+	d, ok := it.dirs[dirName]
+	if !ok {
+		return grid.Region{}, errf(pos, "undeclared direction %q", dirName)
+	}
+	base, ok := it.regions[baseName]
+	if !ok {
+		return grid.Region{}, errf(pos, "undeclared region %q", baseName)
+	}
+	reg, err := base.Border(d)
+	if err != nil {
+		return grid.Region{}, errf(pos, "%v", err)
+	}
+	return reg, nil
+}
+
+// resolveRegion evaluates a region prefix in the current scalar state.
+func (it *Interp) resolveRegion(t *RegionStmt) (grid.Region, error) {
+	if t.OfDir != "" {
+		return it.borderRegion(t.OfDir, t.OfBase, t.Pos)
+	}
+	if t.Name != "" {
+		if reg, ok := it.regions[t.Name]; ok {
+			return reg, nil
+		}
+		// A bare identifier that is not a region may be a scalar used as a
+		// degenerate rank-1 range; fall through to range evaluation.
+		if !it.scalarVars[t.Name] && !it.constNames[t.Name] {
+			return grid.Region{}, errf(t.Pos, "undeclared region %q", t.Name)
+		}
+		v, err := it.evalInt(&NameRef{Name: t.Name, Pos: t.Pos}, t.Pos)
+		if err != nil {
+			return grid.Region{}, err
+		}
+		return grid.MustRegion(grid.NewRange(v, v)), nil
+	}
+	return it.evalRegion(t.Ranges, t.Pos)
+}
+
+func (it *Interp) evalRegion(ranges []RangeExpr, pos Pos) (grid.Region, error) {
+	dims := make([]grid.Range, len(ranges))
+	for i, r := range ranges {
+		lo, err := it.evalInt(r.Lo, pos)
+		if err != nil {
+			return grid.Region{}, err
+		}
+		hi := lo
+		if r.Hi != r.Lo {
+			hi, err = it.evalInt(r.Hi, pos)
+			if err != nil {
+				return grid.Region{}, err
+			}
+		}
+		dims[i] = grid.NewRange(lo, hi)
+	}
+	reg, err := grid.NewRegion(dims...)
+	if err != nil {
+		return grid.Region{}, errf(pos, "%v", err)
+	}
+	return reg, nil
+}
+
+// lowerAssign converts an array assignment's AST into a scan.Stmt.
+func (it *Interp) lowerAssign(t *AssignStmt, rank int) (scan.Stmt, error) {
+	if it.env.Arrays[t.Name] == nil {
+		return scan.Stmt{}, errf(t.Pos, "scan block statement assigns non-array %q", t.Name)
+	}
+	rhs, err := it.lowerExpr(t.RHS, rank)
+	if err != nil {
+		return scan.Stmt{}, err
+	}
+	return scan.Stmt{LHS: expr.Ref(t.Name), RHS: rhs}, nil
+}
+
+// lowerExpr converts an AST expression into an expr.Node for a rank-r
+// covering region.
+func (it *Interp) lowerExpr(e Expr, rank int) (expr.Node, error) {
+	switch t := e.(type) {
+	case *NumLit:
+		return expr.Const(t.V), nil
+	case *StrLit:
+		return nil, errf(t.Pos, "string in arithmetic expression")
+	case *UnaryExpr:
+		x, err := it.lowerExpr(t.X, rank)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Unary{Op: expr.Neg, X: x}, nil
+	case *BinExpr:
+		l, err := it.lowerExpr(t.L, rank)
+		if err != nil {
+			return nil, err
+		}
+		r, err := it.lowerExpr(t.R, rank)
+		if err != nil {
+			return nil, err
+		}
+		var op expr.Op
+		switch t.Op {
+		case Plus:
+			op = expr.Add
+		case Minus:
+			op = expr.Sub
+		case Star:
+			op = expr.Mul
+		case Slash:
+			op = expr.Div
+		default:
+			return nil, errf(t.Pos, "bad operator %s", t.Op)
+		}
+		return expr.Binary{Op: op, L: l, R: r}, nil
+	case *CallExpr:
+		fn := expr.Intrinsic(strings.ToLower(t.Fn))
+		if fn.Arity() < 0 {
+			return nil, errf(t.Pos, "unknown function %q (have: %s)", t.Fn, intrinsicList())
+		}
+		if len(t.Args) != fn.Arity() {
+			return nil, errf(t.Pos, "%s takes %d arguments, got %d", fn, fn.Arity(), len(t.Args))
+		}
+		args := make([]expr.Node, len(t.Args))
+		for i, a := range t.Args {
+			n, err := it.lowerExpr(a, rank)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = n
+		}
+		return expr.Call{Fn: fn, Args: args}, nil
+	case *NameRef:
+		if it.env.Arrays[t.Name] != nil {
+			ref := expr.Ref(t.Name)
+			if t.Primed {
+				ref = ref.Prime()
+			}
+			if t.ShiftName != "" {
+				d, ok := it.dirs[t.ShiftName]
+				if !ok {
+					return nil, errf(t.Pos, "undeclared direction %q", t.ShiftName)
+				}
+				if len(d) != rank {
+					return nil, errf(t.Pos, "direction %q has rank %d, region has rank %d", t.ShiftName, len(d), rank)
+				}
+				ref = ref.AtNamed(t.ShiftName, d)
+			} else if t.ShiftComps != nil {
+				d := make(grid.Direction, len(t.ShiftComps))
+				for i, c := range t.ShiftComps {
+					v, err := it.evalInt(c, t.Pos)
+					if err != nil {
+						return nil, err
+					}
+					d[i] = v
+				}
+				if len(d) != rank {
+					return nil, errf(t.Pos, "direction %v has rank %d, region has rank %d", d, len(d), rank)
+				}
+				ref = ref.At(d)
+			}
+			return ref, nil
+		}
+		if t.Primed || t.ShiftName != "" || t.ShiftComps != nil {
+			return nil, errf(t.Pos, "prime/@ applied to non-array %q", t.Name)
+		}
+		if it.constNames[t.Name] || it.scalarVars[t.Name] {
+			return expr.Scalar(t.Name), nil
+		}
+		return nil, errf(t.Pos, "undeclared name %q", t.Name)
+	}
+	return nil, fmt.Errorf("zpl: unknown expression %T", e)
+}
+
+func intrinsicList() string {
+	names := []string{"sqrt", "abs", "exp", "log", "min", "max", "pow"}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// evalCond evaluates a scalar condition.
+func (it *Interp) evalCond(c Cond) (bool, error) {
+	return it.evalCondIn(c, func(e Expr) (float64, error) { return it.evalScalar(e) })
+}
+
+// evalCondIn evaluates a condition with a caller-supplied scalar
+// evaluator (the parallel runtime uses rank-local scalars).
+func (it *Interp) evalCondIn(c Cond, eval func(Expr) (float64, error)) (bool, error) {
+	switch t := c.(type) {
+	case *RelCond:
+		l, err := eval(t.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := eval(t.R)
+		if err != nil {
+			return false, err
+		}
+		switch t.Op {
+		case Lt:
+			return l < r, nil
+		case Le:
+			return l <= r, nil
+		case Gt:
+			return l > r, nil
+		case Ge:
+			return l >= r, nil
+		case Eq:
+			return l == r, nil
+		case NotEq:
+			return l != r, nil
+		}
+		return false, errf(t.Pos, "bad comparison %s", t.Op)
+	case *AndCond:
+		l, err := it.evalCondIn(t.L, eval)
+		if err != nil || !l {
+			return false, err
+		}
+		return it.evalCondIn(t.R, eval)
+	case *OrCond:
+		l, err := it.evalCondIn(t.L, eval)
+		if err != nil || l {
+			return l, err
+		}
+		return it.evalCondIn(t.R, eval)
+	case *NotCond:
+		v, err := it.evalCondIn(t.X, eval)
+		return !v, err
+	}
+	return false, fmt.Errorf("zpl: unknown condition %T", c)
+}
+
+// evalScalar evaluates an expression that must not reference arrays.
+func (it *Interp) evalScalar(e Expr) (float64, error) {
+	node, err := it.lowerScalarExpr(e)
+	if err != nil {
+		return 0, err
+	}
+	return node.Eval(it.env, nil), nil
+}
+
+// lowerScalarExpr is lowerExpr restricted to scalar-only expressions.
+func (it *Interp) lowerScalarExpr(e Expr) (expr.Node, error) {
+	if ref, ok := e.(*NameRef); ok && it.env.Arrays[ref.Name] != nil {
+		return nil, errf(ref.Pos, "array %q in scalar expression", ref.Name)
+	}
+	switch t := e.(type) {
+	case *UnaryExpr:
+		x, err := it.lowerScalarExpr(t.X)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Unary{Op: expr.Neg, X: x}, nil
+	case *BinExpr:
+		l, err := it.lowerScalarExpr(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := it.lowerScalarExpr(t.R)
+		if err != nil {
+			return nil, err
+		}
+		var op expr.Op
+		switch t.Op {
+		case Plus:
+			op = expr.Add
+		case Minus:
+			op = expr.Sub
+		case Star:
+			op = expr.Mul
+		case Slash:
+			op = expr.Div
+		default:
+			return nil, errf(t.Pos, "bad operator %s", t.Op)
+		}
+		return expr.Binary{Op: op, L: l, R: r}, nil
+	case *CallExpr:
+		args := make([]Expr, len(t.Args))
+		copy(args, t.Args)
+		for _, a := range args {
+			if _, err := it.lowerScalarExpr(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return it.lowerExpr(e, 0)
+}
+
+// evalInt evaluates a compile-time integer.
+func (it *Interp) evalInt(e Expr, pos Pos) (int, error) {
+	v, err := it.evalScalar(e)
+	if err != nil {
+		return 0, err
+	}
+	r := math.Round(v)
+	if math.Abs(v-r) > 1e-9 {
+		return 0, errf(pos, "expected an integer, got %g", v)
+	}
+	return int(r), nil
+}

@@ -1,0 +1,226 @@
+package zpl
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Lexer scans ZPL source into tokens. Comments run from "--" or "//" to end
+// of line.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case (c == '-' && l.peek2() == '-') || (c == '/' && l.peek2() == '/'):
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.off
+		for l.off < len(l.src) {
+			c := l.peek()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[strings.ToLower(text)]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		seenDot := false
+		for l.off < len(l.src) {
+			c := l.peek()
+			if unicode.IsDigit(rune(c)) {
+				l.advance()
+				continue
+			}
+			// A '.' begins a fraction only when not part of "..".
+			if c == '.' && !seenDot && l.peek2() != '.' {
+				seenDot = true
+				l.advance()
+				continue
+			}
+			if c == 'e' || c == 'E' {
+				// Exponent: e[+|-]digits.
+				save := l.off
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+				if !unicode.IsDigit(rune(l.peek())) {
+					l.off = save
+					break
+				}
+				for unicode.IsDigit(rune(l.peek())) {
+					l.advance()
+				}
+			}
+			break
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad number %q", text)
+		}
+		return Token{Kind: NUMBER, Text: text, Num: v, Pos: pos}, nil
+
+	case c == '"':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+			l.advance()
+		}
+		if l.peek() != '"' {
+			return Token{}, errf(pos, "unterminated string")
+		}
+		text := l.src[start:l.off]
+		l.advance()
+		return Token{Kind: STRING, Text: text, Pos: pos}, nil
+	}
+
+	l.advance()
+	two := func(k Kind, lit string) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: lit, Pos: pos}, nil
+	}
+	switch c {
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case ':':
+		if l.peek() == '=' {
+			return two(Assign, ":=")
+		}
+		return Token{Kind: Colon, Pos: pos}, nil
+	case '=':
+		return Token{Kind: Eq, Pos: pos}, nil
+	case '.':
+		if l.peek() == '.' {
+			return two(DotDot, "..")
+		}
+		return Token{}, errf(pos, "unexpected '.'")
+	case '@':
+		return Token{Kind: At, Pos: pos}, nil
+	case '\'':
+		return Token{Kind: Prime, Pos: pos}, nil
+	case '<':
+		if l.peek() == '<' {
+			return two(LtLt, "<<")
+		}
+		if l.peek() == '=' {
+			return two(Le, "<=")
+		}
+		return Token{Kind: Lt, Pos: pos}, nil
+	case '>':
+		if l.peek() == '=' {
+			return two(Ge, ">=")
+		}
+		return Token{Kind: Gt, Pos: pos}, nil
+	case '!':
+		if l.peek() == '=' {
+			return two(NotEq, "!=")
+		}
+		return Token{}, errf(pos, "unexpected '!'")
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		if l.peek() == '=' {
+			return two(NotEq, "/=")
+		}
+		return Token{Kind: Slash, Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// LexAll scans the whole source, for tests and tooling.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

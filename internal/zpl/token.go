@@ -1,0 +1,161 @@
+// Package zpl implements a compact front end for the subset of the ZPL
+// array language the paper uses, extended with the paper's two constructs:
+// the prime operator on shifted array references and the scan block. A
+// program is lexed, parsed, semantically checked, and interpreted; scan
+// blocks and array statements lower to the IR of internal/scan, so the
+// language shares its legality analysis, loop derivation, and executors
+// with the Go-level API.
+//
+// The supported surface:
+//
+//	const n = 8;
+//	region R    = [1..n, 1..n];
+//	region Big  = [0..n+1, 0..n+1];
+//	region Top  = north of R;          -- border regions (ZPL's of-operator)
+//	direction north = [-1, 0];
+//	var A, B : [Big] double;
+//	var resid : double;
+//	[Top] A := 100;                     -- boundary condition
+//	[R] scan
+//	      A := A'@north + B;            -- prime operator: wavefront
+//	    end;
+//	for j := 2 to n-1 do
+//	  [j, 1..n] A := 2 * A@north;
+//	end;
+//	repeat
+//	  [R] B := (A@north + B) / 2;
+//	  [R] resid := max<< abs(B - A);    -- reductions: +<<, max<<, min<<
+//	  [R] A := B;
+//	until resid < 0.1;
+//	if resid < 0.1 then writeln("done", A); end;
+//
+// Programs run serially (Interp.Run) or across message-passing ranks
+// (Interp.RunParallel), with identical results.
+package zpl
+
+import "fmt"
+
+// Kind is a token kind.
+type Kind int8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+
+	// Keywords.
+	KwConst
+	KwRegion
+	KwDirection
+	KwVar
+	KwDouble
+	KwScan
+	KwBegin
+	KwEnd
+	KwFor
+	KwTo
+	KwDownto
+	KwDo
+	KwWriteln
+	KwIf
+	KwThen
+	KwElse
+	KwRepeat
+	KwUntil
+	KwAnd
+	KwOr
+	KwNot
+
+	// Punctuation and operators.
+	LBracket // [
+	RBracket // ]
+	LParen   // (
+	RParen   // )
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Assign   // :=
+	Eq       // =
+	DotDot   // ..
+	At       // @
+	Prime    // '
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	LtLt     // <<  (reduction operator suffix: +<<, max<<, min<<)
+	Lt       // <
+	Le       // <=
+	Gt       // >
+	Ge       // >=
+	NotEq    // != or /=
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number", STRING: "string",
+	KwConst: "const", KwRegion: "region", KwDirection: "direction", KwVar: "var",
+	KwDouble: "double", KwScan: "scan", KwBegin: "begin", KwEnd: "end",
+	KwFor: "for", KwTo: "to", KwDownto: "downto", KwDo: "do", KwWriteln: "writeln",
+	LBracket: "[", RBracket: "]", LParen: "(", RParen: ")", Comma: ",",
+	Semi: ";", Colon: ":", Assign: ":=", Eq: "=", DotDot: "..", At: "@",
+	Prime: "'", Plus: "+", Minus: "-", Star: "*", Slash: "/", LtLt: "<<",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", NotEq: "!=",
+	KwIf: "if", KwThen: "then", KwElse: "else", KwRepeat: "repeat",
+	KwUntil: "until", KwAnd: "and", KwOr: "or", KwNot: "not",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int8(k))
+}
+
+var keywords = map[string]Kind{
+	"const": KwConst, "region": KwRegion, "direction": KwDirection,
+	"var": KwVar, "double": KwDouble, "float": KwDouble,
+	"scan": KwScan, "begin": KwBegin, "end": KwEnd,
+	"for": KwFor, "to": KwTo, "downto": KwDownto, "do": KwDo,
+	"writeln": KwWriteln,
+	"if":      KwIf, "then": KwThen, "else": KwElse,
+	"repeat": KwRepeat, "until": KwUntil,
+	"and": KwAnd, "or": KwOr, "not": KwNot,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind Kind
+	Text string
+	Num  float64 // valid when Kind == NUMBER
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER, STRING:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a positioned front-end error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("zpl:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

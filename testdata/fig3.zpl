@@ -1,0 +1,18 @@
+-- Figure 3 of the paper: without the prime operator the statement reads
+-- original values (rows of 2); with it, each row doubles the previous
+-- row's new value (2, 4, 8, 16).
+const n = 5;
+region All = [1..n, 1..n];
+direction north = [-1, 0];
+var a, b : [All] double;
+
+[All] begin
+  a := 1;
+  b := 1;
+end;
+
+[2..n, 1..n] a := 2 * a@north;
+[2..n, 1..n] b := 2 * b'@north;
+
+writeln("unprimed:", a);
+writeln("primed:", b);

@@ -1,0 +1,35 @@
+-- Heat diffusion with a convergence-driven repeat/until loop: Jacobi
+-- relaxation iterated until the residual reduction (a max<< over the
+-- region) crosses a threshold. Runs serially or in parallel:
+--   zplwc -run testdata/heat.zpl
+--   zplwc -run -p 4 testdata/heat.zpl
+const n = 16;
+
+region Big = [0..n+1, 0..n+1];
+region R   = [1..n, 1..n];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction west  = [0, -1];
+direction east  = [0, 1];
+
+var t, t2 : [Big] double;
+var resid, iters : double;
+
+[Big] t  := 0;
+[Big] t2 := 0;
+[0, 0..n+1]   t  := 100;   -- hot top edge
+[0, 0..n+1]   t2 := 100;
+[n+1, 0..n+1] t  := -20;   -- cold bottom edge
+[n+1, 0..n+1] t2 := -20;
+
+iters := 0;
+repeat
+  [R] t2 := (t@north + t@south + t@west + t@east) / 4;
+  [R] resid := max<< abs(t2 - t);
+  [R] t := t2;
+  iters := iters + 1;
+until resid < 0.1 or iters >= 2000;
+
+writeln("iterations:", iters, " residual:", resid);
+writeln("temperature field:", t);

@@ -1,0 +1,18 @@
+-- Example 4 of the paper's section 2.2: primed west and east references
+-- imply both west-to-east and east-to-west wavefronts. The WSV is (0,±):
+-- over-constrained, and zplwc must reject it.
+const n = 6;
+
+region Big = [0..n+1, 0..n+1];
+region R   = [1..n, 1..n];
+
+direction west = [0, -1];
+direction east = [0, 1];
+
+var a : [Big] double;
+
+[Big] a := 1;
+
+[R] scan
+  a := (a'@west + a'@east) / 2.0;
+end;

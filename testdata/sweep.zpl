@@ -1,0 +1,41 @@
+-- A SWEEP3D-style transport sweep: four octants, each a wavefront from
+-- one corner of the domain to the opposite corner. Only the primed
+-- directions change between octants.
+const n = 8;
+
+region All   = [0..n+1, 0..n+1];
+region Inner = [1..n, 1..n];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction west  = [0, -1];
+direction east  = [0, 1];
+
+var flux, src : [All] double;
+
+[All] begin
+  src  := 1.0;
+  flux := 0.0;
+end;
+
+-- Octant (+,+): upwind is north/west; the wave travels to the southeast.
+[Inner] scan
+  flux := (src + 0.35 * flux'@north + 0.25 * flux'@west) / 2.0;
+end;
+
+-- Octant (+,-): upwind is north/east.
+[Inner] scan
+  flux := (src + 0.35 * flux'@north + 0.25 * flux'@east) / 2.0;
+end;
+
+-- Octant (-,+): upwind is south/west.
+[Inner] scan
+  flux := (src + 0.35 * flux'@south + 0.25 * flux'@west) / 2.0;
+end;
+
+-- Octant (-,-): upwind is south/east.
+[Inner] scan
+  flux := (src + 0.35 * flux'@south + 0.25 * flux'@east) / 2.0;
+end;
+
+writeln("flux:", flux);

@@ -1,0 +1,36 @@
+-- The Tomcatv wavefront fragment of the paper's Figure 2(b), with a
+-- back-substitution sweep and a mesh update, in mini-ZPL.
+const n = 12;
+
+region All  = [1..n, 1..n];
+region Wave = [2..n-2, 2..n-1];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+
+var r, aa, d, dd, rx, ry : [All] double;
+
+[All] begin
+  aa := 0.4;
+  dd := 4.0;
+  d  := 1.0;
+  rx := 2.0;
+  ry := 3.0;
+  r  := 0.0;
+end;
+
+-- Forward elimination: a north-to-south wavefront (WSV (-,0)).
+[Wave] scan
+  r  := aa * d'@north;
+  d  := 1.0 / (dd - aa@north * r);
+  rx := rx - rx'@north * r;
+  ry := ry - ry'@north * r;
+end;
+
+-- Back substitution: a south-to-north wavefront (WSV (+,0)).
+[Wave] scan
+  rx := (rx - aa * rx'@south) * d;
+  ry := (ry - aa * ry'@south) * d;
+end;
+
+writeln("rx after both sweeps:", rx);
