@@ -217,6 +217,41 @@ func BenchmarkPipelineTomcatvForward(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineTrace measures the cost of execution tracing on the
+// pipelined Tomcatv forward sweep: "off" is the default nil-recorder path
+// (one pointer check per operation), "on" records every span. EXPERIMENTS.md
+// documents the measured delta; the off case must stay within noise of
+// BenchmarkPipelineTomcatvForward.
+func BenchmarkPipelineTrace(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			t, err := workload.NewTomcatv(128, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blk := t.ForwardBlock()
+			cfg := pipeline.DefaultConfig(4, 16)
+			if traced {
+				// The recorder is reused across iterations (Reset, not
+				// reallocate): the measurement is the recording cost, not the
+				// one-time buffer allocation.
+				cfg.Trace = wavefront.NewTraceRecorder(4)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Trace.Reset()
+				if _, err := pipeline.Run(blk, t.Env, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSerialScanTomcatvForward(b *testing.B) {
 	t, err := workload.NewTomcatv(128, field.RowMajor)
 	if err != nil {

@@ -1,0 +1,146 @@
+// Benchdiff turns `go test -bench` output into a JSON snapshot and
+// compares snapshots, for the benchmark-guard workflow of EXPERIMENTS.md:
+//
+//	go test -run - -bench . | go run ./cmd/benchdiff -out BENCH_pr1.json
+//	go test -run - -bench . | go run ./cmd/benchdiff -base BENCH_pr1.json -maxregress 25
+//
+// With -base, any benchmark whose ns/op regressed by more than -maxregress
+// percent against the baseline fails the run (exit 1). Benchmarks present
+// only on one side are reported but never fail the guard.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the JSON schema: benchmark name (with the -cpu suffix) to
+// ns/op.
+type Snapshot struct {
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the parsed snapshot JSON here")
+		base       = flag.String("base", "", "baseline snapshot to compare against")
+		maxRegress = flag.Float64("maxregress", 20, "max allowed ns/op regression vs -base, percent")
+		in         = flag.String("in", "", "read benchmark output from this file instead of stdin")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(snap.NsPerOp) == 0 {
+		fatal(fmt.Errorf("benchdiff: no benchmark lines found in input"))
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(snap.NsPerOp), *out)
+	}
+	if *base == "" {
+		return
+	}
+	buf, err := os.ReadFile(*base)
+	if err != nil {
+		fatal(err)
+	}
+	var baseline Snapshot
+	if err := json.Unmarshal(buf, &baseline); err != nil {
+		fatal(fmt.Errorf("benchdiff: bad baseline %s: %w", *base, err))
+	}
+	if failed := compare(os.Stdout, &baseline, snap, *maxRegress); failed {
+		os.Exit(1)
+	}
+}
+
+// parse extracts "BenchmarkX-N  iters  ns/op" lines from go test output.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{NsPerOp: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines: name, iteration count, value, "ns/op", then
+		// optional extra metric pairs.
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad ns/op %q in %q", fields[i], sc.Text())
+			}
+			snap.NsPerOp[fields[0]] = v
+			break
+		}
+	}
+	return snap, sc.Err()
+}
+
+// compare prints a per-benchmark delta table and reports whether any
+// benchmark regressed beyond maxRegress percent.
+func compare(w io.Writer, base, cur *Snapshot, maxRegress float64) bool {
+	names := make([]string, 0, len(cur.NsPerOp))
+	for name := range cur.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		curNs := cur.NsPerOp[name]
+		baseNs, ok := base.NsPerOp[name]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %-50s %12.0f ns/op\n", name, curNs)
+			continue
+		}
+		delta := 100 * (curNs - baseNs) / baseNs
+		status := "ok"
+		if delta > maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-5s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, baseNs, curNs, delta)
+	}
+	for name := range base.NsPerOp {
+		if _, ok := cur.NsPerOp[name]; !ok {
+			fmt.Fprintf(w, "GONE  %-50s\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(w, "benchdiff: regression beyond %.0f%% detected\n", maxRegress)
+	}
+	return failed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -5,9 +5,16 @@
 //	wavebench -list
 //	wavebench -exp fig5a
 //	wavebench -exp all [-quick]
+//	wavebench -trace out.json [-procs 4] [-block 16] [-n 128]
 //
 // Each experiment prints the series the corresponding paper artifact
 // reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// The -trace mode runs the Tomcatv forward-elimination wavefront pipelined
+// across -procs ranks with tile width -block, prints the per-rank
+// busy/wait/comm summary, validates the recorded schedule against the
+// wavefront safety invariant, and writes a Chrome trace-event JSON file
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -16,14 +23,21 @@ import (
 	"os"
 	"strings"
 
+	"wavefront"
 	"wavefront/internal/exp"
+	"wavefront/internal/field"
+	"wavefront/internal/workload"
 )
 
 func main() {
 	var (
-		id    = flag.String("exp", "all", "experiment id, or 'all'")
-		quick = flag.Bool("quick", false, "shrink problem sizes (for smoke runs)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		id        = flag.String("exp", "all", "experiment id, or 'all'")
+		quick     = flag.Bool("quick", false, "shrink problem sizes (for smoke runs)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		traceOut  = flag.String("trace", "", "record a traced pipeline run and write Chrome trace JSON to this file")
+		procs     = flag.Int("procs", 4, "ranks for -trace")
+		blockSize = flag.Int("block", 16, "tile width for -trace (0 = naive)")
+		n         = flag.Int("n", 128, "problem size for -trace")
 	)
 	flag.Parse()
 
@@ -31,6 +45,14 @@ func main() {
 		for _, eid := range exp.IDs() {
 			title, _ := exp.Title(eid)
 			fmt.Printf("%-12s %s\n", eid, title)
+		}
+		return
+	}
+
+	if *traceOut != "" {
+		if err := runTraced(*traceOut, *procs, *blockSize, *n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -58,4 +80,41 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runTraced pipelines the Tomcatv forward elimination across ranks with
+// tracing on, prints the summary, validates the schedule, and writes the
+// Chrome trace.
+func runTraced(path string, procs, block, n int) error {
+	t, err := workload.NewTomcatv(n, field.RowMajor)
+	if err != nil {
+		return err
+	}
+	rec := wavefront.NewTraceRecorder(procs)
+	stats, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
+		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tomcatv forward: n=%d procs=%d block=%d tiles=%d msgs=%d elems=%d elapsed=%v\n",
+		n, stats.Procs, stats.Block, stats.Tiles, stats.Comm.Messages, stats.Comm.Elements, stats.Elapsed)
+	fmt.Println(stats.Summary.String())
+	if err := wavefront.ValidateTrace(rec); err != nil {
+		return fmt.Errorf("schedule validation FAILED: %w", err)
+	}
+	fmt.Println("schedule validation: OK (every compute followed its upstream boundary receives)")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote Chrome trace (%d events) to %s — load it in ui.perfetto.dev or chrome://tracing\n",
+		rec.Len(), path)
+	return nil
 }

@@ -11,6 +11,9 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"wavefront/internal/trace"
 )
 
 // Message is one point-to-point transfer.
@@ -46,25 +49,35 @@ func (l *link) send(m Message) {
 	l.cond.Signal()
 }
 
-func (l *link) recv(tag int) (Message, error) {
+func (l *link) recv(tag int) (Message, time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for len(l.queue) == 0 {
-		l.cond.Wait()
+	var blocked time.Duration
+	if len(l.queue) == 0 {
+		// Only the empty-queue path pays for timestamps: the receiver is
+		// about to block anyway, so the cost vanishes into the wait.
+		t0 := time.Now()
+		for len(l.queue) == 0 {
+			l.cond.Wait()
+		}
+		blocked = time.Since(t0)
 	}
 	m := l.queue[0]
 	if m.Tag != tag {
-		return Message{}, fmt.Errorf("comm: receive tag %d but head-of-line message has tag %d", tag, m.Tag)
+		return Message{}, blocked, fmt.Errorf("comm: receive tag %d but head-of-line message has tag %d", tag, m.Tag)
 	}
 	copy(l.queue, l.queue[1:])
 	l.queue = l.queue[:len(l.queue)-1]
-	return m, nil
+	return m, blocked, nil
 }
 
 // Topology is a set of P ranks with a link for every ordered pair.
 type Topology struct {
 	p     int
 	links []*link // links[from*p+to]
+	// tr, when non-nil, records every send and receive (with blocked-wait
+	// durations) to the per-rank trace. Set before Run; read-only after.
+	tr *trace.Recorder
 }
 
 // NewTopology creates a topology of p ranks.
@@ -81,6 +94,17 @@ func NewTopology(p int) (*Topology, error) {
 
 // P returns the number of ranks.
 func (t *Topology) P() int { return t.p }
+
+// SetTrace attaches an execution recorder sized for at least P ranks.
+// Must be called before Run; a nil recorder disables tracing (the
+// default).
+func (t *Topology) SetTrace(tr *trace.Recorder) error {
+	if tr != nil && tr.Procs() < t.p {
+		return fmt.Errorf("comm: trace recorder sized for %d ranks, topology has %d", tr.Procs(), t.p)
+	}
+	t.tr = tr
+	return nil
+}
 
 func (t *Topology) link(from, to int) *link { return t.links[from*t.p+to] }
 
@@ -146,6 +170,14 @@ func (e *Endpoint) Send(to, tag int, data []float64) error {
 	if to == e.rank {
 		return fmt.Errorf("comm: rank %d sending to itself", e.rank)
 	}
+	if tr := e.topo.tr; tr != nil {
+		t0 := tr.Now()
+		e.topo.link(e.rank, to).send(Message{Tag: tag, Data: data})
+		ev := trace.Ev(trace.KindSend, e.rank, t0, tr.Now())
+		ev.Peer, ev.Tag, ev.Elems = to, tag, len(data)
+		tr.Record(ev)
+		return nil
+	}
 	e.topo.link(e.rank, to).send(Message{Tag: tag, Data: data})
 	return nil
 }
@@ -160,9 +192,19 @@ func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
 	if from == e.rank {
 		return nil, fmt.Errorf("comm: rank %d receiving from itself", e.rank)
 	}
-	m, err := e.topo.link(from, e.rank).recv(tag)
+	tr := e.topo.tr
+	var t0 int64
+	if tr != nil {
+		t0 = tr.Now()
+	}
+	m, blocked, err := e.topo.link(from, e.rank).recv(tag)
 	if err != nil {
 		return nil, fmt.Errorf("comm: rank %d from %d: %w", e.rank, from, err)
+	}
+	if tr != nil {
+		ev := trace.Ev(trace.KindRecv, e.rank, t0, tr.Now())
+		ev.Peer, ev.Tag, ev.Elems, ev.Blocked = from, tag, len(m.Data), int64(blocked)
+		tr.Record(ev)
 	}
 	return m.Data, nil
 }

@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/scan"
+	"wavefront/internal/trace"
+)
+
+// TestDifferentialCorpus is the differential regression corpus: a fixed
+// seed table of generated scan blocks, each swept across rank counts, tile
+// widths, and dimension-override combinations, checking on every accepted
+// configuration that (a) the pipelined result is bit-identical to serial
+// execution and (b) the recorded schedule passes the wavefront safety
+// validator. Unlike the fuzzer, the corpus is fully deterministic, so a
+// regression names the exact (seed, procs, block, dims) cell that broke.
+func TestDifferentialCorpus(t *testing.T) {
+	// Seeds chosen so every block is legal and most carry a cross-rank true
+	// dependence (a real wavefront, not just parallel work).
+	seeds := []int64{3, 7, 10, 13, 33, 41}
+	procs := []int{1, 2, 3, 4}
+	blocks := []int{0, 1, 3, 7}
+	dims := []struct{ w, t int }{{-1, -1}, {0, 1}, {1, 0}}
+	bounds := genBounds()
+
+	ran := 0
+	for _, seed := range seeds {
+		blk := genScanBlock(rand.New(rand.NewSource(seed)))
+		if _, err := scan.Analyze(blk, dep.Preference{PreferLow: true}); err != nil {
+			t.Fatalf("seed %d: corpus block is illegal (%v); pick another seed\n%s", seed, err, blk)
+		}
+		serialEnv := genEnv(seed)
+		if err := scan.Exec(blk, serialEnv, scan.ExecOptions{}); err != nil {
+			t.Fatalf("seed %d: serial exec failed: %v\n%s", seed, err, blk)
+		}
+		for _, p := range procs {
+			for _, b := range blocks {
+				for _, d := range dims {
+					cfg := Config{Procs: p, Block: b, WavefrontDim: d.w, TileDim: d.t,
+						Trace: trace.New(p, trace.DefaultCapacity)}
+					parEnv := genEnv(seed)
+					stats, err := Run(blk, parEnv, cfg)
+					if err != nil {
+						if errors.Is(err, ErrUnsupported) {
+							continue // honestly refused for this decomposition
+						}
+						t.Fatalf("seed %d p=%d b=%d dims=(%d,%d): unexpected error: %v\n%s",
+							seed, p, b, d.w, d.t, err, blk)
+					}
+					ran++
+					for _, name := range genNames {
+						if diff := parEnv.Arrays[name].MaxAbsDiff(bounds, serialEnv.Arrays[name]); diff != 0 {
+							t.Errorf("seed %d p=%d b=%d dims=(%d,%d): array %q differs by %g\n%s",
+								seed, p, b, d.w, d.t, name, diff, blk)
+						}
+					}
+					if err := trace.ValidateRecorder(cfg.Trace); err != nil {
+						t.Errorf("seed %d p=%d b=%d dims=(%d,%d): schedule validation failed: %v",
+							seed, p, b, d.w, d.t, err)
+					}
+					if stats.Summary == nil {
+						t.Errorf("seed %d p=%d b=%d: traced run returned nil Summary", seed, p, b)
+					}
+				}
+			}
+		}
+	}
+	// The corpus must actually exercise the runtime: with 6 seeds and 48
+	// configurations each, well over half should be accepted.
+	if ran < 100 {
+		t.Errorf("corpus ran only %d accepted configurations; expected >= 100", ran)
+	}
+	t.Logf("corpus: %d accepted configurations validated", ran)
+}
+
+// TestValidatorCatchesIntentionalBreak tampers with a genuinely recorded
+// schedule — sliding one dependent tile's compute span to before its
+// upstream boundary message — and requires the validator to reject it.
+// This guards the guard: a validator that accepts everything would pass
+// every other test in this file.
+func TestValidatorCatchesIntentionalBreak(t *testing.T) {
+	blk := genScanBlock(rand.New(rand.NewSource(7)))
+	rec := trace.New(3, trace.DefaultCapacity)
+	cfg := DefaultConfig(3, 3)
+	cfg.Trace = rec
+	env := genEnv(7)
+	if _, err := Run(blk, env, cfg); err != nil {
+		t.Fatalf("traced run failed: %v", err)
+	}
+	events := rec.Events()
+	if err := trace.Validate(events); err != nil {
+		t.Fatalf("untampered trace must validate: %v", err)
+	}
+	// Find a compute that depends on an upstream boundary message and move
+	// it to the beginning of time, before any message could have arrived.
+	broke := false
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind == trace.KindCompute && ev.Need >= 0 && ev.Peer >= 0 {
+			ev.Start, ev.End = 0, 1
+			broke = true
+			break
+		}
+	}
+	if !broke {
+		t.Fatal("no dependent compute event in trace; generator produced a non-wavefront block")
+	}
+	err := trace.Validate(events)
+	if err == nil {
+		t.Fatal("validator accepted a schedule with a compute moved before its boundary message")
+	}
+	t.Logf("validator correctly rejected tampered schedule: %v", err)
+}
+
+// TestTracingDefaultOff pins the contract that tracing is opt-in: the
+// default configurations carry no recorder and produce no summary.
+func TestTracingDefaultOff(t *testing.T) {
+	if cfg := DefaultConfig(4, 8); cfg.Trace != nil {
+		t.Fatal("DefaultConfig must not enable tracing")
+	}
+	blk := genScanBlock(rand.New(rand.NewSource(7)))
+	env := genEnv(1)
+	stats, err := Run(blk, env, DefaultConfig(2, 3))
+	if err != nil {
+		t.Fatalf("untraced run failed: %v", err)
+	}
+	if stats.Summary != nil {
+		t.Fatal("untraced run must return a nil Summary")
+	}
+}

@@ -6,9 +6,6 @@ import (
 	"testing"
 
 	"wavefront/internal/dep"
-	"wavefront/internal/expr"
-	"wavefront/internal/field"
-	"wavefront/internal/grid"
 	"wavefront/internal/scan"
 )
 
@@ -17,71 +14,29 @@ import (
 // arrays — and checks that whenever the block is legal and the runtime
 // accepts it, the pipelined result matches serial execution exactly, for
 // random rank counts and tile widths. This is the library's strongest
-// equivalence oracle.
+// equivalence oracle. (The generator lives in gen_test.go, shared with the
+// native fuzz target and the differential corpus.)
 func TestFuzzRandomScanBlocks(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260705))
-	names := []string{"a", "b", "c"}
-	const n = 14
-	halo := 2
-	bounds := grid.Square(2, 1-halo, n+halo)
-	region := grid.Square(2, 1, n)
-
-	mkEnv := func(seed int64) *expr.MapEnv {
-		env := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
-		r := rand.New(rand.NewSource(seed))
-		for _, name := range names {
-			f := field.MustNew(name, bounds, field.RowMajor)
-			f.FillFunc(bounds, func(grid.Point) float64 {
-				return 0.5 + r.Float64()
-			})
-			env.Arrays[name] = f
-		}
-		return env
-	}
-
-	randDir := func() grid.Direction {
-		return grid.Direction{rng.Intn(2*halo+1) - halo, rng.Intn(2*halo+1) - halo}
-	}
+	bounds := genBounds()
 
 	accepted, legal := 0, 0
 	for trial := 0; trial < 400; trial++ {
-		nStmts := 1 + rng.Intn(3)
-		var stmts []scan.Stmt
-		for si := 0; si < nStmts; si++ {
-			lhs := names[rng.Intn(len(names))]
-			// RHS: average of 1-3 references plus a damping constant, so
-			// values stay bounded.
-			nRefs := 1 + rng.Intn(3)
-			terms := []expr.Node{expr.Const(0.1)}
-			for ri := 0; ri < nRefs; ri++ {
-				ref := expr.Ref(names[rng.Intn(len(names))])
-				if rng.Intn(4) > 0 {
-					ref = ref.At(randDir())
-				}
-				if rng.Intn(2) == 0 {
-					ref = ref.Prime()
-				}
-				terms = append(terms, expr.MulN(expr.Const(0.3), ref))
-			}
-			stmts = append(stmts, scan.Stmt{LHS: expr.Ref(lhs), RHS: expr.AddN(terms...)})
-		}
-		blk := scan.NewScan(region, stmts...)
+		blk := genScanBlock(rng)
 
-		serialEnv := mkEnv(int64(trial))
-		an, err := scan.Analyze(blk, dep.Preference{PreferLow: true})
-		if err != nil {
+		serialEnv := genEnv(int64(trial))
+		if _, err := scan.Analyze(blk, dep.Preference{PreferLow: true}); err != nil {
 			continue // illegal (over-constrained or condition (i)): skip
 		}
-		_ = an
 		legal++
 		if err := scan.Exec(blk, serialEnv, scan.ExecOptions{}); err != nil {
 			t.Fatalf("trial %d: serial exec of legal block failed: %v\n%s", trial, err, blk)
 		}
 
 		p := 1 + rng.Intn(4)
-		b := rng.Intn(n + 2)
-		parEnv := mkEnv(int64(trial))
-		_, err = Run(blk, parEnv, DefaultConfig(p, b))
+		b := rng.Intn(genN + 2)
+		parEnv := genEnv(int64(trial))
+		_, err := Run(blk, parEnv, DefaultConfig(p, b))
 		if err != nil {
 			if errors.Is(err, ErrUnsupported) {
 				continue // honestly refused; fine
@@ -89,7 +44,7 @@ func TestFuzzRandomScanBlocks(t *testing.T) {
 			t.Fatalf("trial %d (p=%d b=%d): unexpected error: %v\n%s", trial, p, b, err, blk)
 		}
 		accepted++
-		for _, name := range names {
+		for _, name := range genNames {
 			if d := parEnv.Arrays[name].MaxAbsDiff(bounds, serialEnv.Arrays[name]); d != 0 {
 				t.Fatalf("trial %d (p=%d b=%d): array %q differs by %g\nblock:\n%s",
 					trial, p, b, name, d, blk)

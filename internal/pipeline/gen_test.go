@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"math/rand"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// Shared random-block generator for the equivalence fuzzers and the
+// differential regression corpus. All parties use the same data-space
+// shape so results are comparable across tests.
+const (
+	genN    = 14
+	genHalo = 2
+)
+
+var genNames = []string{"a", "b", "c"}
+
+func genBounds() grid.Region { return grid.Square(2, 1-genHalo, genN+genHalo) }
+func genRegion() grid.Region { return grid.Square(2, 1, genN) }
+
+// genEnv builds an environment with every generator array filled from a
+// deterministic per-seed stream, values in [0.5, 1.5) so damped recurrences
+// stay bounded.
+func genEnv(seed int64) *expr.MapEnv {
+	env := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
+	r := rand.New(rand.NewSource(seed))
+	bounds := genBounds()
+	for _, name := range genNames {
+		f := field.MustNew(name, bounds, field.RowMajor)
+		f.FillFunc(bounds, func(grid.Point) float64 {
+			return 0.5 + r.Float64()
+		})
+		env.Arrays[name] = f
+	}
+	return env
+}
+
+// genScanBlock draws a random scan block — one to three statements over the
+// generator arrays, random shifts within the halo, random primes, damped
+// right-hand sides — from rng. Not every drawn block is legal; callers run
+// scan.Analyze and skip rejects.
+func genScanBlock(rng *rand.Rand) *scan.Block {
+	nStmts := 1 + rng.Intn(3)
+	var stmts []scan.Stmt
+	for si := 0; si < nStmts; si++ {
+		lhs := genNames[rng.Intn(len(genNames))]
+		// RHS: average of 1-3 references plus a damping constant, so
+		// values stay bounded.
+		nRefs := 1 + rng.Intn(3)
+		terms := []expr.Node{expr.Const(0.1)}
+		for ri := 0; ri < nRefs; ri++ {
+			ref := expr.Ref(genNames[rng.Intn(len(genNames))])
+			if rng.Intn(4) > 0 {
+				ref = ref.At(grid.Direction{
+					rng.Intn(2*genHalo+1) - genHalo,
+					rng.Intn(2*genHalo+1) - genHalo,
+				})
+			}
+			if rng.Intn(2) == 0 {
+				ref = ref.Prime()
+			}
+			terms = append(terms, expr.MulN(expr.Const(0.3), ref))
+		}
+		stmts = append(stmts, scan.Stmt{LHS: expr.Ref(lhs), RHS: expr.AddN(terms...)})
+	}
+	return scan.NewScan(genRegion(), stmts...)
+}

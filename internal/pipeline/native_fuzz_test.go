@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/scan"
+	"wavefront/internal/trace"
+)
+
+// FuzzPipelineEquivalence is the native-fuzzing form of the equivalence
+// oracle: the fuzzer picks a generator seed, a rank count, and a tile
+// width; the harness derives a random scan block from the seed and checks
+// that the pipelined run matches serial execution bit for bit AND that the
+// recorded schedule passes the wavefront safety validator. Run a smoke pass
+// with:
+//
+//	go test ./internal/pipeline -run - -fuzz FuzzPipelineEquivalence -fuzztime 10s
+func FuzzPipelineEquivalence(f *testing.F) {
+	f.Add(int64(3), uint8(2), uint8(3))
+	f.Add(int64(7), uint8(4), uint8(0))
+	f.Add(int64(13), uint8(3), uint8(7))
+	f.Add(int64(41), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, procs, block uint8) {
+		p := 1 + int(procs)%4
+		b := int(block) % (genN + 2)
+		blk := genScanBlock(rand.New(rand.NewSource(seed)))
+		if _, err := scan.Analyze(blk, dep.Preference{PreferLow: true}); err != nil {
+			return // illegal block: nothing to compare
+		}
+		serialEnv := genEnv(seed)
+		if err := scan.Exec(blk, serialEnv, scan.ExecOptions{}); err != nil {
+			t.Fatalf("serial exec of legal block failed: %v\n%s", err, blk)
+		}
+		parEnv := genEnv(seed)
+		rec := trace.New(p, trace.DefaultCapacity)
+		cfg := DefaultConfig(p, b)
+		cfg.Trace = rec
+		if _, err := Run(blk, parEnv, cfg); err != nil {
+			if errors.Is(err, ErrUnsupported) {
+				return
+			}
+			t.Fatalf("p=%d b=%d: unexpected error: %v\n%s", p, b, err, blk)
+		}
+		bounds := genBounds()
+		for _, name := range genNames {
+			if d := parEnv.Arrays[name].MaxAbsDiff(bounds, serialEnv.Arrays[name]); d != 0 {
+				t.Fatalf("p=%d b=%d: array %q differs by %g\n%s", p, b, name, d, blk)
+			}
+		}
+		if err := trace.ValidateRecorder(rec); err != nil {
+			t.Fatalf("p=%d b=%d: schedule validation failed: %v\n%s", p, b, err, blk)
+		}
+	})
+}

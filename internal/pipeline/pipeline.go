@@ -21,6 +21,7 @@ import (
 	"wavefront/internal/expr"
 	"wavefront/internal/grid"
 	"wavefront/internal/scan"
+	"wavefront/internal/trace"
 )
 
 // Config selects the decomposition and the tiling of a parallel run.
@@ -37,6 +38,11 @@ type Config struct {
 	// default (the first parallel dimension, else the first non-wavefront
 	// dimension).
 	TileDim int
+	// Trace, when non-nil, records every rank's execution (sends, receives,
+	// per-tile compute spans, scatter/gather) to the recorder; Stats then
+	// carries the derived Summary. Nil — the default — disables tracing at
+	// the cost of a pointer check per operation.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns a Config that accepts the analysis' choices.
@@ -57,6 +63,10 @@ type Stats struct {
 	Pipelined map[string]int
 	Comm      comm.Stats
 	Elapsed   time.Duration
+	// Summary is the per-rank busy/wait/comm breakdown with pipeline
+	// fill/drain/overlap, derived from the trace; nil when Config.Trace
+	// was nil.
+	Summary *trace.Summary
 }
 
 // ErrUnsupported marks scan blocks whose dependence pattern the 1-D
@@ -104,6 +114,9 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := topo.SetTrace(cfg.Trace); err != nil {
+		return nil, err
+	}
 	// Phase barriers around the parallel section: a rank must not gather
 	// into the global arrays while another is still scattering from them
 	// (and vice versa). Without pipeline messages nothing else orders the
@@ -111,7 +124,7 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	phase := comm.NewSyncBarrier(pl.p)
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
-		return runRank(b, env, pl, e, phase)
+		return runRank(b, env, pl, e, phase, cfg.Trace)
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -130,6 +143,7 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 		Pipelined:    pl.pipeArrays,
 		Comm:         topo.Stats(),
 		Elapsed:      elapsed,
+		Summary:      cfg.Trace.Summarize(),
 	}, nil
 }
 

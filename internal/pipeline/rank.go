@@ -8,6 +8,7 @@ import (
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
 	"wavefront/internal/scan"
+	"wavefront/internal/trace"
 )
 
 // forwardEnv resolves arrays from the rank's local fields; scalars come
@@ -31,7 +32,7 @@ func (f *forwardEnv) Scalar(name string) (float64, bool) {
 // runRank is the SPMD body: scatter, pipeline loop, gather. The phase
 // barrier separates global-array reads (scatter) from global-array writes
 // (gather) across ranks.
-func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *comm.SyncBarrier) error {
+func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *comm.SyncBarrier, tr *trace.Recorder) error {
 	rank := e.Rank()
 	L := pl.slabs[rank]
 
@@ -40,6 +41,7 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 	// corners no reference reads) and copy the global values in. The
 	// barrier is reached even on error so no sibling blocks forever.
 	locals := map[string]*field.Field{}
+	scatterT0 := tr.Now()
 	scatterErr := func() error {
 		for name, h := range pl.halo {
 			g := genv.Array(name)
@@ -73,7 +75,14 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 		return nil
 	}()
 
+	if tr != nil {
+		tr.Record(trace.Ev(trace.KindScatter, rank, scatterT0, tr.Now()))
+	}
+	barrierT0 := tr.Now()
 	phase.Wait() // everyone has scattered; globals may now be overwritten
+	if tr != nil {
+		tr.Record(trace.Ev(trace.KindBarrier, rank, barrierT0, tr.Now()))
+	}
 	if scatterErr != nil {
 		return scatterErr
 	}
@@ -84,11 +93,16 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 		return err
 	}
 
+	hasUp := rank > 0 && len(pl.pipeNames) > 0
+	hasDown := rank < pl.p-1 && len(pl.pipeNames) > 0
 	T := pl.tileCount()
 	recvd := 0
 	for t := 0; t < T; t++ {
-		if rank > 0 && len(pl.pipeNames) > 0 {
-			for need := pl.neededUpstream(t); recvd <= need; recvd++ {
+		need := -1
+		if hasUp {
+			need = pl.neededUpstream(t)
+			for ; recvd <= need; recvd++ {
+				waveT0 := tr.Now()
 				buf, err := e.Recv(rank-1, recvd)
 				if err != nil {
 					return err
@@ -104,10 +118,26 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 					locals[name].UnpackRegion(r, buf[off:off+sz])
 					off += sz
 				}
+				if tr != nil {
+					ev := trace.Ev(trace.KindWaveRecv, rank, waveT0, tr.Now())
+					ev.Peer, ev.Seq, ev.Wave, ev.Elems = rank-1, recvd, 0, len(buf)
+					tr.Record(ev)
+				}
 			}
 		}
-		kern.Run(pl.tileRegion(L, t), pl.an.Loop)
-		if rank < pl.p-1 && len(pl.pipeNames) > 0 {
+		tile := pl.tileRegion(L, t)
+		computeT0 := tr.Now()
+		kern.Run(tile, pl.an.Loop)
+		if tr != nil {
+			ev := trace.Ev(trace.KindCompute, rank, computeT0, tr.Now())
+			ev.Tile, ev.Wave, ev.Elems = t, 0, tile.Size()
+			if hasUp {
+				ev.Peer, ev.Need = rank-1, need
+			}
+			tr.Record(ev)
+		}
+		if hasDown {
+			waveT0 := tr.Now()
 			var buf []float64
 			for _, name := range pl.pipeNames {
 				buf = append(buf, locals[name].PackRegion(pl.boundaryRegion(L, name, t))...)
@@ -115,13 +145,22 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 			if err := e.Send(rank+1, t, buf); err != nil {
 				return err
 			}
+			if tr != nil {
+				ev := trace.Ev(trace.KindWaveSend, rank, waveT0, tr.Now())
+				ev.Peer, ev.Seq, ev.Wave, ev.Elems = rank+1, t, 0, len(buf)
+				tr.Record(ev)
+			}
 		}
 	}
 
 	// Gather: write the slab's results back to the global fields. Slabs are
 	// disjoint, so concurrent ranks touch disjoint elements.
+	gatherT0 := tr.Now()
 	for name := range pl.written {
 		genv.Array(name).CopyRegion(L, locals[name])
+	}
+	if tr != nil {
+		tr.Record(trace.Ev(trace.KindGather, rank, gatherT0, tr.Now()))
 	}
 	return nil
 }

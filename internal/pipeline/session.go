@@ -11,6 +11,7 @@ import (
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
 	"wavefront/internal/scan"
+	"wavefront/internal/trace"
 )
 
 // A Session runs a whole program — a sequence of scan blocks, parallel
@@ -56,12 +57,18 @@ type SessionConfig struct {
 	WavefrontDim int
 	// Block is the pipeline tile width for wavefront blocks (0 = naive).
 	Block int
+	// Trace, when non-nil, records every rank's execution; SessionStats
+	// then carries the derived Summary. Nil (the default) disables tracing.
+	Trace *trace.Recorder
 }
 
 // SessionStats summarizes a finished Run.
 type SessionStats struct {
 	Comm    comm.Stats
 	Elapsed time.Duration
+	// Summary is the per-rank busy/wait/comm breakdown with pipeline
+	// fill/drain/overlap; nil when SessionConfig.Trace was nil.
+	Summary *trace.Summary
 }
 
 // NewSession validates the blocks against the decomposition and
@@ -216,7 +223,11 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	if err != nil {
 		return err
 	}
+	if err := topo.SetTrace(s.cfg.Trace); err != nil {
+		return err
+	}
 	s.topo = topo
+	tr := s.cfg.Trace
 	// All ranks must finish scattering (reading the global arrays) before
 	// any rank may gather (writing them); with no other messages in flight
 	// nothing else orders the ranks.
@@ -224,7 +235,11 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
 		rk, err := s.newRank(e)
+		barrierT0 := tr.Now()
 		phase.Wait()
+		if tr != nil {
+			tr.Record(trace.Ev(trace.KindBarrier, e.Rank(), barrierT0, tr.Now()))
+		}
 		if err != nil {
 			return err
 		}
@@ -233,7 +248,7 @@ func (s *Session) Run(body func(r *Rank) error) error {
 		}
 		return rk.gather()
 	})
-	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: time.Since(start)}
+	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: time.Since(start), Summary: tr.Summarize()}
 	if err != nil {
 		return err
 	}
@@ -263,9 +278,14 @@ type Rank struct {
 	// executes the same operation sequence, matching counters produce
 	// matching tags.
 	sendSeq, recvSeq []int
+	// waveRuns counts executed wavefront blocks; because every rank
+	// executes the same block sequence, equal counts identify the same run
+	// in the trace on every rank.
+	waveRuns int
 }
 
 func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
+	scatterT0 := s.cfg.Trace.Now()
 	r := &Rank{
 		sess:     s,
 		e:        e,
@@ -308,11 +328,17 @@ func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
 		r.locals[name] = lf
 	}
 	r.lenv = &forwardEnv{arrays: r.locals, parent: s.genv}
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Record(trace.Ev(trace.KindScatter, r.id, scatterT0, tr.Now()))
+	}
 	return r, nil
 }
 
 // ID returns the rank index.
 func (r *Rank) ID() int { return r.id }
+
+// tr returns the session's trace recorder (nil = tracing disabled).
+func (r *Rank) tr() *trace.Recorder { return r.sess.cfg.Trace }
 
 // SetScalar binds a rank-local scalar, shadowing the global environment.
 // Because compiled kernels capture scalar values, a scalar already used by
@@ -402,7 +428,7 @@ func (r *Rank) Exec(b *scan.Block) error {
 		// into a temporary over this rank's portion (the halo carries the
 		// required pre-block values).
 		sub := scan.NewPlain(L, b.Stmts...)
-		if err := scan.Exec(sub, r.lenv, scan.ExecOptions{ForceTemp: true}); err != nil {
+		if err := scan.Exec(sub, r.lenv, scan.ExecOptions{ForceTemp: true, Trace: r.tr(), TraceRank: r.id}); err != nil {
 			return err
 		}
 	} else {
@@ -424,7 +450,14 @@ func (r *Rank) Exec(b *scan.Block) error {
 		}
 		if len(pl.pipeNames) == 0 {
 			// Fully parallel (or anti-dependences only): compute the portion.
+			tr := r.tr()
+			computeT0 := tr.Now()
 			kern.Run(L, pl.an.Loop)
+			if tr != nil {
+				ev := trace.Ev(trace.KindCompute, r.id, computeT0, tr.Now())
+				ev.Elems = L.Size()
+				tr.Record(ev)
+			}
 		} else if err := r.execWavefront(b, pl, kern, L); err != nil {
 			return err
 		}
@@ -459,11 +492,17 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 		upPortion = grid.MustRegion(dims...)
 	}
 
+	tr := r.tr()
+	wave := r.waveRuns
+	r.waveRuns++
 	T := pl.tileCount()
 	recvd := 0
 	for t := 0; t < T; t++ {
+		need := -1
 		if hasUp {
-			for need := pl.neededUpstream(t); recvd <= need; recvd++ {
+			need = pl.neededUpstream(t)
+			for ; recvd <= need; recvd++ {
+				waveT0 := tr.Now()
 				buf, err := r.recvNext(upstream)
 				if err != nil {
 					return err
@@ -478,16 +517,37 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 					r.locals[name].UnpackRegion(reg, buf[off:off+sz])
 					off += sz
 				}
+				if tr != nil {
+					ev := trace.Ev(trace.KindWaveRecv, r.id, waveT0, tr.Now())
+					ev.Peer, ev.Seq, ev.Wave, ev.Elems = upstream, recvd, wave, len(buf)
+					tr.Record(ev)
+				}
 			}
 		}
-		kern.Run(pl.tileRegion(L, t), pl.an.Loop)
+		tile := pl.tileRegion(L, t)
+		computeT0 := tr.Now()
+		kern.Run(tile, pl.an.Loop)
+		if tr != nil {
+			ev := trace.Ev(trace.KindCompute, r.id, computeT0, tr.Now())
+			ev.Tile, ev.Wave, ev.Elems = t, wave, tile.Size()
+			if hasUp {
+				ev.Peer, ev.Need = upstream, need
+			}
+			tr.Record(ev)
+		}
 		if hasDown {
+			waveT0 := tr.Now()
 			var buf []float64
 			for _, name := range pl.pipeNames {
 				buf = append(buf, r.locals[name].PackRegion(pl.boundaryRegion(L, name, t))...)
 			}
 			if err := r.sendNext(downstream, buf); err != nil {
 				return err
+			}
+			if tr != nil {
+				ev := trace.Ev(trace.KindWaveSend, r.id, waveT0, tr.Now())
+				ev.Peer, ev.Seq, ev.Wave, ev.Elems = downstream, t, wave, len(buf)
+				tr.Record(ev)
 			}
 		}
 	}
@@ -504,6 +564,8 @@ func (r *Rank) exchange(names []string) error {
 		}
 		return nil
 	}
+	tr := r.tr()
+	exchangeT0 := tr.Now()
 	w := r.sess.cfg.WavefrontDim
 	slab := r.sess.slabs[r.id]
 	// sendRegion(neighbor side): rows of MY slab the neighbour's halo
@@ -588,6 +650,9 @@ func (r *Rank) exchange(names []string) error {
 	for _, n := range names {
 		r.dirty[n] = false
 	}
+	if tr != nil {
+		tr.Record(trace.Ev(trace.KindExchange, r.id, exchangeT0, tr.Now()))
+	}
 	return nil
 }
 
@@ -623,7 +688,13 @@ func (r *Rank) Reduce(op scan.ReduceOp, region grid.Region, node expr.Node) (flo
 			return b
 		}
 	}
-	return r.e.AllReduce(local, commOp)
+	tr := r.tr()
+	reduceT0 := tr.Now()
+	out, err := r.e.AllReduce(local, commOp)
+	if tr != nil {
+		tr.Record(trace.Ev(trace.KindReduce, r.id, reduceT0, tr.Now()))
+	}
+	return out, err
 }
 
 func dedup(sorted []string) []string {
@@ -638,6 +709,13 @@ func dedup(sorted []string) []string {
 
 // gather writes every written array's slab back to the global fields.
 func (r *Rank) gather() error {
+	tr := r.tr()
+	gatherT0 := tr.Now()
+	defer func() {
+		if tr != nil {
+			tr.Record(trace.Ev(trace.KindGather, r.id, gatherT0, tr.Now()))
+		}
+	}()
 	w := r.sess.cfg.WavefrontDim
 	for name := range r.wrote {
 		g := r.sess.genv.Array(name)

@@ -7,6 +7,7 @@ import (
 	"wavefront/internal/expr"
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
+	"wavefront/internal/trace"
 )
 
 // ExecOptions controls serial block execution.
@@ -18,6 +19,12 @@ type ExecOptions struct {
 	// side into a temporary before assigning, even when a legal in-place
 	// loop order exists. Used by the temp-vs-in-place ablation.
 	ForceTemp bool
+	// Trace, when non-nil, records every fused-loop run (and temp-path
+	// statement) as a kernel span attributed to TraceRank.
+	Trace *trace.Recorder
+	// TraceRank attributes serial spans when Trace is set (0 for a plain
+	// serial run; the executing rank when a parallel runtime delegates).
+	TraceRank int
 }
 
 // Exec runs the block serially against env. Scan blocks execute as a single
@@ -33,7 +40,7 @@ func Exec(b *Block, env expr.Env, opt ExecOptions) error {
 		if err != nil {
 			return err
 		}
-		return execFused(b, env, an.Loop)
+		return execFused(b, env, an.Loop, opt)
 	case PlainKind:
 		for i := range b.Stmts {
 			sub := &Block{Kind: PlainKind, Region: b.Region, Stmts: b.Stmts[i : i+1]}
@@ -42,12 +49,12 @@ func Exec(b *Block, env expr.Env, opt ExecOptions) error {
 				return err
 			}
 			if an.NeedsTemp() || opt.ForceTemp {
-				if err := execViaTemp(sub, env); err != nil {
+				if err := execViaTemp(sub, env, opt); err != nil {
 					return err
 				}
 				continue
 			}
-			if err := execFused(sub, env, an.Loop); err != nil {
+			if err := execFused(sub, env, an.Loop, opt); err != nil {
 				return err
 			}
 		}
@@ -99,11 +106,12 @@ func checkBounds(b *Block, env expr.Env) error {
 
 // execFused runs the block's statements in a single fused loop nest with
 // the given structure, reading and writing fields in place.
-func execFused(b *Block, env expr.Env, loop dep.LoopSpec) error {
+func execFused(b *Block, env expr.Env, loop dep.LoopSpec, opt ExecOptions) error {
 	k, err := NewKernel(b, env)
 	if err != nil {
 		return err
 	}
+	k.Instrument(opt.Trace, opt.TraceRank)
 	k.Run(b.Region, loop)
 	return nil
 }
@@ -111,7 +119,11 @@ func execFused(b *Block, env expr.Env, loop dep.LoopSpec) error {
 // execViaTemp evaluates each statement's right-hand side into a fresh
 // temporary over the region and then assigns, implementing the pure array
 // semantics directly.
-func execViaTemp(b *Block, env expr.Env) error {
+func execViaTemp(b *Block, env expr.Env, opt ExecOptions) error {
+	var t0 int64
+	if opt.Trace != nil {
+		t0 = opt.Trace.Now()
+	}
 	for _, s := range b.Stmts {
 		dst := env.Array(s.LHS.Name)
 		tmp, err := field.New("tmp$"+s.LHS.Name, b.Region, dst.Layout())
@@ -128,6 +140,11 @@ func execViaTemp(b *Block, env expr.Env) error {
 		b.Region.Each(nil, func(p grid.Point) {
 			dst.Set(p, tmp.At(p))
 		})
+	}
+	if opt.Trace != nil {
+		ev := trace.Ev(trace.KindKernel, opt.TraceRank, t0, opt.Trace.Now())
+		ev.Elems = b.Region.Size() * len(b.Stmts)
+		opt.Trace.Record(ev)
 	}
 	return nil
 }

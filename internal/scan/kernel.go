@@ -5,6 +5,7 @@ import (
 	"wavefront/internal/expr"
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
+	"wavefront/internal/trace"
 )
 
 // Kernel is a block compiled against a concrete environment: the statement
@@ -14,6 +15,9 @@ import (
 // recompiling.
 type Kernel struct {
 	rank int
+	// Tracing (nil = disabled): every Run records one fused-loop span.
+	tr     *trace.Recorder
+	trRank int
 	// Generic path.
 	dst []*field.Field
 	rhs []expr.Compiled
@@ -54,10 +58,29 @@ func NewKernel(b *Block, env expr.Env) (*Kernel, error) {
 	return k, nil
 }
 
+// Instrument makes every Run record a fused-loop span to tr under the
+// given rank. A nil recorder disables tracing (the default).
+func (k *Kernel) Instrument(tr *trace.Recorder, rank int) {
+	k.tr = tr
+	k.trRank = rank
+}
+
 // Run executes the fused statements over region in the given loop order.
 // The region must lie within every referenced field's bounds (the caller
 // checks once, up front).
 func (k *Kernel) Run(region grid.Region, loop dep.LoopSpec) {
+	if k.tr != nil {
+		t0 := k.tr.Now()
+		k.run(region, loop)
+		ev := trace.Ev(trace.KindKernel, k.trRank, t0, k.tr.Now())
+		ev.Elems = region.Size()
+		k.tr.Record(ev)
+		return
+	}
+	k.run(region, loop)
+}
+
+func (k *Kernel) run(region grid.Region, loop dep.LoopSpec) {
 	if k.rhs2 != nil && region.Rank() == 2 {
 		k.run2(region, loop)
 		return

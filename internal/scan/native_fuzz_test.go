@@ -1,0 +1,70 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+// FuzzScanInPlaceEqualsTemp is the native-fuzzing form of the serial
+// semantics oracle: for a random unprimed statement derived from the seed,
+// in-place execution under the derived loop order must match temp-buffer
+// execution (pure array semantics) bit for bit. Run a smoke pass with:
+//
+//	go test ./internal/scan -run - -fuzz FuzzScanInPlaceEqualsTemp -fuzztime 10s
+func FuzzScanInPlaceEqualsTemp(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(97))
+	f.Add(int64(12345))
+	f.Add(int64(-8))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"a", "b"}
+		const n, halo = 12, 2
+		bounds := grid.Square(2, 1-halo, n+halo)
+		region := grid.Square(2, 1, n)
+
+		mkEnv := func() *expr.MapEnv {
+			env := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
+			r := rand.New(rand.NewSource(seed ^ 0x5eed))
+			for _, name := range names {
+				f := field.MustNew(name, bounds, field.RowMajor)
+				f.FillFunc(bounds, func(grid.Point) float64 { return r.Float64() })
+				env.Arrays[name] = f
+			}
+			return env
+		}
+
+		lhs := names[rng.Intn(len(names))]
+		nRefs := 1 + rng.Intn(3)
+		terms := []expr.Node{expr.Const(0.05)}
+		for i := 0; i < nRefs; i++ {
+			ref := expr.Ref(names[rng.Intn(len(names))])
+			if rng.Intn(5) > 0 {
+				ref = ref.At(grid.Direction{
+					rng.Intn(2*halo+1) - halo,
+					rng.Intn(2*halo+1) - halo,
+				})
+			}
+			terms = append(terms, expr.MulN(expr.Const(0.4), ref))
+		}
+		blk := NewPlain(region, Stmt{LHS: expr.Ref(lhs), RHS: expr.AddN(terms...)})
+
+		inPlace := mkEnv()
+		if err := Exec(blk, inPlace, ExecOptions{}); err != nil {
+			t.Fatalf("in-place: %v\n%s", err, blk)
+		}
+		viaTemp := mkEnv()
+		if err := Exec(blk, viaTemp, ExecOptions{ForceTemp: true}); err != nil {
+			t.Fatalf("temp: %v\n%s", err, blk)
+		}
+		for _, name := range names {
+			if d := inPlace.Arrays[name].MaxAbsDiff(bounds, viaTemp.Arrays[name]); d != 0 {
+				t.Fatalf("%q differs by %g between in-place and temp\n%s", name, d, blk)
+			}
+		}
+	})
+}

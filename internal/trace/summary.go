@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// RankSummary is one rank's time breakdown.
+type RankSummary struct {
+	Rank int
+	// Busy is time spent computing (tile spans, or fused kernel runs when
+	// the rank recorded no tile spans).
+	Busy time.Duration
+	// Comm is time moving data: sends, the non-blocked part of receives,
+	// and the scatter/gather copies.
+	Comm time.Duration
+	// Wait is time blocked: the waiting part of receives plus barrier
+	// waits.
+	Wait time.Duration
+	// Events and Dropped count this rank's retained and lost events.
+	Events  int
+	Dropped int64
+	// FirstComputeStart and LastComputeEnd bound the rank's compute
+	// activity in ns since the epoch; -1 when the rank never computed.
+	FirstComputeStart, LastComputeEnd int64
+}
+
+// Summary is the whole-run view the paper's §4 model talks about: per-rank
+// busy/wait/comm, the pipeline fill and drain intervals, and how much of
+// the computation actually overlapped across ranks.
+type Summary struct {
+	Procs int
+	// Wall is the span from the first to the last recorded timestamp.
+	Wall time.Duration
+	// Fill is the pipeline fill time: how long after the first rank starts
+	// computing until the last rank starts. Under the §4 model this is
+	// (p-1) tiles of compute plus message latency.
+	Fill time.Duration
+	// Drain is the pipeline drain time: how long after the first rank
+	// finishes its last tile until the last rank finishes.
+	Drain time.Duration
+	// Overlap is the fraction of compute-active wall time during which at
+	// least two ranks were computing simultaneously (0 when at most one
+	// rank ever computes, approaching (p-1)/p for a full pipeline).
+	Overlap float64
+	// Utilization is total busy time over procs × wall.
+	Utilization float64
+	Ranks       []RankSummary
+}
+
+// Summarize derives the metrics from the recorded events. Call only after
+// the traced run has completed.
+func (r *Recorder) Summarize() *Summary {
+	if r == nil {
+		return nil
+	}
+	s := &Summary{Procs: r.Procs()}
+	var minStart, maxEnd int64 = -1, -1
+	var computes []span
+	for rank := 0; rank < r.Procs(); rank++ {
+		rs := RankSummary{Rank: rank, FirstComputeStart: -1, LastComputeEnd: -1,
+			Dropped: r.ranks[rank].dropped}
+		events := r.RankEvents(rank)
+		rs.Events = len(events)
+		busyKernel := time.Duration(0)
+		hasCompute := false
+		for _, ev := range events {
+			if minStart < 0 || ev.Start < minStart {
+				minStart = ev.Start
+			}
+			if ev.End > maxEnd {
+				maxEnd = ev.End
+			}
+			d := time.Duration(ev.End - ev.Start)
+			switch ev.Kind {
+			case KindCompute:
+				hasCompute = true
+				rs.Busy += d
+				computes = append(computes, span{ev.Start, ev.End})
+				if rs.FirstComputeStart < 0 || ev.Start < rs.FirstComputeStart {
+					rs.FirstComputeStart = ev.Start
+				}
+				if ev.End > rs.LastComputeEnd {
+					rs.LastComputeEnd = ev.End
+				}
+			case KindKernel:
+				busyKernel += d
+			case KindSend, KindScatter, KindGather:
+				rs.Comm += d
+			case KindRecv:
+				rs.Wait += time.Duration(ev.Blocked)
+				rs.Comm += d - time.Duration(ev.Blocked)
+			case KindBarrier:
+				rs.Wait += d
+			}
+		}
+		if !hasCompute && busyKernel > 0 {
+			// Serial traces have only fused kernel runs; count them as busy.
+			rs.Busy = busyKernel
+			for _, ev := range events {
+				if ev.Kind != KindKernel {
+					continue
+				}
+				computes = append(computes, span{ev.Start, ev.End})
+				if rs.FirstComputeStart < 0 || ev.Start < rs.FirstComputeStart {
+					rs.FirstComputeStart = ev.Start
+				}
+				if ev.End > rs.LastComputeEnd {
+					rs.LastComputeEnd = ev.End
+				}
+			}
+		}
+		s.Ranks = append(s.Ranks, rs)
+	}
+	if minStart >= 0 {
+		s.Wall = time.Duration(maxEnd - minStart)
+	}
+
+	// Fill and drain from the per-rank compute envelopes.
+	var firstStarts, lastEnds []int64
+	var busyTotal time.Duration
+	for _, rs := range s.Ranks {
+		busyTotal += rs.Busy
+		if rs.FirstComputeStart >= 0 {
+			firstStarts = append(firstStarts, rs.FirstComputeStart)
+			lastEnds = append(lastEnds, rs.LastComputeEnd)
+		}
+	}
+	if len(firstStarts) > 1 {
+		s.Fill = time.Duration(maxOf(firstStarts) - minOf(firstStarts))
+		s.Drain = time.Duration(maxOf(lastEnds) - minOf(lastEnds))
+	}
+	if s.Wall > 0 && s.Procs > 0 {
+		s.Utilization = float64(busyTotal) / (float64(s.Wall) * float64(s.Procs))
+	}
+	s.Overlap = overlapFraction(computesToIntervals(computes))
+	return s
+}
+
+func minOf(v []int64) int64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(v []int64) int64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+type span struct{ start, end int64 }
+
+type boundary struct {
+	t     int64
+	delta int
+}
+
+func computesToIntervals(spans []span) []boundary {
+	bs := make([]boundary, 0, 2*len(spans))
+	for _, sp := range spans {
+		if sp.end <= sp.start {
+			continue
+		}
+		bs = append(bs, boundary{sp.start, +1}, boundary{sp.end, -1})
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].t != bs[j].t {
+			return bs[i].t < bs[j].t
+		}
+		return bs[i].delta < bs[j].delta // close before open at the same instant
+	})
+	return bs
+}
+
+// overlapFraction sweeps the compute spans and returns the share of
+// compute-active time with at least two ranks active.
+func overlapFraction(bs []boundary) float64 {
+	var active, overlapped int64
+	depth := 0
+	var prev int64
+	for _, b := range bs {
+		if depth >= 1 {
+			active += b.t - prev
+		}
+		if depth >= 2 {
+			overlapped += b.t - prev
+		}
+		depth += b.delta
+		prev = b.t
+	}
+	if active == 0 {
+		return 0
+	}
+	return float64(overlapped) / float64(active)
+}
+
+// String renders the summary as an aligned table.
+func (s *Summary) String() string {
+	if s == nil {
+		return "<no trace>"
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "wall %v  fill %v  drain %v  overlap %.1f%%  utilization %.1f%%\n",
+		s.Wall.Round(time.Microsecond), s.Fill.Round(time.Microsecond),
+		s.Drain.Round(time.Microsecond), 100*s.Overlap, 100*s.Utilization)
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rank\tbusy\tcomm\twait\tevents")
+	for _, rs := range s.Ranks {
+		fmt.Fprintf(w, "%d\t%v\t%v\t%v\t%d\n",
+			rs.Rank, rs.Busy.Round(time.Microsecond), rs.Comm.Round(time.Microsecond),
+			rs.Wait.Round(time.Microsecond), rs.Events)
+	}
+	w.Flush()
+	return buf.String()
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoRankSchedule builds a minimal valid pipelined schedule: rank 0
+// computes tiles 0 and 1, sending a boundary after each; rank 1 receives
+// each boundary before computing the matching tile.
+func twoRankSchedule() []Event {
+	mk := func(kind Kind, rank int, start, end int64, set func(*Event)) Event {
+		ev := Ev(kind, rank, start, end)
+		if set != nil {
+			set(&ev)
+		}
+		return ev
+	}
+	return []Event{
+		// rank 0
+		mk(KindCompute, 0, 0, 10, func(e *Event) { e.Tile, e.Wave = 0, 0 }),
+		mk(KindSend, 0, 10, 11, func(e *Event) { e.Peer, e.Tag, e.Elems = 1, 0, 4 }),
+		mk(KindWaveSend, 0, 10, 12, func(e *Event) { e.Peer, e.Seq, e.Wave, e.Elems = 1, 0, 0, 4 }),
+		mk(KindCompute, 0, 12, 22, func(e *Event) { e.Tile, e.Wave = 1, 0 }),
+		mk(KindSend, 0, 22, 23, func(e *Event) { e.Peer, e.Tag, e.Elems = 1, 1, 4 }),
+		mk(KindWaveSend, 0, 22, 24, func(e *Event) { e.Peer, e.Seq, e.Wave, e.Elems = 1, 1, 0, 4 }),
+		// rank 1
+		mk(KindRecv, 1, 0, 13, func(e *Event) { e.Peer, e.Tag, e.Elems, e.Blocked = 0, 0, 4, 12 }),
+		mk(KindWaveRecv, 1, 0, 14, func(e *Event) { e.Peer, e.Seq, e.Wave, e.Elems = 0, 0, 0, 4 }),
+		mk(KindCompute, 1, 14, 24, func(e *Event) { e.Tile, e.Need, e.Peer, e.Wave = 0, 0, 0, 0 }),
+		mk(KindRecv, 1, 24, 25, func(e *Event) { e.Peer, e.Tag, e.Elems = 0, 1, 4 }),
+		mk(KindWaveRecv, 1, 24, 26, func(e *Event) { e.Peer, e.Seq, e.Wave, e.Elems = 0, 1, 0, 4 }),
+		mk(KindCompute, 1, 26, 36, func(e *Event) { e.Tile, e.Need, e.Peer, e.Wave = 1, 1, 0, 0 }),
+	}
+}
+
+func TestValidateAcceptsSafeSchedule(t *testing.T) {
+	if err := Validate(twoRankSchedule()); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesComputeBeforeRecv(t *testing.T) {
+	events := twoRankSchedule()
+	// Slide rank 1's first compute to start before its boundary message
+	// completed: the race the validator exists to catch.
+	for i := range events {
+		if events[i].Kind == KindCompute && events[i].Rank == 1 && events[i].Tile == 0 {
+			events[i].Start = 5
+		}
+	}
+	err := Validate(events)
+	if err == nil {
+		t.Fatal("schedule with a tile computed before its boundary recv passed validation")
+	}
+	if !strings.Contains(err.Error(), "before boundary message") {
+		t.Fatalf("wrong violation reported: %v", err)
+	}
+}
+
+func TestValidateCatchesMissingBoundaryRecv(t *testing.T) {
+	var events []Event
+	for _, ev := range twoRankSchedule() {
+		if ev.Kind == KindWaveRecv && ev.Seq == 1 {
+			continue // drop the second boundary arrival entirely
+		}
+		events = append(events, ev)
+	}
+	err := Validate(events)
+	if err == nil {
+		t.Fatal("schedule missing a boundary recv passed validation")
+	}
+	if !strings.Contains(err.Error(), "without boundary message") {
+		t.Fatalf("wrong violation reported: %v", err)
+	}
+}
+
+func TestValidateCatchesUnmatchedSend(t *testing.T) {
+	events := twoRankSchedule()
+	extra := Ev(KindSend, 0, 30, 31)
+	extra.Peer, extra.Tag = 1, 9
+	events = append(events, extra)
+	if err := Validate(events); err == nil {
+		t.Fatal("send with no matching recv passed validation")
+	}
+	// A recv with no matching send must also fail.
+	events = twoRankSchedule()
+	ghost := Ev(KindRecv, 1, 30, 31)
+	ghost.Peer, ghost.Tag = 0, 9
+	events = append(events, ghost)
+	if err := Validate(events); err == nil {
+		t.Fatal("recv with no matching send passed validation")
+	}
+}
+
+func TestValidateCatchesRecvBeforeSend(t *testing.T) {
+	events := twoRankSchedule()
+	for i := range events {
+		// Make rank 1's second comm-layer recv complete before rank 0's
+		// send started (clock inversion across the pair).
+		if events[i].Kind == KindRecv && events[i].Tag == 1 {
+			events[i].Start, events[i].End = 2, 3
+		}
+	}
+	if err := Validate(events); err == nil {
+		t.Fatal("recv completing before its send passed validation")
+	}
+}
+
+func TestValidateCollectiveTagsByCount(t *testing.T) {
+	events := twoRankSchedule()
+	// Two barrier-style exchanges on the same negative tag are fine as
+	// long as send and recv counts agree per (src, dst, tag).
+	for i := 0; i < 2; i++ {
+		s := Ev(KindSend, 0, int64(40+2*i), int64(41+2*i))
+		s.Peer, s.Tag = 1, -1
+		r := Ev(KindRecv, 1, int64(40+2*i), int64(42+2*i))
+		r.Peer, r.Tag = 0, -1
+		events = append(events, s, r)
+	}
+	if err := Validate(events); err != nil {
+		t.Fatalf("matched collective traffic rejected: %v", err)
+	}
+	s := Ev(KindSend, 0, 50, 51)
+	s.Peer, s.Tag = 1, -1
+	events = append(events, s)
+	if err := Validate(events); err == nil {
+		t.Fatal("unbalanced collective traffic passed validation")
+	}
+}
+
+func TestValidateRecorderRefusesTruncation(t *testing.T) {
+	r := New(1, 2)
+	for i := 0; i < 5; i++ {
+		r.Record(Ev(KindCompute, 0, int64(i), int64(i+1)))
+	}
+	err := ValidateRecorder(r)
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("truncated trace not refused: %v", err)
+	}
+	if err := ValidateRecorder(nil); err == nil {
+		t.Fatal("nil recorder must not validate")
+	}
+}
+
+func TestValidateViolationCap(t *testing.T) {
+	var events []Event
+	for i := 0; i < 2*maxViolations; i++ {
+		s := Ev(KindSend, 0, int64(i), int64(i+1))
+		s.Peer, s.Tag = 1, i
+		events = append(events, s) // every send unmatched
+	}
+	err := Validate(events)
+	if err == nil {
+		t.Fatal("expected violations")
+	}
+	if !strings.Contains(err.Error(), "and 20 more") {
+		t.Fatalf("violation overflow not summarized: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
 	"wavefront/internal/scan"
+	"wavefront/internal/trace"
 )
 
 // Options configures an interpreter.
@@ -20,8 +21,12 @@ type Options struct {
 	// Layout selects array storage order; the paper's Fortran setting is
 	// column-major.
 	Layout field.Layout
-	// Exec configures the underlying serial executors.
+	// Exec configures the underlying serial executors (including serial
+	// tracing via Exec.Trace).
 	Exec scan.ExecOptions
+	// Trace, when non-nil, records parallel runs (RunParallel) through the
+	// session runtime. Serial runs trace via Exec.Trace instead.
+	Trace *trace.Recorder
 }
 
 // Interp holds a program's runtime state: declared constants, regions,

@@ -70,6 +70,7 @@ func (it *Interp) RunParallel(prog *Program, procs, blockWidth int) error {
 		Procs:  procs,
 		Domain: domain,
 		Block:  blockWidth,
+		Trace:  it.opts.Trace,
 	})
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package wavefront_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -245,5 +246,63 @@ writeln("s =", s);
 	}
 	if it.Env().Scalars["s"] != 72 {
 		t.Errorf("scalar s = %g", it.Env().Scalars["s"])
+	}
+}
+
+// TestPublicAPITracing drives the observability surface end to end: a
+// traced pipelined run yields a per-rank summary, validates against the
+// wavefront safety invariant, and exports a Chrome trace that decodes as
+// JSON; an untraced run (the default) yields no summary.
+func TestPublicAPITracing(t *testing.T) {
+	const n = 16
+	env := wavefront.NewEnv()
+	a, err := wavefront.NewArrayIn(env, "a", wavefront.Box(0, n, 1, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fill(1)
+	block := wavefront.Scan(wavefront.Box(1, n, 1, n),
+		wavefront.Assign("a",
+			wavefront.Mul(wavefront.Num(0.5), wavefront.At("a", wavefront.North).Prime())),
+	)
+
+	rec := wavefront.NewTraceRecorder(3)
+	stats, err := wavefront.RunPipelined(block, env, wavefront.Pipeline{Procs: 3, Block: 4, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Summary == nil {
+		t.Fatal("traced run returned nil Summary")
+	}
+	if stats.Summary.Procs != 3 {
+		t.Errorf("Summary.Procs = %d, want 3", stats.Summary.Procs)
+	}
+	if !strings.Contains(stats.Summary.String(), "rank") {
+		t.Errorf("summary table missing rank column:\n%s", stats.Summary)
+	}
+	if err := wavefront.ValidateTrace(rec); err != nil {
+		t.Errorf("safe schedule failed validation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) == 0 {
+		t.Error("Chrome export has no events")
+	}
+
+	// Tracing is opt-in: the zero-value Pipeline records nothing.
+	untraced, err := wavefront.RunPipelined(block, env, wavefront.Pipeline{Procs: 3, Block: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if untraced.Summary != nil {
+		t.Error("untraced run returned a non-nil Summary")
 	}
 }
