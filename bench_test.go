@@ -252,6 +252,53 @@ func BenchmarkPipelineTrace(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineFaults measures the cost of the fault-injection hook on
+// the pipelined Tomcatv forward sweep: "off" is the default nil-injector
+// path (one pointer check per send/receive, same contract as tracing), "on"
+// compiles a plan whose single rule never matches, so every operation pays
+// the full rule-matching cost without perturbing the run. EXPERIMENTS.md
+// documents the measured delta; the off case must stay within noise of
+// BenchmarkPipelineTomcatvForward.
+func BenchmarkPipelineFaults(b *testing.B) {
+	for _, injected := range []bool{false, true} {
+		name := "off"
+		if injected {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			t, err := workload.NewTomcatv(128, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blk := t.ForwardBlock()
+			cfg := pipeline.DefaultConfig(4, 16)
+			if injected {
+				// A rule pinned to a tag no boundary message carries: the
+				// matcher runs on every operation, but nothing fires.
+				inj, err := wavefront.NewFaultInjector(wavefront.FaultPlan{
+					Seed: 1,
+					Rules: []wavefront.FaultRule{{Op: wavefront.FaultOnSend,
+						Rank: wavefront.FaultAny, Peer: wavefront.FaultAny,
+						Tag: 1 << 20, Action: wavefront.FaultDrop}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Faults = inj
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(blk, t.Env, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if injected && cfg.Faults.Fired() != 0 {
+				b.Fatal("the never-matching rule fired")
+			}
+		})
+	}
+}
+
 func BenchmarkSerialScanTomcatvForward(b *testing.B) {
 	t, err := workload.NewTomcatv(128, field.RowMajor)
 	if err != nil {

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wavefront"
+	"wavefront/internal/field"
+	"wavefront/internal/workload"
+)
+
+// chaosModes are the -chaos scenarios, in run order for "all".
+var chaosModes = []string{"drop", "corrupt", "stall", "crash", "delay", "backpressure"}
+
+// runChaos demonstrates the fault-tolerant runtime on the Tomcatv forward
+// wavefront: it injects one seeded fault scenario (or all of them),
+// verifies the run ends the way the scenario predicts — a structured
+// deadlock diagnosis for starvation, an oracle-visible perturbation for
+// corruption, a clean bit-identical run for delay and backpressure — and
+// prints the injector accounting and diagnostics.
+func runChaos(mode string, procs, block, n, linkCap int, seed int64) error {
+	modes := []string{mode}
+	if mode == "all" {
+		modes = chaosModes
+	}
+
+	// Serial oracle: the fault-free reference result.
+	oracle, err := prepTomcatv(n)
+	if err != nil {
+		return err
+	}
+	if err := wavefront.Exec(oracle.ForwardBlock(), oracle.Env); err != nil {
+		return err
+	}
+
+	failed := false
+	for _, m := range modes {
+		if err := runChaosMode(m, procs, block, n, linkCap, seed, oracle); err != nil {
+			fmt.Printf("chaos %s: FAILED: %v\n\n", m, err)
+			failed = true
+		}
+	}
+	if failed {
+		return errors.New("chaos: one or more scenarios did not behave as predicted")
+	}
+	return nil
+}
+
+func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, oracle *workload.Tomcatv) error {
+	// Pipeline boundary messages flow rank r → r+1 (the forward wavefront
+	// travels north to south) with tags equal to tile indices, so rules
+	// pinned to the 0→1 link deterministically hit boundary traffic.
+	var rules []wavefront.FaultRule
+	switch mode {
+	case "drop":
+		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 0, Peer: 1,
+			Tag: wavefront.FaultAny, After: 1, Times: -1, Action: wavefront.FaultDrop}}
+	case "corrupt":
+		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 0, Peer: 1,
+			Tag: wavefront.FaultAny, After: 1, Action: wavefront.FaultCorrupt}}
+	case "stall":
+		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnRecv, Rank: 1, Peer: 0,
+			Tag: wavefront.FaultAny, After: 1, Action: wavefront.FaultStall}}
+	case "crash":
+		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 0, Peer: 1,
+			Tag: wavefront.FaultAny, After: 2, Action: wavefront.FaultCrash}}
+	case "delay":
+		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 0, Peer: 1,
+			Tag: wavefront.FaultAny, Times: 3, Action: wavefront.FaultDelay, Delay: 1e6}} // 1ms
+	case "backpressure":
+		// No faults: a bounded link must stay bit-identical to the oracle.
+		if linkCap == 0 {
+			linkCap = 1
+		}
+	default:
+		return fmt.Errorf("unknown -chaos mode %q (want one of %v or 'all')", mode, chaosModes)
+	}
+
+	var inj *wavefront.FaultInjector
+	if len(rules) > 0 {
+		var err error
+		inj, err = wavefront.NewFaultInjector(wavefront.FaultPlan{Seed: seed, Rules: rules})
+		if err != nil {
+			return err
+		}
+	}
+	t, err := prepTomcatv(n)
+	if err != nil {
+		return err
+	}
+	_, err = wavefront.RunPipelined(t.ForwardBlock(), t.Env,
+		wavefront.Pipeline{Procs: procs, Block: block, Faults: inj, LinkCapacity: linkCap})
+
+	diff := maxDiff(t, oracle)
+	switch mode {
+	case "drop", "stall":
+		var dl *wavefront.DeadlockError
+		if !errors.As(err, &dl) {
+			return fmt.Errorf("expected a deadlock diagnosis, got: %v", err)
+		}
+		fmt.Printf("chaos %s: diagnosed, not hung:\n  %v\n", mode, dl)
+	case "crash":
+		if !errors.Is(err, wavefront.ErrFaultInjected) {
+			return fmt.Errorf("expected the injected crash to propagate, got: %v", err)
+		}
+		fmt.Printf("chaos %s: crash propagated with peers canceled:\n  %v\n", mode, err)
+	case "corrupt":
+		if err != nil {
+			return fmt.Errorf("corrupted run must still complete, got: %v", err)
+		}
+		if diff == 0 {
+			return errors.New("corruption was not visible to the serial-vs-pipelined oracle")
+		}
+		fmt.Printf("chaos %s: oracle caught it — max |pipelined - serial| = %g\n", mode, diff)
+	case "delay", "backpressure":
+		if err != nil {
+			return fmt.Errorf("run must complete cleanly, got: %v", err)
+		}
+		if diff != 0 {
+			return fmt.Errorf("result diverged from the serial oracle by %g", diff)
+		}
+		fmt.Printf("chaos %s: bit-identical to the serial oracle\n", mode)
+	}
+	if inj != nil {
+		fmt.Printf("  %s\n", inj)
+	}
+	fmt.Println()
+	return nil
+}
+
+// prepTomcatv builds a Tomcatv instance and runs the residual and
+// coefficient sweeps serially so the arrays the forward elimination reads
+// (aa, dd, r, rx, ry) hold real values. On a freshly Reset instance those
+// coefficients are all zero and the recurrence r = aa·d'@north multiplies
+// any injected corruption by zero — the oracle could never see it.
+func prepTomcatv(n int) (*workload.Tomcatv, error) {
+	t, err := workload.NewTomcatv(n, field.RowMajor)
+	if err != nil {
+		return nil, err
+	}
+	if err := wavefront.Exec(t.ResidualBlock(), t.Env); err != nil {
+		return nil, err
+	}
+	if err := wavefront.Exec(t.CoefficientBlock(), t.Env); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// maxDiff is the serial-vs-pipelined oracle: the largest absolute
+// difference over every program array.
+func maxDiff(a, b *workload.Tomcatv) float64 {
+	worst := 0.0
+	for _, name := range workload.TomcatvArrays {
+		da, db := a.Env.Arrays[name].Data(), b.Env.Arrays[name].Data()
+		for i := range da {
+			if d := math.Abs(da[i] - db[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

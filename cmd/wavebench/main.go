@@ -5,7 +5,8 @@
 //	wavebench -list
 //	wavebench -exp fig5a
 //	wavebench -exp all [-quick]
-//	wavebench -trace out.json [-procs 4] [-block 16] [-n 128]
+//	wavebench -trace out.json [-procs 4] [-block 16] [-n 128] [-link-cap 4]
+//	wavebench -chaos all [-procs 4] [-block 16] [-n 64] [-seed 1]
 //
 // Each experiment prints the series the corresponding paper artifact
 // reports; EXPERIMENTS.md records the paper-vs-measured comparison.
@@ -15,6 +16,12 @@
 // busy/wait/comm summary, validates the recorded schedule against the
 // wavefront safety invariant, and writes a Chrome trace-event JSON file
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// The -chaos mode exercises the fault-tolerant runtime: it injects a seeded
+// fault scenario (drop, corrupt, stall, crash, delay, backpressure, or all)
+// into the same workload and verifies the run ends with the predicted
+// diagnosis instead of hanging. -link-cap bounds every comm link so senders
+// feel backpressure (0 = unbounded); it applies to -trace and -chaos runs.
 package main
 
 import (
@@ -35,9 +42,12 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink problem sizes (for smoke runs)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		traceOut  = flag.String("trace", "", "record a traced pipeline run and write Chrome trace JSON to this file")
-		procs     = flag.Int("procs", 4, "ranks for -trace")
-		blockSize = flag.Int("block", 16, "tile width for -trace (0 = naive)")
-		n         = flag.Int("n", 128, "problem size for -trace")
+		procs     = flag.Int("procs", 4, "ranks for -trace and -chaos")
+		blockSize = flag.Int("block", 16, "tile width for -trace and -chaos (0 = naive)")
+		n         = flag.Int("n", 128, "problem size for -trace and -chaos")
+		chaos     = flag.String("chaos", "", "inject a fault scenario (drop|corrupt|stall|crash|delay|backpressure|all)")
+		linkCap   = flag.Int("link-cap", 0, "bound every comm link to this many queued messages (0 = unbounded)")
+		seed      = flag.Int64("seed", 1, "fault-plan seed for -chaos")
 	)
 	flag.Parse()
 
@@ -49,8 +59,16 @@ func main() {
 		return
 	}
 
+	if *chaos != "" {
+		if err := runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	if *traceOut != "" {
-		if err := runTraced(*traceOut, *procs, *blockSize, *n); err != nil {
+		if err := runTraced(*traceOut, *procs, *blockSize, *n, *linkCap); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -85,19 +103,23 @@ func main() {
 // runTraced pipelines the Tomcatv forward elimination across ranks with
 // tracing on, prints the summary, validates the schedule, and writes the
 // Chrome trace.
-func runTraced(path string, procs, block, n int) error {
+func runTraced(path string, procs, block, n, linkCap int) error {
 	t, err := workload.NewTomcatv(n, field.RowMajor)
 	if err != nil {
 		return err
 	}
 	rec := wavefront.NewTraceRecorder(procs)
 	stats, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
-		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec})
+		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec, LinkCapacity: linkCap})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("tomcatv forward: n=%d procs=%d block=%d tiles=%d msgs=%d elems=%d elapsed=%v\n",
 		n, stats.Procs, stats.Block, stats.Tiles, stats.Comm.Messages, stats.Comm.Elements, stats.Elapsed)
+	if linkCap > 0 {
+		fmt.Printf("link capacity %d: %d blocked sends, %v total backpressure wait\n",
+			linkCap, stats.Comm.BlockedSends, stats.Comm.BlockedSendTime)
+	}
 	fmt.Println(stats.Summary.String())
 	if err := wavefront.ValidateTrace(rec); err != nil {
 		return fmt.Errorf("schedule validation FAILED: %w", err)

@@ -1,18 +1,30 @@
 // Package comm is the message-passing substrate of the parallel runtime: a
 // fully connected topology of ranks exchanging tagged float64 payloads over
-// unbounded FIFO links, in the style of MPI point-to-point communication.
+// FIFO links, in the style of MPI point-to-point communication.
 //
-// Links are unbounded so that an eagerly pipelining sender never blocks (the
-// paper's runtime assumes asynchronous sends); receives block until a
-// matching message arrives. Every link counts messages and elements so that
-// experiments can report communication volume exactly.
+// Links are unbounded by default so that an eagerly pipelining sender never
+// blocks (the paper's runtime assumes asynchronous sends); receives block
+// until a matching message arrives. SetLinkCapacity bounds every link to
+// model finite buffers — senders then block on a full link (backpressure)
+// and the time spent blocked is accounted per link. Every link counts
+// messages and elements so that experiments can report communication volume
+// exactly.
+//
+// The substrate is fault-aware: SetFaults attaches a deterministic
+// fault.Injector consulted on every send and receive behind a nil check
+// (mirroring SetTrace), Cancel poisons the whole topology and unblocks
+// every waiter, and an event-driven watchdog turns an all-ranks-blocked
+// state into a structured DeadlockError instead of a hang (see cancel.go).
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"wavefront/internal/fault"
 	"wavefront/internal/trace"
 )
 
@@ -24,51 +36,24 @@ type Message struct {
 	Data []float64
 }
 
-// link is an unbounded FIFO queue between one ordered pair of ranks.
+// link is a FIFO queue between one ordered pair of ranks. Blocking, fault
+// injection, and cancellation live on Topology; the link only owns its
+// queue, its condition variable, and its accounting.
 type link struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []Message
 	// accounting
-	messages int64
-	elements int64
+	messages     int64
+	elements     int64
+	blockedSends int64
+	blockedNs    int64
 }
 
 func newLink() *link {
 	l := &link{}
 	l.cond = sync.NewCond(&l.mu)
 	return l
-}
-
-func (l *link) send(m Message) {
-	l.mu.Lock()
-	l.queue = append(l.queue, m)
-	l.messages++
-	l.elements += int64(len(m.Data))
-	l.mu.Unlock()
-	l.cond.Signal()
-}
-
-func (l *link) recv(tag int) (Message, time.Duration, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var blocked time.Duration
-	if len(l.queue) == 0 {
-		// Only the empty-queue path pays for timestamps: the receiver is
-		// about to block anyway, so the cost vanishes into the wait.
-		t0 := time.Now()
-		for len(l.queue) == 0 {
-			l.cond.Wait()
-		}
-		blocked = time.Since(t0)
-	}
-	m := l.queue[0]
-	if m.Tag != tag {
-		return Message{}, blocked, fmt.Errorf("comm: receive tag %d but head-of-line message has tag %d", tag, m.Tag)
-	}
-	copy(l.queue, l.queue[1:])
-	l.queue = l.queue[:len(l.queue)-1]
-	return m, blocked, nil
 }
 
 // Topology is a set of P ranks with a link for every ordered pair.
@@ -78,6 +63,26 @@ type Topology struct {
 	// tr, when non-nil, records every send and receive (with blocked-wait
 	// durations) to the per-rank trace. Set before Run; read-only after.
 	tr *trace.Recorder
+	// inj, when non-nil, is consulted on every send and receive. Set before
+	// Run; read-only after.
+	inj *fault.Injector
+	// capacity bounds every link's queue; 0 means unbounded. Set before
+	// Run; read-only after.
+	capacity int
+
+	// Cancellation and deadlock-watchdog state (see cancel.go). canceled is
+	// the fast-path flag; done closes when the topology is poisoned; mu
+	// guards the rest. Lock order: link.mu before mu.
+	canceled  atomic.Bool
+	done      chan struct{}
+	mu        sync.Mutex
+	cause     error
+	causeRank int // rank whose failure canceled the run, -1 otherwise
+	running   bool
+	live      int        // ranks of the current Run still executing
+	blocked   int        // ranks registered as blocked in a wait
+	waitGen   uint64     // bumped on every wait/live transition
+	waits     []waitInfo // per-rank registered wait
 }
 
 // NewTopology creates a topology of p ranks.
@@ -85,7 +90,13 @@ func NewTopology(p int) (*Topology, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("comm: topology needs at least 1 rank, got %d", p)
 	}
-	t := &Topology{p: p, links: make([]*link, p*p)}
+	t := &Topology{
+		p:         p,
+		links:     make([]*link, p*p),
+		done:      make(chan struct{}),
+		causeRank: -1,
+		waits:     make([]waitInfo, p),
+	}
 	for i := range t.links {
 		t.links[i] = newLink()
 	}
@@ -106,7 +117,25 @@ func (t *Topology) SetTrace(tr *trace.Recorder) error {
 	return nil
 }
 
+// SetFaults attaches a fault injector consulted on every send and receive.
+// Must be called before Run; a nil injector disables injection (the
+// default) at the cost of one pointer comparison per operation.
+func (t *Topology) SetFaults(in *fault.Injector) { t.inj = in }
+
+// SetLinkCapacity bounds every link to at most n queued messages; senders
+// block on a full link until the receiver drains it (backpressure mode).
+// n = 0 restores the default unbounded behavior. Must be called before Run.
+func (t *Topology) SetLinkCapacity(n int) error {
+	if n < 0 {
+		return fmt.Errorf("comm: link capacity must be >= 0, got %d", n)
+	}
+	t.capacity = n
+	return nil
+}
+
 func (t *Topology) link(from, to int) *link { return t.links[from*t.p+to] }
+
+func (t *Topology) linkIndex(from, to int) int { return from*t.p + to }
 
 // Endpoint returns rank r's handle for sending and receiving.
 func (t *Topology) Endpoint(r int) *Endpoint {
@@ -120,18 +149,24 @@ func (t *Topology) Endpoint(r int) *Endpoint {
 type Stats struct {
 	Messages int64
 	Elements int64
+	// BlockedSends counts sends that had to wait for space on a
+	// capacity-bounded link; BlockedSendTime is their summed wait.
+	BlockedSends    int64
+	BlockedSendTime time.Duration
 }
 
 // Bytes reports the volume in bytes at 8 bytes per element.
 func (s Stats) Bytes() int64 { return s.Elements * 8 }
 
-// Stats sums message and element counts over all links.
+// Stats sums message, element, and blocked-send counts over all links.
 func (t *Topology) Stats() Stats {
 	var s Stats
 	for _, l := range t.links {
 		l.mu.Lock()
 		s.Messages += l.messages
 		s.Elements += l.elements
+		s.BlockedSends += l.blockedSends
+		s.BlockedSendTime += time.Duration(l.blockedNs)
 		l.mu.Unlock()
 	}
 	return s
@@ -149,6 +184,77 @@ func (t *Topology) PendingMessages() int {
 	return n
 }
 
+// sendOn enqueues m on the from→to link, blocking while the link is at
+// capacity. It reports the time spent blocked and fails if the topology is
+// canceled while waiting.
+func (t *Topology) sendOn(from, to int, m Message) (time.Duration, error) {
+	l := t.link(from, to)
+	l.mu.Lock()
+	var blocked time.Duration
+	if t.capacity > 0 && len(l.queue) >= t.capacity {
+		t.beginWait(from, waitInfo{
+			op: waitSend, peer: to, tag: m.Tag,
+			link: t.linkIndex(from, to), queueLen: len(l.queue),
+		})
+		t0 := time.Now()
+		for len(l.queue) >= t.capacity && !t.canceled.Load() {
+			l.cond.Wait()
+		}
+		blocked = time.Since(t0)
+		t.endWait(from)
+		l.blockedSends++
+		l.blockedNs += int64(blocked)
+		if len(l.queue) >= t.capacity {
+			l.mu.Unlock()
+			return blocked, t.cancelError()
+		}
+	}
+	l.queue = append(l.queue, m)
+	l.messages++
+	l.elements += int64(len(m.Data))
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	return blocked, nil
+}
+
+// recvOn dequeues the next message on the from→to link, blocking while the
+// link is empty. It reports the time spent blocked and fails on a tag
+// mismatch or if the topology is canceled while waiting.
+func (t *Topology) recvOn(from, to, tag int) (Message, time.Duration, error) {
+	l := t.link(from, to)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var blocked time.Duration
+	if len(l.queue) == 0 {
+		// Only the empty-queue path pays for timestamps: the receiver is
+		// about to block anyway, so the cost vanishes into the wait.
+		t.beginWait(to, waitInfo{
+			op: waitRecv, peer: from, tag: tag, link: t.linkIndex(from, to),
+		})
+		t0 := time.Now()
+		for len(l.queue) == 0 && !t.canceled.Load() {
+			l.cond.Wait()
+		}
+		blocked = time.Since(t0)
+		t.endWait(to)
+		if len(l.queue) == 0 {
+			return Message{}, blocked, t.cancelError()
+		}
+	}
+	m := l.queue[0]
+	if m.Tag != tag {
+		return Message{}, blocked, fmt.Errorf(
+			"comm: tag mismatch on link %d→%d: rank %d expects tag %d from rank %d, but the head-of-line message carries tag %d (queue depth %d)",
+			from, to, to, tag, from, m.Tag, len(l.queue))
+	}
+	copy(l.queue, l.queue[1:])
+	l.queue = l.queue[:len(l.queue)-1]
+	if t.capacity > 0 {
+		l.cond.Broadcast() // space freed: wake blocked senders
+	}
+	return m, blocked, nil
+}
+
 // Endpoint is one rank's view of the topology.
 type Endpoint struct {
 	rank int
@@ -161,45 +267,125 @@ func (e *Endpoint) Rank() int { return e.rank }
 // P returns the topology size.
 func (e *Endpoint) P() int { return e.topo.p }
 
-// Send delivers data to rank `to` under the given tag. Sends never block.
-// The payload must not be mutated after sending.
+// recordFault traces an injected fault firing at rank; the action code
+// travels in Seq.
+func (t *Topology) recordFault(rank, peer, tag, elems int, out fault.Outcome) {
+	if tr := t.tr; tr != nil {
+		now := tr.Now()
+		ev := trace.Ev(trace.KindFault, rank, now, now)
+		ev.Peer, ev.Tag, ev.Elems, ev.Seq = peer, tag, elems, int(out.Action)
+		tr.Record(ev)
+	}
+}
+
+// recordCancel traces an operation aborted by cancellation.
+func (t *Topology) recordCancel(rank, peer, tag int, start int64) {
+	if tr := t.tr; tr != nil {
+		ev := trace.Ev(trace.KindCancel, rank, start, tr.Now())
+		ev.Peer, ev.Tag = peer, tag
+		tr.Record(ev)
+	}
+}
+
+// Send delivers data to rank `to` under the given tag. Sends never block on
+// unbounded links; with SetLinkCapacity they block while the link is full.
+// The payload must not be mutated after sending. Send fails fast once the
+// topology is canceled.
 func (e *Endpoint) Send(to, tag int, data []float64) error {
-	if to < 0 || to >= e.topo.p {
+	t := e.topo
+	if to < 0 || to >= t.p {
 		return fmt.Errorf("comm: rank %d sending to invalid rank %d", e.rank, to)
 	}
 	if to == e.rank {
 		return fmt.Errorf("comm: rank %d sending to itself", e.rank)
 	}
-	if tr := e.topo.tr; tr != nil {
-		t0 := tr.Now()
-		e.topo.link(e.rank, to).send(Message{Tag: tag, Data: data})
-		ev := trace.Ev(trace.KindSend, e.rank, t0, tr.Now())
-		ev.Peer, ev.Tag, ev.Elems = to, tag, len(data)
-		tr.Record(ev)
-		return nil
+	if t.canceled.Load() {
+		return t.cancelError()
 	}
-	e.topo.link(e.rank, to).send(Message{Tag: tag, Data: data})
+	dup := false
+	if out, fired := t.inj.OnSend(e.rank, to, tag, data); fired {
+		t.recordFault(e.rank, to, tag, len(data), out)
+		switch out.Action {
+		case fault.ActDelay:
+			time.Sleep(out.Delay)
+		case fault.ActDrop:
+			return nil // the send "succeeds"; the message is gone
+		case fault.ActDuplicate:
+			dup = true
+		case fault.ActCorrupt:
+			data = out.Data
+		case fault.ActStall:
+			return t.stall(e.rank, to, tag, fault.OpSend)
+		case fault.ActCrash:
+			return t.inj.Crash(out, fault.OpSend, e.rank, to, tag)
+		}
+	}
+	tr := t.tr
+	var t0 int64
+	if tr != nil {
+		t0 = tr.Now()
+	}
+	blocked, err := t.sendOn(e.rank, to, Message{Tag: tag, Data: data})
+	if err != nil {
+		t.recordCancel(e.rank, to, tag, t0)
+		return err
+	}
+	if tr != nil {
+		if blocked > 0 {
+			bev := trace.Ev(trace.KindBlockedSend, e.rank, t0, t0+int64(blocked))
+			bev.Peer, bev.Tag, bev.Blocked = to, tag, int64(blocked)
+			tr.Record(bev)
+		}
+		ev := trace.Ev(trace.KindSend, e.rank, t0, tr.Now())
+		ev.Peer, ev.Tag, ev.Elems, ev.Blocked = to, tag, len(data), int64(blocked)
+		tr.Record(ev)
+	}
+	if dup {
+		if _, err := t.sendOn(e.rank, to, Message{Tag: tag, Data: data}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Recv blocks until the next message from rank `from` arrives and returns
 // its payload. The head-of-line message must carry the expected tag;
-// deterministic programs receive in send order.
+// deterministic programs receive in send order. Recv fails fast once the
+// topology is canceled.
 func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
-	if from < 0 || from >= e.topo.p {
+	t := e.topo
+	if from < 0 || from >= t.p {
 		return nil, fmt.Errorf("comm: rank %d receiving from invalid rank %d", e.rank, from)
 	}
 	if from == e.rank {
 		return nil, fmt.Errorf("comm: rank %d receiving from itself", e.rank)
 	}
-	tr := e.topo.tr
+	if t.canceled.Load() {
+		return nil, t.cancelError()
+	}
+	if out, fired := t.inj.OnRecv(e.rank, from, tag); fired {
+		t.recordFault(e.rank, from, tag, 0, out)
+		switch out.Action {
+		case fault.ActDelay:
+			time.Sleep(out.Delay)
+		case fault.ActStall:
+			return nil, t.stall(e.rank, from, tag, fault.OpRecv)
+		case fault.ActCrash:
+			return nil, t.inj.Crash(out, fault.OpRecv, e.rank, from, tag)
+		}
+	}
+	tr := t.tr
 	var t0 int64
 	if tr != nil {
 		t0 = tr.Now()
 	}
-	m, blocked, err := e.topo.link(from, e.rank).recv(tag)
+	m, blocked, err := t.recvOn(from, e.rank, tag)
 	if err != nil {
-		return nil, fmt.Errorf("comm: rank %d from %d: %w", e.rank, from, err)
+		if errors.Is(err, ErrCanceled) {
+			t.recordCancel(e.rank, from, tag, t0)
+			return nil, err
+		}
+		return nil, err
 	}
 	if tr != nil {
 		ev := trace.Ev(trace.KindRecv, e.rank, t0, tr.Now())
@@ -210,19 +396,53 @@ func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
 }
 
 // Run spawns one goroutine per rank executing body and waits for all of
-// them; the first non-nil error is returned. It is the SPMD entry point of
-// the runtime.
+// them. It is the SPMD entry point of the runtime. When a rank's body
+// returns an error, the topology is canceled so blocked peers unwind
+// instead of hanging, and Run reports that rank's error wrapped with the
+// cancellation; a watchdog-diagnosed deadlock surfaces as a DeadlockError.
 func (t *Topology) Run(body func(e *Endpoint) error) error {
+	t.mu.Lock()
+	if t.running {
+		t.mu.Unlock()
+		return errors.New("comm: Run already in progress on this topology")
+	}
+	t.running = true
+	t.live = t.p
+	t.waitGen++
+	t.mu.Unlock()
+
 	errs := make([]error, t.p)
 	var wg sync.WaitGroup
 	wg.Add(t.p)
 	for r := 0; r < t.p; r++ {
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = body(t.Endpoint(r))
+			err := body(t.Endpoint(r))
+			errs[r] = err
+			if err != nil && !errors.Is(err, ErrCanceled) {
+				// Cancel before retiring so the watchdog can never diagnose
+				// a "deadlock" among peers this failure is about to unblock.
+				t.cancel(r, err)
+			}
+			t.rankDone(r)
 		}(r)
 	}
 	wg.Wait()
+
+	t.mu.Lock()
+	t.running = false
+	canceled, cause, causeRank := t.canceled.Load(), t.cause, t.causeRank
+	t.mu.Unlock()
+	if canceled {
+		if causeRank >= 0 {
+			return fmt.Errorf("comm: rank %d failed, peers canceled: %w", causeRank, cause)
+		}
+		var dl *DeadlockError
+		if errors.As(cause, &dl) {
+			return dl
+		}
+		return &CancelError{Cause: cause}
+	}
 	for r, err := range errs {
 		if err != nil {
 			return fmt.Errorf("comm: rank %d: %w", r, err)

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRuleMatchingAndCounting(t *testing.T) {
+	in := MustNew(Plan{Rules: []Rule{
+		{Op: OpSend, Rank: 0, Peer: 1, Tag: Any, After: 2, Times: 0, Action: ActDrop},
+	}})
+	// Sends 0 and 1 pass clean, send 2 drops, later sends pass again.
+	for i := 0; i < 5; i++ {
+		out, fired := in.OnSend(0, 1, i, nil)
+		want := i == 2
+		if fired != want {
+			t.Errorf("send %d: fired = %v, want %v", i, fired, want)
+		}
+		if fired && out.Action != ActDrop {
+			t.Errorf("send %d: action = %v", i, out.Action)
+		}
+	}
+	// Non-matching rank/peer never fire.
+	if _, fired := in.OnSend(1, 0, 0, nil); fired {
+		t.Error("rule fired for the wrong direction")
+	}
+	if in.Fired() != 1 {
+		t.Errorf("Fired() = %d, want 1", in.Fired())
+	}
+}
+
+func TestTimesForever(t *testing.T) {
+	in := MustNew(Plan{Rules: []Rule{
+		{Op: OpSend, Rank: 0, Peer: 1, Tag: Any, After: 1, Times: -1, Action: ActDrop},
+	}})
+	for i := 0; i < 6; i++ {
+		_, fired := in.OnSend(0, 1, i, nil)
+		if want := i >= 1; fired != want {
+			t.Errorf("send %d: fired = %v, want %v", i, fired, want)
+		}
+	}
+}
+
+func TestTimesN(t *testing.T) {
+	in := MustNew(Plan{Rules: []Rule{
+		{Op: OpRecv, Rank: 2, Peer: Any, Tag: Any, Times: 3, Action: ActStall},
+	}})
+	n := 0
+	for i := 0; i < 10; i++ {
+		if _, fired := in.OnRecv(2, 0, i); fired {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("fired %d times, want 3", n)
+	}
+}
+
+func TestCorruptDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, Rules: []Rule{
+		{Op: OpSend, Rank: 0, Peer: 1, Tag: 7, Action: ActCorrupt},
+	}}
+	data := []float64{1, 2, 3}
+	out1, fired1 := MustNew(plan).OnSend(0, 1, 7, data)
+	out2, fired2 := MustNew(plan).OnSend(0, 1, 7, data)
+	if !fired1 || !fired2 {
+		t.Fatal("corrupt rule must fire")
+	}
+	for i := range data {
+		if out1.Data[i] == data[i] {
+			t.Errorf("element %d not perturbed", i)
+		}
+		if out1.Data[i] != out2.Data[i] {
+			t.Errorf("element %d: corruption differs across seeded runs: %g vs %g",
+				i, out1.Data[i], out2.Data[i])
+		}
+	}
+	if data[0] != 1 || data[1] != 2 || data[2] != 3 {
+		t.Error("original payload must be untouched")
+	}
+	// A different seed perturbs differently.
+	plan.Seed = 43
+	out3, _ := MustNew(plan).OnSend(0, 1, 7, data)
+	if out3.Data[0] == out1.Data[0] {
+		t.Error("different seeds must derive different corruption deltas")
+	}
+}
+
+func TestFirstFiringRuleWins(t *testing.T) {
+	in := MustNew(Plan{Rules: []Rule{
+		{Op: OpSend, Rank: Any, Peer: Any, Tag: Any, Action: ActDrop, Times: -1},
+		{Op: OpSend, Rank: Any, Peer: Any, Tag: Any, Action: ActDuplicate, Times: -1},
+	}})
+	out, fired := in.OnSend(0, 1, 0, nil)
+	if !fired || out.Action != ActDrop || out.Rule != 0 {
+		t.Errorf("outcome = %+v fired=%v, want rule 0 drop", out, fired)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Op: OpRecv, Rank: 0, Peer: 1, Tag: Any, Action: ActDrop}}},
+		{Rules: []Rule{{Op: OpRecv, Rank: 0, Peer: 1, Tag: Any, Action: ActCorrupt}}},
+		{Rules: []Rule{{Op: OpSend, Rank: 0, Peer: 1, Tag: Any, Action: ActDelay}}}, // no Delay
+		{Rules: []Rule{{Op: OpSend, Rank: 0, Peer: 1, Tag: Any}}},                   // no action
+		{Rules: []Rule{{Op: OpSend, Rank: 0, Peer: 1, Tag: Any, Action: ActDrop, After: -1}}},
+		{Rules: []Rule{{Op: OpSend, Rank: 0, Peer: 1, Tag: Any, Action: ActDrop, Times: -2}}},
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("plan %d must be rejected", i)
+		}
+	}
+	good := Plan{Rules: []Rule{
+		{Op: OpSend, Rank: 0, Peer: 1, Tag: Any, Action: ActDelay, Delay: time.Millisecond},
+		{Op: OpRecv, Rank: 1, Peer: 0, Tag: 3, Action: ActCrash},
+	}}
+	if _, err := New(good); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestCrashError(t *testing.T) {
+	in := MustNew(Plan{Rules: []Rule{
+		{Op: OpRecv, Rank: 1, Peer: 0, Tag: Any, Action: ActCrash},
+	}})
+	out, fired := in.OnRecv(1, 0, 4)
+	if !fired {
+		t.Fatal("crash rule must fire")
+	}
+	err := in.Crash(out, OpRecv, 1, 0, 4)
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("crash error must match ErrInjected: %v", err)
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Rank != 1 || ce.Peer != 0 || ce.Tag != 4 {
+		t.Errorf("crash error lacks identity: %v", err)
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector must be disabled")
+	}
+	if _, fired := in.OnSend(0, 1, 0, nil); fired {
+		t.Error("nil injector must never fire")
+	}
+	if in.Fired() != 0 {
+		t.Error("nil injector fired count must be 0")
+	}
+	if in.String() == "" {
+		t.Error("nil injector must stringify")
+	}
+}

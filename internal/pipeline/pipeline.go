@@ -19,6 +19,7 @@ import (
 	"wavefront/internal/comm"
 	"wavefront/internal/dep"
 	"wavefront/internal/expr"
+	"wavefront/internal/fault"
 	"wavefront/internal/grid"
 	"wavefront/internal/scan"
 	"wavefront/internal/trace"
@@ -43,6 +44,14 @@ type Config struct {
 	// carries the derived Summary. Nil — the default — disables tracing at
 	// the cost of a pointer check per operation.
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects the compiled fault plan into every send
+	// and receive (see internal/fault). Nil — the default — disables
+	// injection at the cost of a pointer check per operation.
+	Faults *fault.Injector
+	// LinkCapacity bounds every comm link to at most this many queued
+	// messages; senders then block on a full link (backpressure). 0 — the
+	// default — keeps links unbounded.
+	LinkCapacity int
 }
 
 // DefaultConfig returns a Config that accepts the analysis' choices.
@@ -115,6 +124,10 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 		return nil, err
 	}
 	if err := topo.SetTrace(cfg.Trace); err != nil {
+		return nil, err
+	}
+	topo.SetFaults(cfg.Faults)
+	if err := topo.SetLinkCapacity(cfg.LinkCapacity); err != nil {
 		return nil, err
 	}
 	// Phase barriers around the parallel section: a rank must not gather

@@ -3,11 +3,13 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"wavefront/internal/comm"
 	"wavefront/internal/dep"
 	"wavefront/internal/expr"
+	"wavefront/internal/fault"
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
 	"wavefront/internal/scan"
@@ -41,8 +43,11 @@ type Session struct {
 	subBlocks map[*scan.Block][]*scan.Block
 	halos     map[string]haloSpec // per-array union over all registered blocks
 	names     []string            // sorted array names
-	topo      *comm.Topology
-	stats     SessionStats
+	// mu guards topo, which exists only while Run is in flight (Cancel may
+	// be called from any goroutine).
+	mu    sync.Mutex
+	topo  *comm.Topology
+	stats SessionStats
 }
 
 // SessionConfig fixes a session's decomposition.
@@ -60,6 +65,14 @@ type SessionConfig struct {
 	// Trace, when non-nil, records every rank's execution; SessionStats
 	// then carries the derived Summary. Nil (the default) disables tracing.
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects the compiled fault plan into every send
+	// and receive (see internal/fault). Nil (the default) disables
+	// injection.
+	Faults *fault.Injector
+	// LinkCapacity bounds every comm link to at most this many queued
+	// messages; senders then block on a full link (backpressure). 0 (the
+	// default) keeps links unbounded.
+	LinkCapacity int
 }
 
 // SessionStats summarizes a finished Run.
@@ -82,6 +95,9 @@ func NewSession(env expr.Env, blocks []*scan.Block, cfg SessionConfig) (*Session
 	if cfg.WavefrontDim < 0 || cfg.WavefrontDim >= cfg.Domain.Rank() {
 		return nil, fmt.Errorf("pipeline: session wavefront dimension %d out of range for rank %d",
 			cfg.WavefrontDim, cfg.Domain.Rank())
+	}
+	if cfg.LinkCapacity < 0 {
+		return nil, fmt.Errorf("pipeline: session link capacity must be >= 0, got %d", cfg.LinkCapacity)
 	}
 	slabs, err := grid.SplitRegion(cfg.Domain, cfg.WavefrontDim, cfg.Procs)
 	if err != nil {
@@ -212,6 +228,20 @@ func (s *Session) register(b *scan.Block) error {
 // Stats returns the communication volume and elapsed time of the last Run.
 func (s *Session) Stats() SessionStats { return s.stats }
 
+// Cancel aborts an in-flight Run: the topology is poisoned with cause, every
+// blocked rank unwinds with a cancellation error, and Run reports it.
+// Idempotent — the first cause wins — and safe to call from any goroutine;
+// a Cancel with no Run in flight is a no-op. Each Run builds a fresh
+// topology, so a canceled session may Run again.
+func (s *Session) Cancel(cause error) {
+	s.mu.Lock()
+	topo := s.topo
+	s.mu.Unlock()
+	if topo != nil {
+		topo.Cancel(cause)
+	}
+}
+
 // Slab returns rank r's portion of the domain.
 func (s *Session) Slab(r int) grid.Region { return s.slabs[r] }
 
@@ -226,7 +256,13 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	if err := topo.SetTrace(s.cfg.Trace); err != nil {
 		return err
 	}
+	topo.SetFaults(s.cfg.Faults)
+	if err := topo.SetLinkCapacity(s.cfg.LinkCapacity); err != nil {
+		return err
+	}
+	s.mu.Lock()
 	s.topo = topo
+	s.mu.Unlock()
 	tr := s.cfg.Trace
 	// All ranks must finish scattering (reading the global arrays) before
 	// any rank may gather (writing them); with no other messages in flight

@@ -76,6 +76,14 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			}
 		case KindKernel:
 			ce.Args["elems"] = ev.Elems
+		case KindBlockedSend:
+			ce.Args["tag"] = ev.Tag
+			ce.Args["blocked_ns"] = ev.Blocked
+		case KindFault:
+			ce.Args["tag"] = ev.Tag
+			ce.Args["action_code"] = ev.Seq
+		case KindCancel:
+			ce.Args["tag"] = ev.Tag
 		}
 		if len(ce.Args) == 0 {
 			ce.Args = nil
@@ -92,8 +100,10 @@ func category(k Kind) string {
 	switch k {
 	case KindCompute, KindKernel:
 		return "compute"
-	case KindSend, KindRecv, KindWaveSend, KindWaveRecv:
+	case KindSend, KindRecv, KindWaveSend, KindWaveRecv, KindBlockedSend:
 		return "comm"
+	case KindFault, KindCancel:
+		return "fault"
 	default:
 		return "phase"
 	}

@@ -23,6 +23,10 @@ type RankSummary struct {
 	// Events and Dropped count this rank's retained and lost events.
 	Events  int
 	Dropped int64
+	// Faults counts injected faults that fired on this rank; Cancels counts
+	// operations aborted by topology cancellation.
+	Faults  int
+	Cancels int
 	// FirstComputeStart and LastComputeEnd bound the rank's compute
 	// activity in ns since the epoch; -1 when the rank never computed.
 	FirstComputeStart, LastComputeEnd int64
@@ -88,13 +92,21 @@ func (r *Recorder) Summarize() *Summary {
 				}
 			case KindKernel:
 				busyKernel += d
-			case KindSend, KindScatter, KindGather:
+			case KindScatter, KindGather:
 				rs.Comm += d
-			case KindRecv:
+			case KindSend, KindRecv:
+				// Backpressured sends and blocking receives split into the
+				// blocked wait and the data movement proper. (The separate
+				// KindBlockedSend span covers the same interval as the send's
+				// Blocked field and is not double-counted.)
 				rs.Wait += time.Duration(ev.Blocked)
 				rs.Comm += d - time.Duration(ev.Blocked)
 			case KindBarrier:
 				rs.Wait += d
+			case KindFault:
+				rs.Faults++
+			case KindCancel:
+				rs.Cancels++
 			}
 		}
 		if !hasCompute && busyKernel > 0 {

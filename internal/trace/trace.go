@@ -55,12 +55,23 @@ const (
 	KindExchange
 	// KindReduce is a cross-rank reduction.
 	KindReduce
+	// KindBlockedSend is the portion of a send spent waiting for space on a
+	// capacity-bounded link (backpressure); the enclosing KindSend span
+	// carries the same duration in Blocked.
+	KindBlockedSend
+	// KindFault marks an injected fault firing on this rank; Seq holds the
+	// fault.Action code and Peer/Tag identify the faulted operation.
+	KindFault
+	// KindCancel marks an operation aborted by topology cancellation
+	// (including watchdog-diagnosed deadlocks).
+	KindCancel
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"compute", "kernel", "send", "recv", "wave-send", "wave-recv",
 	"scatter", "gather", "barrier", "exchange", "reduce",
+	"blocked-send", "fault", "cancel",
 }
 
 // String names the kind for humans and for the Chrome export.

@@ -21,11 +21,26 @@ import (
 //     messages 0..Need from that upstream rank in the same wave run have
 //     all been received.
 //
+// Disrupted traces — those containing KindFault or KindCancel events —
+// relax the pairing checks (1) and (2): injected drops, duplicates, and
+// cancellations legitimately break count equality, so only the ordering of
+// uniquely paired messages is checked. The wavefront-safety check (3) is
+// never relaxed: even a canceled run must not have computed a tile before
+// its upstream boundary messages arrived.
+//
 // Validate returns nil for a safe schedule, or an error listing up to
 // maxViolations violations. Traces that dropped events cannot be checked;
 // use ValidateRecorder to guard against truncation.
 func Validate(events []Event) error {
 	var v violations
+
+	disrupted := false
+	for _, ev := range events {
+		if ev.Kind == KindFault || ev.Kind == KindCancel {
+			disrupted = true
+			break
+		}
+	}
 
 	type pairKey struct{ src, dst, tag int }
 	sends := map[pairKey][]Event{}
@@ -59,22 +74,26 @@ func Validate(events []Event) error {
 		rs := recvs[pairKey{k.src, k.dst, k.tag}]
 		if k.tag >= 0 {
 			if len(ss) != 1 || len(rs) != 1 {
-				v.addf("message (src %d, dst %d, tag %d): %d sends, %d recvs; want exactly 1:1",
-					k.src, k.dst, k.tag, len(ss), len(rs))
+				if !disrupted {
+					v.addf("message (src %d, dst %d, tag %d): %d sends, %d recvs; want exactly 1:1",
+						k.src, k.dst, k.tag, len(ss), len(rs))
+				}
 				continue
 			}
 			if rs[0].End < ss[0].Start {
 				v.addf("message (src %d, dst %d, tag %d): recv completed at %dns before send started at %dns",
 					k.src, k.dst, k.tag, rs[0].End, ss[0].Start)
 			}
-		} else if len(ss) != len(rs) {
+		} else if len(ss) != len(rs) && !disrupted {
 			v.addf("collective (src %d, dst %d, tag %d): %d sends but %d recvs",
 				k.src, k.dst, k.tag, len(ss), len(rs))
 		}
 	}
-	for k, rs := range recvs {
-		if _, ok := sends[k]; !ok {
-			v.addf("message (src %d, dst %d, tag %d): %d recvs with no send", k.src, k.dst, k.tag, len(rs))
+	if !disrupted {
+		for k, rs := range recvs {
+			if _, ok := sends[k]; !ok {
+				v.addf("message (src %d, dst %d, tag %d): %d recvs with no send", k.src, k.dst, k.tag, len(rs))
+			}
 		}
 	}
 
@@ -82,8 +101,10 @@ func Validate(events []Event) error {
 	for k, ss := range waveSends {
 		rs := waveRecvs[k]
 		if len(ss) != 1 || len(rs) != 1 {
-			v.addf("boundary (src %d, dst %d, wave %d, seq %d): %d sends, %d recvs; want exactly 1:1",
-				k.src, k.dst, k.wave, k.seq, len(ss), len(rs))
+			if !disrupted {
+				v.addf("boundary (src %d, dst %d, wave %d, seq %d): %d sends, %d recvs; want exactly 1:1",
+					k.src, k.dst, k.wave, k.seq, len(ss), len(rs))
+			}
 			continue
 		}
 		if rs[0].End < ss[0].Start {
@@ -91,10 +112,12 @@ func Validate(events []Event) error {
 				k.src, k.dst, k.wave, k.seq)
 		}
 	}
-	for k, rs := range waveRecvs {
-		if _, ok := waveSends[k]; !ok {
-			v.addf("boundary (src %d, dst %d, wave %d, seq %d): %d recvs with no send",
-				k.src, k.dst, k.wave, k.seq, len(rs))
+	if !disrupted {
+		for k, rs := range waveRecvs {
+			if _, ok := waveSends[k]; !ok {
+				v.addf("boundary (src %d, dst %d, wave %d, seq %d): %d recvs with no send",
+					k.src, k.dst, k.wave, k.seq, len(rs))
+			}
 		}
 	}
 

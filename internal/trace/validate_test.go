@@ -158,3 +158,84 @@ func TestValidateViolationCap(t *testing.T) {
 		t.Fatalf("violation overflow not summarized: %v", err)
 	}
 }
+
+// TestValidateDisruptedTraceRelaxed pins the fault-tolerance contract: a
+// trace carrying fault or cancel events is "disrupted" — pairing checks
+// (unmatched sends, orphan receives) are relaxed, because injected drops and
+// cancellations legitimately strand messages — but the wavefront safety
+// check never relaxes.
+func TestValidateDisruptedTraceRelaxed(t *testing.T) {
+	// An unmatched send plus a fault event: accepted.
+	events := twoRankSchedule()
+	dropped := Ev(KindSend, 0, 30, 31)
+	dropped.Peer, dropped.Tag = 1, 9
+	f := Ev(KindFault, 0, 30, 30)
+	f.Peer, f.Tag, f.Seq = 1, 9, 2 // action code rides in Seq
+	events = append(events, dropped, f)
+	if err := Validate(events); err != nil {
+		t.Fatalf("disrupted trace with an injector-dropped send must validate: %v", err)
+	}
+
+	// An orphan recv plus a cancel event: accepted.
+	events = twoRankSchedule()
+	ghost := Ev(KindRecv, 1, 30, 31)
+	ghost.Peer, ghost.Tag = 0, 9
+	events = append(events, ghost, Ev(KindCancel, 1, 31, 31))
+	if err := Validate(events); err != nil {
+		t.Fatalf("disrupted trace with a canceled recv must validate: %v", err)
+	}
+
+	// Without the fault/cancel marker the same traces must still fail.
+	events = twoRankSchedule()
+	events = append(events, dropped)
+	if err := Validate(events); err == nil {
+		t.Fatal("unmatched send without a disruption marker passed validation")
+	}
+
+	// Wavefront safety never relaxes: a dependent compute moved before its
+	// boundary message is a runtime bug even mid-chaos.
+	events = twoRankSchedule()
+	for i := range events {
+		if events[i].Kind == KindCompute && events[i].Rank == 1 && events[i].Tile == 0 {
+			events[i].Start = 5
+		}
+	}
+	events = append(events, Ev(KindCancel, 0, 40, 40))
+	err := Validate(events)
+	if err == nil {
+		t.Fatal("disrupted trace with a wavefront-safety violation passed validation")
+	}
+	if !strings.Contains(err.Error(), "before boundary message") {
+		t.Fatalf("wrong violation reported: %v", err)
+	}
+}
+
+// TestSummaryCountsFaultsAndCancels pins the new per-rank fault/cancel
+// tallies and that blocked-send spans do not double-count wait time.
+func TestSummaryCountsFaultsAndCancels(t *testing.T) {
+	r := New(2, DefaultCapacity)
+	send := Ev(KindSend, 0, 0, 10)
+	send.Peer, send.Tag, send.Blocked = 1, 0, 6
+	r.Record(send)
+	bs := Ev(KindBlockedSend, 0, 0, 6)
+	bs.Peer, bs.Tag = 1, 0
+	r.Record(bs)
+	f := Ev(KindFault, 0, 10, 10)
+	f.Seq = 1
+	r.Record(f)
+	r.Record(Ev(KindCancel, 1, 12, 12))
+	s := r.Summarize()
+	if s == nil {
+		t.Fatal("nil summary")
+	}
+	r0, r1 := s.Ranks[0], s.Ranks[1]
+	if r0.Faults != 1 || r0.Cancels != 0 || r1.Faults != 0 || r1.Cancels != 1 {
+		t.Fatalf("fault/cancel tallies wrong: rank0=%+v rank1=%+v", r0, r1)
+	}
+	if r0.Wait != 6 {
+		t.Fatalf("blocked-send time must count as wait exactly once, got %d", r0.Wait)
+	}
+	if r0.Comm != 4 {
+		t.Fatalf("send comm time must exclude the blocked span, got %d", r0.Comm)
+	}
+}
