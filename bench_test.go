@@ -14,6 +14,7 @@ import (
 	"wavefront/internal/exp"
 	"wavefront/internal/field"
 	"wavefront/internal/machine"
+	"wavefront/internal/metrics"
 	"wavefront/internal/model"
 	"wavefront/internal/pipeline"
 	"wavefront/internal/scan"
@@ -246,6 +247,47 @@ func BenchmarkPipelineTrace(b *testing.B) {
 				cfg.Trace.Reset()
 				if _, err := pipeline.Run(blk, t.Env, cfg); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineMetrics measures the cost of live metrics on the
+// pipelined Tomcatv forward sweep: "off" is the default nil-registry path
+// (one pointer check per operation, the same contract as tracing and fault
+// injection), "on" updates every counter, the tile histogram, the cost
+// fits, and the drift monitor. EXPERIMENTS.md documents the measured
+// delta; the off case must stay within noise of
+// BenchmarkPipelineTomcatvForward.
+func BenchmarkPipelineMetrics(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			t, err := workload.NewTomcatv(128, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blk := t.ForwardBlock()
+			cfg := pipeline.DefaultConfig(4, 16)
+			if enabled {
+				// The registry is reused across iterations: the measurement is
+				// the per-operation update cost, not instrument allocation.
+				cfg.Metrics = wavefront.NewMetrics(4)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(blk, t.Env, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if enabled {
+				if got := cfg.Metrics.Counter(metrics.PipeTiles).Value(); got == 0 {
+					b.Fatal("metrics-on run recorded no tiles")
 				}
 			}
 		})

@@ -32,9 +32,13 @@ func main() {
 		out        = flag.String("out", "", "write the parsed snapshot JSON here")
 		base       = flag.String("base", "", "baseline snapshot to compare against")
 		maxRegress = flag.Float64("maxregress", 20, "max allowed ns/op regression vs -base, percent")
+		tolerance  = flag.Float64("tolerance", 0, "alias for -maxregress (CI spelling); takes precedence when set")
 		in         = flag.String("in", "", "read benchmark output from this file instead of stdin")
 	)
 	flag.Parse()
+	if *tolerance > 0 {
+		*maxRegress = *tolerance
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -129,10 +133,15 @@ func compare(w io.Writer, base, cur *Snapshot, maxRegress float64) bool {
 		}
 		fmt.Fprintf(w, "%-5s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, baseNs, curNs, delta)
 	}
+	gone := make([]string, 0)
 	for name := range base.NsPerOp {
 		if _, ok := cur.NsPerOp[name]; !ok {
-			fmt.Fprintf(w, "GONE  %-50s\n", name)
+			gone = append(gone, name)
 		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "GONE  %-50s\n", name)
 	}
 	if failed {
 		fmt.Fprintf(w, "benchdiff: regression beyond %.0f%% detected\n", maxRegress)

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: wavefront
+BenchmarkSerialTomcatv-8   	     100	  11832450 ns/op
+BenchmarkPipelineTrace/off-8 	     500	   2501000 ns/op	  120 B/op	 3 allocs/op
+BenchmarkPipelineTrace/on-8  	     480	   2600000 ns/op
+not a benchmark line
+PASS
+ok  	wavefront	3.210s
+`
+
+func TestParseExtractsNsPerOp(t *testing.T) {
+	snap, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.NsPerOp) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(snap.NsPerOp), snap.NsPerOp)
+	}
+	if got := snap.NsPerOp["BenchmarkSerialTomcatv-8"]; got != 11832450 {
+		t.Errorf("serial ns/op = %g", got)
+	}
+	if got := snap.NsPerOp["BenchmarkPipelineTrace/off-8"]; got != 2501000 {
+		t.Errorf("sub-benchmark ns/op = %g (extra metric pairs must not confuse parsing)", got)
+	}
+}
+
+func TestParseRejectsMalformedNsPerOp(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-8 100 oops ns/op\n")); err == nil {
+		t.Error("malformed ns/op parsed without error")
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := &Snapshot{NsPerOp: map[string]float64{"A-8": 100, "B-8": 200}}
+	cur := &Snapshot{NsPerOp: map[string]float64{"A-8": 120, "B-8": 190}}
+	var sb strings.Builder
+	if failed := compare(&sb, base, cur, 25); failed {
+		t.Errorf("20%% regression failed a 25%% tolerance:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "+20.0%") {
+		t.Errorf("delta not reported:\n%s", sb.String())
+	}
+}
+
+func TestCompareBeyondToleranceFails(t *testing.T) {
+	base := &Snapshot{NsPerOp: map[string]float64{"A-8": 100}}
+	cur := &Snapshot{NsPerOp: map[string]float64{"A-8": 140}}
+	var sb strings.Builder
+	if failed := compare(&sb, base, cur, 25); !failed {
+		t.Errorf("40%% regression passed a 25%% tolerance:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Errorf("failing row not marked:\n%s", sb.String())
+	}
+}
+
+func TestCompareNewAndGoneNeverFail(t *testing.T) {
+	base := &Snapshot{NsPerOp: map[string]float64{"Old-8": 100}}
+	cur := &Snapshot{NsPerOp: map[string]float64{"New-8": 999999}}
+	var sb strings.Builder
+	if failed := compare(&sb, base, cur, 25); failed {
+		t.Errorf("presence-only differences failed the guard:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "NEW") || !strings.Contains(out, "GONE") {
+		t.Errorf("NEW/GONE rows missing:\n%s", out)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := &Snapshot{NsPerOp: map[string]float64{"A-8": 100}}
+	cur := &Snapshot{NsPerOp: map[string]float64{"A-8": 50}}
+	var sb strings.Builder
+	if failed := compare(&sb, base, cur, 5); failed {
+		t.Errorf("a 2× speedup failed the guard:\n%s", sb.String())
+	}
+}

@@ -42,7 +42,7 @@ func runChaos(mode string, procs, block, n, linkCap int, seed int64) error {
 		}
 	}
 	if failed {
-		return errors.New("chaos: one or more scenarios did not behave as predicted")
+		return fmt.Errorf("chaos: one or more scenarios did not behave as predicted: %w", errCheckFailed)
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wavefront"
+	"wavefront/internal/metrics"
+)
+
+// runLive loops the Tomcatv forward wavefront with metrics on, optionally
+// serving the registry over HTTP (-serve) and/or printing a periodic
+// one-line summary (-watch). The loop stops after -duration, or on
+// SIGINT/SIGTERM when the duration is 0.
+func runLive(addr string, watch bool, procs, block, n int, dur time.Duration) error {
+	t, err := prepTomcatv(n)
+	if err != nil {
+		return err
+	}
+	reg := wavefront.NewMetrics(procs)
+
+	if addr != "" {
+		srv, err := wavefront.ServeMetrics(addr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s  (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	var deadline <-chan time.Time
+	if dur > 0 {
+		deadline = time.After(dur)
+	}
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if watch {
+		ticker = time.NewTicker(time.Second)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	fmt.Printf("looping tomcatv forward: n=%d procs=%d block=%d\n", n, procs, block)
+	var lastTiles, lastBusy int64
+	lastAt := time.Now()
+	runs := 0
+	for {
+		select {
+		case <-stop:
+			fmt.Printf("\nstopped after %d runs\n", runs)
+			return nil
+		case <-deadline:
+			fmt.Printf("done: %d runs in %v\n", runs, dur)
+			return nil
+		case <-tick:
+			snap := reg.Snapshot()
+			now := time.Now()
+			wall := now.Sub(lastAt)
+			tiles := snap.Counters[metrics.PipeTiles].Total
+			busy := snap.Counters[metrics.PipeBusyNs].Total
+			rate := float64(tiles-lastTiles) / wall.Seconds()
+			util := float64(busy-lastBusy) / (wall.Seconds() * 1e9 * float64(procs))
+			fmt.Printf("tiles/s=%-9.0f utilization=%-5.2f drift=%-5.2f opt_b=%-4.0f runs=%d\n",
+				rate, util, snap.Gauges[metrics.ModelDrift], snap.Gauges[metrics.ModelOptBlock], runs)
+			lastTiles, lastBusy, lastAt = tiles, busy, now
+		default:
+			if _, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
+				wavefront.Pipeline{Procs: procs, Block: block, Metrics: reg}); err != nil {
+				return err
+			}
+			runs++
+		}
+	}
+}

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,18 +37,27 @@ import (
 	"wavefront/internal/workload"
 )
 
+// errCheckFailed marks a run whose setup succeeded but whose checked
+// property did not hold (schedule validation, chaos prediction, dropped
+// trace events). Those exit 1; setup and usage errors exit 2, so CI can
+// tell "the workload misbehaved" from "the tool was invoked wrong".
+var errCheckFailed = errors.New("check failed")
+
 func main() {
 	var (
 		id        = flag.String("exp", "all", "experiment id, or 'all'")
 		quick     = flag.Bool("quick", false, "shrink problem sizes (for smoke runs)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		traceOut  = flag.String("trace", "", "record a traced pipeline run and write Chrome trace JSON to this file")
-		procs     = flag.Int("procs", 4, "ranks for -trace and -chaos")
-		blockSize = flag.Int("block", 16, "tile width for -trace and -chaos (0 = naive)")
-		n         = flag.Int("n", 128, "problem size for -trace and -chaos")
+		procs     = flag.Int("procs", 4, "ranks for -trace, -chaos, and -serve")
+		blockSize = flag.Int("block", 16, "tile width for -trace, -chaos, and -serve (0 = naive)")
+		n         = flag.Int("n", 128, "problem size for -trace, -chaos, and -serve")
 		chaos     = flag.String("chaos", "", "inject a fault scenario (drop|corrupt|stall|crash|delay|backpressure|all)")
 		linkCap   = flag.Int("link-cap", 0, "bound every comm link to this many queued messages (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "fault-plan seed for -chaos")
+		serve     = flag.String("serve", "", "serve live metrics at this address (e.g. :8080) while looping the workload")
+		watch     = flag.Bool("watch", false, "print a periodic one-line live summary while looping the workload")
+		duration  = flag.Duration("duration", 0, "stop the -serve/-watch workload loop after this long (0 = until interrupted)")
 	)
 	flag.Parse()
 
@@ -59,19 +69,29 @@ func main() {
 		return
 	}
 
-	if *chaos != "" {
-		if err := runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+	exitOn := func(err error) {
+		if err == nil {
+			return
 		}
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errCheckFailed) {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+
+	if *serve != "" || *watch {
+		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration))
+		return
+	}
+
+	if *chaos != "" {
+		exitOn(runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed))
 		return
 	}
 
 	if *traceOut != "" {
-		if err := runTraced(*traceOut, *procs, *blockSize, *n, *linkCap); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+		exitOn(runTraced(*traceOut, *procs, *blockSize, *n, *linkCap))
 		return
 	}
 
@@ -121,8 +141,11 @@ func runTraced(path string, procs, block, n, linkCap int) error {
 			linkCap, stats.Comm.BlockedSends, stats.Comm.BlockedSendTime)
 	}
 	fmt.Println(stats.Summary.String())
+	if d := rec.Dropped(); d > 0 {
+		return fmt.Errorf("%w: recorder dropped %d events; raise the capacity", errCheckFailed, d)
+	}
 	if err := wavefront.ValidateTrace(rec); err != nil {
-		return fmt.Errorf("schedule validation FAILED: %w", err)
+		return fmt.Errorf("schedule validation FAILED (%w): %v", errCheckFailed, err)
 	}
 	fmt.Println("schedule validation: OK (every compute followed its upstream boundary receives)")
 	f, err := os.Create(path)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"wavefront/internal/fault"
+	"wavefront/internal/metrics"
 	"wavefront/internal/trace"
 )
 
@@ -66,6 +67,9 @@ type Topology struct {
 	// inj, when non-nil, is consulted on every send and receive. Set before
 	// Run; read-only after.
 	inj *fault.Injector
+	// cm, when non-nil, is the resolved live-metrics instrument set (see
+	// SetMetrics). Set before Run; read-only after.
+	cm *commMetrics
 	// capacity bounds every link's queue; 0 means unbounded. Set before
 	// Run; read-only after.
 	capacity int
@@ -114,6 +118,46 @@ func (t *Topology) SetTrace(tr *trace.Recorder) error {
 		return fmt.Errorf("comm: trace recorder sized for %d ranks, topology has %d", tr.Procs(), t.p)
 	}
 	t.tr = tr
+	return nil
+}
+
+// commMetrics is the comm substrate's instrument set, resolved once at
+// SetMetrics so the hot path pays one nil check and a few atomic adds —
+// never a name lookup.
+type commMetrics struct {
+	sends, recvs         *metrics.Counter
+	sendBytes, recvBytes *metrics.Counter
+	blockedNs, stalls    *metrics.Counter
+	faults, cancels      *metrics.Counter
+	// msgCost feeds the drift monitor's α/β estimate: x = payload
+	// elements, y = the operation's non-blocked cost in ns.
+	msgCost *metrics.Fit
+}
+
+// SetMetrics attaches a live-metrics registry sized for at least P ranks;
+// every send and receive then updates the comm_* instruments. Must be
+// called before Run; a nil registry disables metrics (the default) at the
+// cost of one pointer comparison per operation, the same contract as
+// SetTrace.
+func (t *Topology) SetMetrics(reg *metrics.Registry) error {
+	if reg == nil {
+		t.cm = nil
+		return nil
+	}
+	if reg.Procs() < t.p {
+		return fmt.Errorf("comm: metrics registry sized for %d ranks, topology has %d", reg.Procs(), t.p)
+	}
+	t.cm = &commMetrics{
+		sends:     reg.Counter(metrics.CommSends),
+		recvs:     reg.Counter(metrics.CommRecvs),
+		sendBytes: reg.Counter(metrics.CommSendBytes),
+		recvBytes: reg.Counter(metrics.CommRecvBytes),
+		blockedNs: reg.Counter(metrics.CommBlockedNs),
+		stalls:    reg.Counter(metrics.CommStalls),
+		faults:    reg.Counter(metrics.CommFaults),
+		cancels:   reg.Counter(metrics.CommCancels),
+		msgCost:   reg.Fit(metrics.ModelCommFit),
+	}
 	return nil
 }
 
@@ -276,6 +320,9 @@ func (t *Topology) recordFault(rank, peer, tag, elems int, out fault.Outcome) {
 		ev.Peer, ev.Tag, ev.Elems, ev.Seq = peer, tag, elems, int(out.Action)
 		tr.Record(ev)
 	}
+	if cm := t.cm; cm != nil {
+		cm.faults.Add(rank, 1)
+	}
 }
 
 // recordCancel traces an operation aborted by cancellation.
@@ -284,6 +331,9 @@ func (t *Topology) recordCancel(rank, peer, tag int, start int64) {
 		ev := trace.Ev(trace.KindCancel, rank, start, tr.Now())
 		ev.Peer, ev.Tag = peer, tag
 		tr.Record(ev)
+	}
+	if cm := t.cm; cm != nil {
+		cm.cancels.Add(rank, 1)
 	}
 }
 
@@ -320,10 +370,14 @@ func (e *Endpoint) Send(to, tag int, data []float64) error {
 			return t.inj.Crash(out, fault.OpSend, e.rank, to, tag)
 		}
 	}
-	tr := t.tr
+	tr, cm := t.tr, t.cm
 	var t0 int64
 	if tr != nil {
 		t0 = tr.Now()
+	}
+	var m0 time.Time
+	if cm != nil {
+		m0 = time.Now()
 	}
 	blocked, err := t.sendOn(e.rank, to, Message{Tag: tag, Data: data})
 	if err != nil {
@@ -340,9 +394,22 @@ func (e *Endpoint) Send(to, tag int, data []float64) error {
 		ev.Peer, ev.Tag, ev.Elems, ev.Blocked = to, tag, len(data), int64(blocked)
 		tr.Record(ev)
 	}
+	if cm != nil {
+		cm.sends.Add(e.rank, 1)
+		cm.sendBytes.Add(e.rank, int64(8*len(data)))
+		if blocked > 0 {
+			cm.stalls.Add(e.rank, 1)
+			cm.blockedNs.Add(e.rank, int64(blocked))
+		}
+		cm.msgCost.Observe(e.rank, float64(len(data)), float64(time.Since(m0)-blocked))
+	}
 	if dup {
 		if _, err := t.sendOn(e.rank, to, Message{Tag: tag, Data: data}); err != nil {
 			return err
+		}
+		if cm != nil {
+			cm.sends.Add(e.rank, 1)
+			cm.sendBytes.Add(e.rank, int64(8*len(data)))
 		}
 	}
 	return nil
@@ -374,10 +441,14 @@ func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
 			return nil, t.inj.Crash(out, fault.OpRecv, e.rank, from, tag)
 		}
 	}
-	tr := t.tr
+	tr, cm := t.tr, t.cm
 	var t0 int64
 	if tr != nil {
 		t0 = tr.Now()
+	}
+	var m0 time.Time
+	if cm != nil {
+		m0 = time.Now()
 	}
 	m, blocked, err := t.recvOn(from, e.rank, tag)
 	if err != nil {
@@ -391,6 +462,14 @@ func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
 		ev := trace.Ev(trace.KindRecv, e.rank, t0, tr.Now())
 		ev.Peer, ev.Tag, ev.Elems, ev.Blocked = from, tag, len(m.Data), int64(blocked)
 		tr.Record(ev)
+	}
+	if cm != nil {
+		cm.recvs.Add(e.rank, 1)
+		cm.recvBytes.Add(e.rank, int64(8*len(m.Data)))
+		if blocked > 0 {
+			cm.blockedNs.Add(e.rank, int64(blocked))
+		}
+		cm.msgCost.Observe(e.rank, float64(len(m.Data)), float64(time.Since(m0)-blocked))
 	}
 	return m.Data, nil
 }

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wavefront/internal/model"
+)
+
+// seedFits installs exact synthetic machine costs: compute at τ = 1 ns per
+// element, communication at α = 2000 ns + 1 ns per element.
+func seedFits(r *Registry) {
+	comp := r.Fit(ModelCompFit)
+	for _, x := range []float64{500, 1000, 2000, 4000} {
+		comp.Observe(0, x, x) // τ = 1
+	}
+	comm := r.Fit(ModelCommFit)
+	for _, x := range []float64{8, 64, 512, 4096} {
+		comm.Observe(0, x, 2000+x) // α = 2000, β = 1
+	}
+}
+
+// TestDriftOptimalBlockMatchesModel checks the monitor's recomputed b
+// against Equation (1) evaluated directly on the same normalized costs.
+func TestDriftOptimalBlockMatchesModel(t *testing.T) {
+	r := New(8)
+	seedFits(r)
+	rep := r.UpdateDrift(DriftInput{NW: 256, NT: 256, P: 8, B: 16, ObservedNs: 1})
+	if math.Abs(rep.AlphaNs-2000) > 1e-6 || math.Abs(rep.BetaNs-1) > 1e-9 || math.Abs(rep.TauNs-1) > 1e-12 {
+		t.Fatalf("estimates α=%g β=%g τ=%g, want 2000, 1, 1", rep.AlphaNs, rep.BetaNs, rep.TauNs)
+	}
+	// τ = 1 ns, so normalized α' = 2000 and β' = 1 (boundary depth 1).
+	want := int(model.Model2(2000, 1).OptimalBlock(256, 8) + 0.5)
+	if want < 1 {
+		want = 1
+	}
+	if d := rep.OptimalBlock - want; d < -1 || d > 1 {
+		t.Errorf("monitor b* = %d, Equation (1) gives %d (must agree within ±1)", rep.OptimalBlock, want)
+	}
+	if rep.Samples != 4 {
+		t.Errorf("samples = %g, want 4", rep.Samples)
+	}
+	if !strings.Contains(rep.String(), "b*=") {
+		t.Errorf("report string %q lacks b*", rep.String())
+	}
+}
+
+// TestDriftFlagsMissizedBlock runs the monitor on a pipeline whose tile
+// width is 4× the recomputed optimum and whose makespan is exactly what
+// the model predicts for that width: the drift ratio (observed over the
+// predicted-at-optimal makespan) must exceed 1.1, flagging the mistune.
+func TestDriftFlagsMissizedBlock(t *testing.T) {
+	r := New(8)
+	seedFits(r)
+	in := DriftInput{NW: 256, NT: 256, P: 8, B: 16, ObservedNs: 1}
+	bOpt := r.UpdateDrift(in).OptimalBlock
+	if bOpt < 2 || 4*bOpt > 256 {
+		t.Fatalf("synthetic costs give b* = %d; the 4× scenario needs 2 ≤ b* ≤ 64", bOpt)
+	}
+	in.B = 4 * bOpt
+	predicted := r.UpdateDrift(in).PredictedActualNs
+	in.ObservedNs = int64(predicted)
+	rep := r.UpdateDrift(in)
+	if rep.DriftRatio <= 1.1 {
+		t.Errorf("drift ratio = %g at b = 4×b* = %d, want > 1.1", rep.DriftRatio, in.B)
+	}
+	if g := r.Gauge(ModelDrift).Value(); math.Abs(g-rep.DriftRatio) > 1e-12 {
+		t.Errorf("gauge %g does not match report %g", g, rep.DriftRatio)
+	}
+	if g := r.Gauge(ModelOptBlock).Value(); int(g) != rep.OptimalBlock {
+		t.Errorf("optimal-block gauge %g does not match report %d", g, rep.OptimalBlock)
+	}
+}
+
+// TestDriftWellSizedRunIsHealthy: a run at the recomputed optimum whose
+// makespan matches the model reports a ratio of 1.
+func TestDriftWellSizedRunIsHealthy(t *testing.T) {
+	r := New(8)
+	seedFits(r)
+	in := DriftInput{NW: 256, NT: 256, P: 8, B: 16, ObservedNs: 1}
+	rep := r.UpdateDrift(in)
+	in.B = rep.OptimalBlock
+	in.ObservedNs = int64(r.UpdateDrift(in).PredictedOptNs)
+	rep = r.UpdateDrift(in)
+	if math.Abs(rep.DriftRatio-1) > 0.01 {
+		t.Errorf("drift ratio = %g for a model-perfect optimal run, want ≈ 1", rep.DriftRatio)
+	}
+	if math.Abs(rep.PredictedActualNs-rep.PredictedOptNs) > 1e-9 {
+		t.Errorf("predicted actual %g != predicted opt %g at b = b*", rep.PredictedActualNs, rep.PredictedOptNs)
+	}
+}
+
+// TestDriftUsesBoundaryDepth: with wave accounting showing d elements per
+// unit tile width, the per-message cost scales by d.
+func TestDriftUsesBoundaryDepth(t *testing.T) {
+	shallow := New(4)
+	seedFits(shallow)
+	deep := New(4)
+	seedFits(deep)
+	// deep forwards 3 boundary columns per tile: msgs=10, elems=10*b*3.
+	const b = 16
+	deep.Counter(PipeWaveMsgs).Add(0, 10)
+	deep.Counter(PipeWaveElems).Add(0, 10*b*3)
+	in := DriftInput{NW: 128, NT: 128, P: 4, B: b, ObservedNs: 1}
+	rs, rd := shallow.UpdateDrift(in), deep.UpdateDrift(in)
+	if math.Abs(rd.BetaTile-3*rs.BetaTile) > 1e-9 {
+		t.Errorf("deep boundary β' = %g, want 3× shallow %g", rd.BetaTile, rs.BetaTile)
+	}
+	if rd.PredictedActualNs <= rs.PredictedActualNs {
+		t.Errorf("deeper boundary predicted no extra cost: %g <= %g", rd.PredictedActualNs, rs.PredictedActualNs)
+	}
+}
+
+// TestDriftNoComputeObservations: without compute samples the report is
+// zero and no gauges are touched.
+func TestDriftNoComputeObservations(t *testing.T) {
+	r := New(2)
+	if rep := r.UpdateDrift(DriftInput{NW: 8, NT: 8, P: 2, B: 2, ObservedNs: 5}); rep != (DriftReport{}) {
+		t.Errorf("report without observations not zero: %+v", rep)
+	}
+	if g := r.Gauge(ModelDrift).Value(); g != 0 {
+		t.Errorf("drift gauge set to %g without data", g)
+	}
+}
+
+// TestPredictSerialHasNoCommTerm: p = 1 predictions are pure compute.
+func TestPredictSerialHasNoCommTerm(t *testing.T) {
+	if got := predictNs(64, 64, 1, 8, 2, 1000, 5); got != 2*64*64 {
+		t.Errorf("serial prediction = %g, want τ·n² = %d", got, 2*64*64)
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket i covers
+// [2^i, 2^(i+1)) nanoseconds; the last finite bucket's upper bound is
+// 2^NumBuckets ns (≈ 18 minutes), and anything beyond lands in the
+// overflow bucket. Log bucketing keeps the per-observation cost to one
+// bits.Len plus one atomic add while still resolving quantiles to within
+// a factor of two anywhere from nanoseconds to minutes.
+const NumBuckets = 40
+
+// histShard is one rank's bucket array, padded so adjacent ranks' tails
+// sit on different cache lines.
+type histShard struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumBuckets + 1]atomic.Int64 // +1 = overflow
+	_       [48]byte
+}
+
+// Histogram is a per-rank sharded log-bucketed latency histogram. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	shards []histShard
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b > NumBuckets {
+		b = NumBuckets
+	}
+	return b
+}
+
+// Observe records one value (nanoseconds) in rank's shard.
+func (h *Histogram) Observe(rank int, v int64) {
+	if h == nil {
+		return
+	}
+	s := &h.shards[rank]
+	s.count.Add(1)
+	s.sum.Add(v)
+	s.buckets[bucketOf(v)].Add(1)
+}
+
+// HistSnapshot is a merged copy of a histogram's buckets.
+type HistSnapshot struct {
+	Count   int64                 `json:"count"`
+	Sum     int64                 `json:"sum_ns"`
+	Buckets [NumBuckets + 1]int64 `json:"buckets"`
+}
+
+// UpperBound returns bucket i's inclusive upper bound in ns, or -1 for
+// the overflow bucket.
+func (HistSnapshot) UpperBound(i int) int64 {
+	if i >= NumBuckets {
+		return -1
+	}
+	return int64(1)<<(i+1) - 1
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the buckets: it
+// walks to the bucket holding the target observation and returns that
+// bucket's geometric midpoint, so the estimate is within a factor of ~√2
+// of the true value. Returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= target {
+			if i >= NumBuckets {
+				return int64(1) << NumBuckets
+			}
+			lo := int64(1) << i
+			return lo + lo/2 // geometric-ish midpoint of [2^i, 2^(i+1))
+		}
+	}
+	return int64(1) << NumBuckets
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merged folds every rank's shard into one snapshot.
+func (h *Histogram) Merged() HistSnapshot {
+	var out HistSnapshot
+	if h == nil {
+		return out
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		out.Count += s.count.Load()
+		out.Sum += s.sum.Load()
+		for b := range s.buckets {
+			out.Buckets[b] += s.buckets[b].Load()
+		}
+	}
+	return out
+}
+
+func (h *Histogram) reset() {
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.count.Store(0)
+		s.sum.Store(0)
+		for b := range s.buckets {
+			s.buckets[b].Store(0)
+		}
+	}
+}

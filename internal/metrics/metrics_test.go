@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Error("nil registry reports enabled")
+	}
+	if r.Procs() != 0 || r.Now() != 0 {
+		t.Error("nil registry reports nonzero procs or clock")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil || r.Fit("x") != nil {
+		t.Error("nil registry returned a non-nil instrument")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry returned a snapshot")
+	}
+	r.Reset() // must not panic
+	if rep := r.UpdateDrift(DriftInput{NW: 4, NT: 4, P: 2, B: 2, ObservedNs: 1}); rep != (DriftReport{}) {
+		t.Errorf("nil registry drift report not zero: %+v", rep)
+	}
+}
+
+func TestNilInstrumentsAreInert(t *testing.T) {
+	var c *Counter
+	c.Add(0, 5)
+	if c.Value() != 0 || c.Rank(0) != 0 || c.PerRank() != nil {
+		t.Error("nil counter not inert")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Error("nil gauge not inert")
+	}
+	var h *Histogram
+	h.Observe(0, 10)
+	if s := h.Merged(); s.Count != 0 {
+		t.Error("nil histogram not inert")
+	}
+	var f *Fit
+	f.Observe(0, 1, 2)
+	if lf := f.Merged(); lf.N != 0 {
+		t.Error("nil fit not inert")
+	}
+}
+
+func TestNilInstrumentHotPathDoesNotAllocate(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var f *Fit
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(0, 1)
+		h.Observe(0, 1)
+		f.Observe(0, 1, 1)
+	}); n != 0 {
+		t.Errorf("disabled instruments allocated %v times per op", n)
+	}
+}
+
+func TestCounterPerRankAndTotal(t *testing.T) {
+	r := New(4)
+	c := r.Counter(CommSends)
+	for rank := 0; rank < 4; rank++ {
+		c.Add(rank, int64(rank+1))
+	}
+	if got := c.Value(); got != 10 {
+		t.Errorf("total = %d, want 10", got)
+	}
+	if got := c.Rank(2); got != 3 {
+		t.Errorf("rank 2 = %d, want 3", got)
+	}
+	per := c.PerRank()
+	if len(per) != 4 || per[0] != 1 || per[3] != 4 {
+		t.Errorf("per-rank = %v", per)
+	}
+	if r.Counter(CommSends) != c {
+		t.Error("second lookup returned a different counter")
+	}
+}
+
+func TestGaugeDropsNonFinite(t *testing.T) {
+	r := New(1)
+	g := r.Gauge(ModelDrift)
+	g.Set(1.5)
+	g.Set(math.NaN())
+	g.Set(math.Inf(1))
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want the last finite value 1.5", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := New(2)
+	h := r.Histogram(PipeTileNs)
+	// 10 observations at ~1µs spread over both ranks, one outlier at ~1ms.
+	for i := 0; i < 5; i++ {
+		h.Observe(0, 1000)
+		h.Observe(1, 1100)
+	}
+	h.Observe(0, 1_000_000)
+	s := h.Merged()
+	if s.Count != 11 {
+		t.Fatalf("count = %d, want 11", s.Count)
+	}
+	if q := s.Quantile(0.5); q < 512 || q > 2048 {
+		t.Errorf("p50 = %d, want ~1µs (same power-of-two bucket)", q)
+	}
+	if q := s.Quantile(1); q < 512*1024 || q > 2*1024*1024 {
+		t.Errorf("p100 = %d, want ~1ms bucket", q)
+	}
+	if m := s.Mean(); m < 90_000 || m > 100_000 {
+		t.Errorf("mean = %g, want ≈ 91918", m)
+	}
+	if ub := s.UpperBound(NumBuckets); ub != -1 {
+		t.Errorf("overflow upper bound = %d, want -1", ub)
+	}
+}
+
+func TestFitRecoversLine(t *testing.T) {
+	r := New(3)
+	f := r.Fit(ModelCommFit)
+	// y = 2000 + 3x, exact, spread across ranks.
+	for i, x := range []float64{8, 64, 512, 4096} {
+		f.Observe(i%3, x, 2000+3*x)
+	}
+	alpha, beta, ok := f.Merged().AlphaBeta()
+	if !ok {
+		t.Fatal("fit not solvable")
+	}
+	if math.Abs(alpha-2000) > 1e-6 || math.Abs(beta-3) > 1e-9 {
+		t.Errorf("alpha, beta = %g, %g; want 2000, 3", alpha, beta)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := New(2)
+	r.Counter(CommSends).Add(1, 7)
+	r.Gauge(ModelDrift).Set(1.25)
+	r.Histogram(PipeTileNs).Observe(0, 100)
+	r.Fit(ModelCompFit).Observe(0, 10, 20)
+
+	s := r.Snapshot()
+	if s.Procs != 2 {
+		t.Errorf("procs = %d", s.Procs)
+	}
+	if got := s.Counters[CommSends].Total; got != 7 {
+		t.Errorf("snapshot counter = %d, want 7", got)
+	}
+	if got := s.Gauges[ModelDrift]; got != 1.25 {
+		t.Errorf("snapshot gauge = %g", got)
+	}
+	if got := s.Histograms[PipeTileNs].Count; got != 1 {
+		t.Errorf("snapshot histogram count = %d", got)
+	}
+	if got := s.Fits[ModelCompFit].N; got != 1 {
+		t.Errorf("snapshot fit n = %g", got)
+	}
+
+	r.Reset()
+	s = r.Snapshot()
+	if s.Counters[CommSends].Total != 0 || s.Gauges[ModelDrift] != 0 ||
+		s.Histograms[PipeTileNs].Count != 0 || s.Fits[ModelCompFit].N != 0 {
+		t.Errorf("reset left state behind: %+v", s)
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes drives every instrument from many
+// goroutines while snapshots run; meaningful under -race.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	const procs, iters = 8, 2000
+	r := New(procs)
+	var wg sync.WaitGroup
+	for rank := 0; rank < procs; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := r.Counter(PipeTiles)
+			h := r.Histogram(PipeTileNs)
+			f := r.Fit(ModelCompFit)
+			g := r.Gauge(ModelDrift)
+			for i := 0; i < iters; i++ {
+				c.Add(rank, 1)
+				h.Observe(rank, int64(i))
+				f.Observe(rank, float64(i), float64(2*i))
+				g.Set(float64(i))
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter(PipeTiles).Value(); got != procs*iters {
+		t.Errorf("tiles = %d, want %d", got, procs*iters)
+	}
+	if got := r.Histogram(PipeTileNs).Merged().Count; got != procs*iters {
+		t.Errorf("histogram count = %d, want %d", got, procs*iters)
+	}
+	if got := r.Fit(ModelCompFit).Merged().N; got != procs*iters {
+		t.Errorf("fit n = %g, want %d", got, procs*iters)
+	}
+}

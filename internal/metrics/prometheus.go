@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// namePrefix namespaces every exported family.
+const namePrefix = "wavefront_"
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): counters with a rank label, gauges bare,
+// histograms with cumulative le buckets, fits as sample-count counters
+// plus alpha/beta gauges. Two derived per-rank gauges — rank_busy_ratio
+// and rank_wait_ratio, busy/wait ns over wall time since the epoch — are
+// computed at scrape time from the pipeline counters so a scrape of a
+// running session always carries live utilization. Safe to call while
+// ranks are recording.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# metrics disabled\n")
+		return err
+	}
+	s := r.Snapshot()
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := s.Counters[name]
+		fmt.Fprintf(w, "# TYPE %s%s counter\n", namePrefix, name)
+		for rank, v := range c.PerRank {
+			fmt.Fprintf(w, "%s%s{rank=\"%d\"} %d\n", namePrefix, name, rank, v)
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s%s gauge\n", namePrefix, name)
+		fmt.Fprintf(w, "%s%s %g\n", namePrefix, name, s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s%s histogram\n", namePrefix, name)
+		var cum int64
+		for i, n := range h.Buckets {
+			cum += n
+			if i < NumBuckets {
+				// Only print non-empty prefixes plus the first empty tail
+				// bucket to keep the exposition compact.
+				if n == 0 && cum == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%s%s_bucket{le=\"%d\"} %d\n", namePrefix, name, h.UpperBound(i)+1, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s%s_bucket{le=\"+Inf\"} %d\n", namePrefix, name, h.Count)
+		fmt.Fprintf(w, "%s%s_sum %d\n", namePrefix, name, h.Sum)
+		fmt.Fprintf(w, "%s%s_count %d\n", namePrefix, name, h.Count)
+	}
+
+	names = names[:0]
+	for name := range s.Fits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := s.Fits[name]
+		fmt.Fprintf(w, "# TYPE %s%s_samples_total counter\n", namePrefix, name)
+		fmt.Fprintf(w, "%s%s_samples_total %g\n", namePrefix, name, f.N)
+		fmt.Fprintf(w, "# TYPE %s%s_alpha gauge\n", namePrefix, name)
+		fmt.Fprintf(w, "%s%s_alpha %g\n", namePrefix, name, f.Alpha)
+		fmt.Fprintf(w, "# TYPE %s%s_beta gauge\n", namePrefix, name)
+		fmt.Fprintf(w, "%s%s_beta %g\n", namePrefix, name, f.Beta)
+	}
+
+	// Derived live utilization: busy/wait ns over wall ns since the epoch.
+	// Wait folds the pipeline's barrier waits with the comm layer's
+	// blocked time, matching trace.RankSummary's split.
+	busy, okBusy := s.Counters[PipeBusyNs]
+	if okBusy && s.WallNs > 0 {
+		wait := s.Counters[PipeWaitNs]
+		blocked := s.Counters[CommBlockedNs]
+		wall := float64(s.WallNs)
+		fmt.Fprintf(w, "# TYPE %srank_busy_ratio gauge\n", namePrefix)
+		for rank, v := range busy.PerRank {
+			fmt.Fprintf(w, "%srank_busy_ratio{rank=\"%d\"} %g\n", namePrefix, rank, float64(v)/wall)
+		}
+		fmt.Fprintf(w, "# TYPE %srank_wait_ratio gauge\n", namePrefix)
+		for rank := range busy.PerRank {
+			var wNs int64
+			if rank < len(wait.PerRank) {
+				wNs += wait.PerRank[rank]
+			}
+			if rank < len(blocked.PerRank) {
+				wNs += blocked.PerRank[rank]
+			}
+			fmt.Fprintf(w, "%srank_wait_ratio{rank=\"%d\"} %g\n", namePrefix, rank, float64(wNs)/wall)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is a running metrics endpoint. Close releases the listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// expvar has a process-global namespace and panics on duplicate Publish,
+// so the "wavefront" var is published once and indirects through an
+// atomic pointer to whichever registry was served most recently.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("wavefront", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// Serve starts an HTTP endpoint on addr exposing
+//
+//	/metrics            Prometheus text exposition of the registry
+//	/debug/vars         expvar JSON (the registry snapshot under "wavefront")
+//	/debug/pprof/...    net/http/pprof profiles (heap, goroutine, profile, trace, ...)
+//
+// on its own mux (nothing leaks onto http.DefaultServeMux except the
+// expvar publication, which is process-global by design). The registry
+// may be scraped while ranks are running. Serve returns once the
+// listener is bound; the caller owns the returned Server and should
+// Close it.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("metrics: cannot serve a nil registry")
+	}
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "wavefront metrics endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := New(2)
+	r.Counter(CommSends).Add(0, 3)
+	r.Counter(CommRecvs).Add(1, 2)
+	r.Histogram(PipeTileNs).Observe(0, 1000)
+	r.Gauge(ModelDrift).Set(1.5)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`wavefront_comm_sends_total{rank="0"} 3`,
+		`wavefront_comm_recvs_total{rank="1"} 2`,
+		`wavefront_model_drift_ratio 1.5`,
+		`wavefront_pipeline_tile_ns_bucket{le="+Inf"} 1`,
+		`wavefront_pipeline_tile_ns_count 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"wavefront"`) {
+		t.Errorf("/debug/vars status %d, wavefront var present: %v", code, strings.Contains(body, `"wavefront"`))
+	}
+
+	code, body = get(t, base+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine profile") {
+		t.Errorf("pprof goroutine status %d", code)
+	}
+
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status %d", code)
+	}
+	if code, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestServeNilRegistry(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Fatal("Serve accepted a nil registry")
+	}
+}
+
+func TestServeTwoRegistriesExpvarFollowsLatest(t *testing.T) {
+	a, b := New(1), New(1)
+	a.Counter(CommSends).Add(0, 1)
+	b.Counter(CommSends).Add(0, 7)
+	sa, err := Serve("127.0.0.1:0", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := Serve("127.0.0.1:0", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	// The expvar "wavefront" var is process-global and tracks the most
+	// recently served registry on both endpoints.
+	for _, base := range []string{"http://" + sa.Addr(), "http://" + sb.Addr()} {
+		_, body := get(t, base+"/debug/vars")
+		if !strings.Contains(body, `"total":7`) {
+			t.Errorf("%s/debug/vars does not reflect the latest registry", base)
+		}
+	}
+	// /metrics stays per-endpoint.
+	_, body := get(t, "http://"+sa.Addr()+"/metrics")
+	if !strings.Contains(body, `wavefront_comm_sends_total{rank="0"} 1`) {
+		t.Error("first endpoint's /metrics no longer serves its own registry")
+	}
+}
+
+func TestWritePrometheusDerivedRatios(t *testing.T) {
+	r := New(2)
+	// Rank 0: 600ns busy; rank 1: 200ns busy, 100ns wait + 100ns blocked.
+	r.Counter(PipeBusyNs).Add(0, 600)
+	r.Counter(PipeBusyNs).Add(1, 200)
+	r.Counter(PipeWaitNs).Add(1, 100)
+	r.Counter(CommBlockedNs).Add(1, 100)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`wavefront_rank_busy_ratio{rank="0"}`,
+		`wavefront_rank_busy_ratio{rank="1"}`,
+		`wavefront_rank_wait_ratio{rank="1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derived ratios missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"wavefront/internal/trace"
+)
+
+// ObserveSummary imports a post-mortem trace summary into the registry
+// under the same names the live runtime uses, so a replayed trace and a
+// live scrape are comparable in the same dashboard. Busy and wait time
+// land in the pipeline counters, the fill/drain split in the phase
+// gauges, and fault/cancel tallies in the comm counters. Intended for a
+// fresh (or Reset) registry — importing on top of live-updated counters
+// would double-count.
+func ObserveSummary(r *Registry, s *trace.Summary) {
+	if r == nil || s == nil {
+		return
+	}
+	busy := r.Counter(PipeBusyNs)
+	wait := r.Counter(PipeWaitNs)
+	faults := r.Counter(CommFaults)
+	cancels := r.Counter(CommCancels)
+	for _, rs := range s.Ranks {
+		rank := rs.Rank
+		if rank < 0 || rank >= r.Procs() {
+			continue
+		}
+		busy.Add(rank, int64(rs.Busy))
+		wait.Add(rank, int64(rs.Wait))
+		faults.Add(rank, int64(rs.Faults))
+		cancels.Add(rank, int64(rs.Cancels))
+	}
+	r.Gauge(PipeFillNs).Set(float64(s.Fill))
+	r.Gauge(PipeDrainNs).Set(float64(s.Drain))
+	if steady := s.Wall - s.Fill - s.Drain; steady > 0 {
+		r.Gauge(PipeSteadyNs).Set(float64(steady))
+	}
+}

@@ -1,0 +1,61 @@
+package model
+
+// LinearFit is a streaming least-squares fit of y = α + β·x, the online
+// form of FitAlphaBeta: instead of two chosen probe sizes it folds every
+// observed (message size, cost) pair into five running sums, so the
+// runtime's drift monitor can re-estimate the machine's communication
+// parameters continuously while a job runs. The zero value is an empty fit.
+type LinearFit struct {
+	N     float64 `json:"n"`
+	SumX  float64 `json:"sum_x"`
+	SumY  float64 `json:"sum_y"`
+	SumXX float64 `json:"sum_xx"`
+	SumXY float64 `json:"sum_xy"`
+}
+
+// Add folds one observation into the fit.
+func (f *LinearFit) Add(x, y float64) {
+	f.N++
+	f.SumX += x
+	f.SumY += y
+	f.SumXX += x * x
+	f.SumXY += x * y
+}
+
+// Merge folds another fit's observations into this one (used to combine
+// per-rank shards).
+func (f *LinearFit) Merge(g LinearFit) {
+	f.N += g.N
+	f.SumX += g.SumX
+	f.SumY += g.SumY
+	f.SumXX += g.SumXX
+	f.SumXY += g.SumXY
+}
+
+// MeanY returns the mean observed cost (0 for an empty fit).
+func (f LinearFit) MeanY() float64 {
+	if f.N == 0 {
+		return 0
+	}
+	return f.SumY / f.N
+}
+
+// AlphaBeta solves the least-squares system for (α, β). When the fit is
+// degenerate — fewer than two observations, or no variance in x — it
+// returns the mean cost as α with β = 0 and ok = false. Negative estimates
+// (timing noise) are clamped to zero, matching Probe.
+func (f LinearFit) AlphaBeta() (alpha, beta float64, ok bool) {
+	det := f.N*f.SumXX - f.SumX*f.SumX
+	if f.N < 2 || det <= 0 {
+		return f.MeanY(), 0, false
+	}
+	beta = (f.N*f.SumXY - f.SumX*f.SumY) / det
+	alpha = (f.SumY - beta*f.SumX) / f.N
+	if alpha < 0 {
+		alpha = 0
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	return alpha, beta, true
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearFitRecoversExactLine(t *testing.T) {
+	var f LinearFit
+	for _, x := range []float64{1, 10, 100, 1000} {
+		f.Add(x, 500+2.5*x)
+	}
+	alpha, beta, ok := f.AlphaBeta()
+	if !ok {
+		t.Fatal("fit reported degenerate")
+	}
+	if math.Abs(alpha-500) > 1e-9 || math.Abs(beta-2.5) > 1e-12 {
+		t.Errorf("alpha, beta = %g, %g; want 500, 2.5", alpha, beta)
+	}
+}
+
+func TestLinearFitLeastSquaresOverNoisyPoints(t *testing.T) {
+	// Symmetric noise around y = 10 + 3x cancels exactly in least squares.
+	var f LinearFit
+	for _, p := range [][2]float64{{0, 9}, {0, 11}, {2, 15}, {2, 17}, {4, 21}, {4, 23}} {
+		f.Add(p[0], p[1])
+	}
+	alpha, beta, ok := f.AlphaBeta()
+	if !ok {
+		t.Fatal("fit reported degenerate")
+	}
+	if math.Abs(alpha-10) > 1e-9 || math.Abs(beta-3) > 1e-9 {
+		t.Errorf("alpha, beta = %g, %g; want 10, 3", alpha, beta)
+	}
+}
+
+func TestLinearFitDegenerateFallsBackToMean(t *testing.T) {
+	var empty LinearFit
+	if a, b, ok := empty.AlphaBeta(); ok || a != 0 || b != 0 {
+		t.Errorf("empty fit gave %g, %g, %v", a, b, ok)
+	}
+	var one LinearFit
+	one.Add(5, 42)
+	if a, b, ok := one.AlphaBeta(); ok || a != 42 || b != 0 {
+		t.Errorf("single point gave %g, %g, %v; want mean 42", a, b, ok)
+	}
+	var same LinearFit
+	same.Add(7, 10)
+	same.Add(7, 20)
+	if a, b, ok := same.AlphaBeta(); ok || a != 15 || b != 0 {
+		t.Errorf("no-variance fit gave %g, %g, %v; want mean 15", a, b, ok)
+	}
+}
+
+func TestLinearFitClampsNegativeEstimates(t *testing.T) {
+	// A steeply decreasing cost would solve to β < 0; the clamp matches
+	// Probe's treatment of timing noise.
+	var f LinearFit
+	f.Add(1, 100)
+	f.Add(10, 10)
+	_, beta, ok := f.AlphaBeta()
+	if !ok || beta != 0 {
+		t.Errorf("beta = %g, ok = %v; want clamped 0, true", beta, ok)
+	}
+}
+
+func TestLinearFitMergeEqualsSequential(t *testing.T) {
+	var whole, a, b LinearFit
+	pts := [][2]float64{{1, 3}, {2, 5}, {3, 7}, {4, 9}}
+	for i, p := range pts {
+		whole.Add(p[0], p[1])
+		if i%2 == 0 {
+			a.Add(p[0], p[1])
+		} else {
+			b.Add(p[0], p[1])
+		}
+	}
+	a.Merge(b)
+	if a != whole {
+		t.Errorf("merged fit %+v != sequential fit %+v", a, whole)
+	}
+	if a.MeanY() != 6 {
+		t.Errorf("mean y = %g, want 6", a.MeanY())
+	}
+}

@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/grid"
+	"wavefront/internal/metrics"
+	"wavefront/internal/scan"
+)
+
+// TestPipelineRunPopulatesMetrics runs the Tomcatv wavefront with a
+// registry attached and cross-checks every counter family against the
+// run's own statistics.
+func TestPipelineRunPopulatesMetrics(t *testing.T) {
+	n := 33
+	blk, names := tomcatv(n)
+	bounds := grid.MustRegion(grid.NewRange(1, n), grid.NewRange(1, n))
+	p, b := 4, 5
+	reg := metrics.New(p)
+	cfg := DefaultConfig(p, b)
+	cfg.Metrics = reg
+	stats := checkAgainstSerial(t, blk, names, bounds, cfg)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[metrics.CommSends].Total; got != stats.Comm.Messages {
+		t.Errorf("comm_sends = %d, stats report %d messages", got, stats.Comm.Messages)
+	}
+	if got := snap.Counters[metrics.CommRecvs].Total; got != stats.Comm.Messages {
+		t.Errorf("comm_recvs = %d, stats report %d messages", got, stats.Comm.Messages)
+	}
+	if got := snap.Counters[metrics.CommSendBytes].Total; got != stats.Comm.Bytes() {
+		t.Errorf("comm_send_bytes = %d, stats report %d", got, stats.Comm.Bytes())
+	}
+	if got := snap.Counters[metrics.PipeWaveMsgs].Total; got != stats.Comm.Messages {
+		t.Errorf("wave msgs = %d, stats report %d", got, stats.Comm.Messages)
+	}
+	if got := snap.Counters[metrics.PipeWaveElems].Total; got != stats.Comm.Elements {
+		t.Errorf("wave elems = %d, stats report %d", got, stats.Comm.Elements)
+	}
+	wantTiles := int64(p * stats.Tiles)
+	if got := snap.Counters[metrics.PipeTiles].Total; got != wantTiles {
+		t.Errorf("tiles = %d, want p × %d = %d", got, stats.Tiles, wantTiles)
+	}
+	if got := snap.Histograms[metrics.PipeTileNs].Count; got != wantTiles {
+		t.Errorf("tile histogram count = %d, want %d", got, wantTiles)
+	}
+	if got := snap.Counters[metrics.PipeBusyNs].Total; got <= 0 {
+		t.Errorf("busy ns = %d, want > 0", got)
+	}
+	if got := snap.Counters[metrics.PipeWaves].Total; got != int64(p) {
+		t.Errorf("wave epochs = %d, want one per rank = %d", got, p)
+	}
+	if stats.Drift == nil {
+		t.Fatal("stats carry no drift report with metrics attached")
+	}
+	if stats.Drift.OptimalBlock < 1 || stats.Drift.OptimalBlock > n-2 {
+		t.Errorf("recomputed optimal block = %d out of range", stats.Drift.OptimalBlock)
+	}
+	if stats.Drift.DriftRatio <= 0 {
+		t.Errorf("drift ratio = %g, want > 0", stats.Drift.DriftRatio)
+	}
+	if g := snap.Gauges[metrics.ModelDrift]; g != stats.Drift.DriftRatio {
+		t.Errorf("drift gauge %g != report %g", g, stats.Drift.DriftRatio)
+	}
+}
+
+// TestPipelineMetricsDisabledIsNilSafe: the zero Config still runs and
+// reports no drift.
+func TestPipelineMetricsDisabledIsNilSafe(t *testing.T) {
+	n := 17
+	blk, names := tomcatv(n)
+	bounds := grid.MustRegion(grid.NewRange(1, n), grid.NewRange(1, n))
+	stats := checkAgainstSerial(t, blk, names, bounds, DefaultConfig(3, 4))
+	if stats.Drift != nil {
+		t.Error("drift report present without a registry")
+	}
+}
+
+// TestSessionServesMetricsWhileRunning starts a session with a live HTTP
+// endpoint, holds the ranks mid-run, scrapes /metrics concurrently, and
+// verifies the acceptance families: comm counters, per-rank busy/wait
+// ratios, tile-latency buckets, and the drift-ratio gauge.
+func TestSessionServesMetricsWhileRunning(t *testing.T) {
+	n := 33
+	blk, names := tomcatv(n)
+	bounds := grid.MustRegion(grid.NewRange(1, n), grid.NewRange(1, n))
+	env := env2(names, bounds)
+	seed(env, bounds, 1)
+	const p = 4
+	sess, err := NewSession(env, []*scan.Block{blk}, SessionConfig{
+		Procs: p, Domain: bounds, Block: 4, MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Metrics() == nil {
+		t.Fatal("MetricsAddr did not auto-create a registry")
+	}
+	addr := sess.MetricsAddr()
+	if addr == "" {
+		t.Fatal("no bound metrics address")
+	}
+
+	ready := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sess.Run(func(r *Rank) error {
+			for i := 0; i < 3; i++ {
+				if err := r.Exec(blk); err != nil {
+					return err
+				}
+			}
+			if err := r.Barrier(); err != nil {
+				return err
+			}
+			if _, err := r.Reduce(scan.SumReduce, blk.Region, expr.Ref("d")); err != nil {
+				return err
+			}
+			if r.ID() == 0 {
+				close(ready)
+			}
+			<-release
+			return nil
+		})
+	}()
+	<-ready
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape during run: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		`wavefront_comm_sends_total{rank="0"}`,
+		`wavefront_comm_recvs_total{rank="1"}`,
+		`wavefront_rank_busy_ratio{rank="0"}`,
+		`wavefront_rank_wait_ratio{rank="0"}`,
+		`wavefront_pipeline_tile_ns_bucket`,
+		`wavefront_model_drift_ratio`,
+		`wavefront_session_halo_exchanges_total`,
+		`wavefront_session_reductions_total`,
+		`wavefront_session_barriers_total`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("live scrape missing %q", want)
+		}
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// After the run the drift monitor has a full makespan to judge.
+	reg := sess.Metrics()
+	stats := sess.Stats()
+	if stats.Drift == nil || stats.Drift.OptimalBlock < 1 {
+		t.Fatalf("session drift report missing or empty: %+v", stats.Drift)
+	}
+	if g := reg.Gauge(metrics.ModelDrift).Value(); g <= 0 {
+		t.Errorf("drift gauge = %g after a completed run", g)
+	}
+	if got := reg.Counter(metrics.SessBarriers).Value(); got != p {
+		t.Errorf("barriers = %d, want %d", got, p)
+	}
+	if got := reg.Counter(metrics.SessReductions).Value(); got != p {
+		t.Errorf("reductions = %d, want %d", got, p)
+	}
+	if got := reg.Counter(metrics.SessExchanges).Value(); got <= 0 {
+		t.Errorf("exchanges = %d, want > 0 (halos go stale between Execs)", got)
+	}
+}

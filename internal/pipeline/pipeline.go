@@ -21,6 +21,7 @@ import (
 	"wavefront/internal/expr"
 	"wavefront/internal/fault"
 	"wavefront/internal/grid"
+	"wavefront/internal/metrics"
 	"wavefront/internal/scan"
 	"wavefront/internal/trace"
 )
@@ -52,6 +53,12 @@ type Config struct {
 	// messages; senders then block on a full link (backpressure). 0 — the
 	// default — keeps links unbounded.
 	LinkCapacity int
+	// Metrics, when non-nil, streams counters, latency histograms, and the
+	// online model-drift estimate into the registry (see internal/metrics);
+	// the registry may be scraped concurrently, e.g. via metrics.Serve. Nil
+	// — the default — disables collection at the cost of a pointer check
+	// per operation.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a Config that accepts the analysis' choices.
@@ -76,6 +83,10 @@ type Stats struct {
 	// fill/drain/overlap, derived from the trace; nil when Config.Trace
 	// was nil.
 	Summary *trace.Summary
+	// Drift is the model-drift report refreshed by this run (measured α/β,
+	// recomputed optimal block, predicted vs observed makespan); nil when
+	// Config.Metrics was nil.
+	Drift *metrics.DriftReport
 }
 
 // ErrUnsupported marks scan blocks whose dependence pattern the 1-D
@@ -130,6 +141,10 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	if err := topo.SetLinkCapacity(cfg.LinkCapacity); err != nil {
 		return nil, err
 	}
+	if err := topo.SetMetrics(cfg.Metrics); err != nil {
+		return nil, err
+	}
+	pm := newPipeMetrics(cfg.Metrics, pl.p)
 	// Phase barriers around the parallel section: a rank must not gather
 	// into the global arrays while another is still scattering from them
 	// (and vice versa). Without pipeline messages nothing else orders the
@@ -137,7 +152,7 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	phase := comm.NewSyncBarrier(pl.p)
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
-		return runRank(b, env, pl, e, phase, cfg.Trace)
+		return runRank(b, env, pl, e, phase, cfg.Trace, pm)
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -145,6 +160,17 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	}
 	if n := topo.PendingMessages(); n != 0 {
 		return nil, fmt.Errorf("pipeline: %d messages left undelivered", n)
+	}
+	var drift *metrics.DriftReport
+	if pm != nil {
+		nW := b.Region.Dim(pl.wDim).Size()
+		nT := b.Region.Dim(pl.tDim).Size()
+		bUsed := pl.block
+		if pl.noTiling || bUsed < 1 {
+			bUsed = nT
+		}
+		rep := pm.finishRun(nW, nT, pl.p, bUsed, elapsed)
+		drift = &rep
 	}
 	return &Stats{
 		Procs:        pl.p,
@@ -157,6 +183,7 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 		Comm:         topo.Stats(),
 		Elapsed:      elapsed,
 		Summary:      cfg.Trace.Summarize(),
+		Drift:        drift,
 	}, nil
 }
 

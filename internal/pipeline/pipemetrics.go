@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"time"
+
+	"wavefront/internal/metrics"
+)
+
+// pipeMetrics is the pipeline runtime's resolved instrument set, the
+// counterpart of comm's SetMetrics resolution: one struct built per Run
+// when Config.Metrics / SessionConfig.Metrics is non-nil, so the tile
+// loop pays a single nil check and a few atomic adds per tile. A nil
+// *pipeMetrics disables everything.
+type pipeMetrics struct {
+	reg                             *metrics.Registry
+	tiles, waves                    *metrics.Counter
+	busyNs, waitNs                  *metrics.Counter
+	waveMsgs, waveElems             *metrics.Counter
+	exchanges, reductions, barriers *metrics.Counter
+	tileNs                          *metrics.Histogram
+	compCost                        *metrics.Fit
+	// first/last bound each rank's compute activity in ns since the
+	// registry epoch. Each rank's goroutine writes only its own slot;
+	// finishRun reads after the run's WaitGroup.
+	first, last []int64
+}
+
+func newPipeMetrics(reg *metrics.Registry, p int) *pipeMetrics {
+	if reg == nil {
+		return nil
+	}
+	pm := &pipeMetrics{
+		reg:        reg,
+		tiles:      reg.Counter(metrics.PipeTiles),
+		waves:      reg.Counter(metrics.PipeWaves),
+		busyNs:     reg.Counter(metrics.PipeBusyNs),
+		waitNs:     reg.Counter(metrics.PipeWaitNs),
+		waveMsgs:   reg.Counter(metrics.PipeWaveMsgs),
+		waveElems:  reg.Counter(metrics.PipeWaveElems),
+		exchanges:  reg.Counter(metrics.SessExchanges),
+		reductions: reg.Counter(metrics.SessReductions),
+		barriers:   reg.Counter(metrics.SessBarriers),
+		tileNs:     reg.Histogram(metrics.PipeTileNs),
+		compCost:   reg.Fit(metrics.ModelCompFit),
+		first:      make([]int64, p),
+		last:       make([]int64, p),
+	}
+	for i := range pm.first {
+		pm.first[i] = -1
+	}
+	// Pre-register the phase and drift gauges so every scrape carries the
+	// full family set even before the first run completes.
+	for _, name := range []string{
+		metrics.PipeFillNs, metrics.PipeDrainNs, metrics.PipeSteadyNs,
+		metrics.ModelAlphaNs, metrics.ModelBetaNs, metrics.ModelElemNs,
+		metrics.ModelOptBlock, metrics.ModelPredictedNs, metrics.ModelPredActualNs,
+		metrics.ModelObservedNs, metrics.ModelDrift,
+	} {
+		reg.Gauge(name)
+	}
+	return pm
+}
+
+// now returns ns since the registry epoch.
+func (pm *pipeMetrics) now() int64 { return pm.reg.Now() }
+
+// tile records one tile's compute span for rank.
+func (pm *pipeMetrics) tile(rank, elems int, start, end int64) {
+	d := end - start
+	pm.tiles.Add(rank, 1)
+	pm.busyNs.Add(rank, d)
+	pm.tileNs.Observe(rank, d)
+	pm.compCost.Observe(rank, float64(elems), float64(d))
+	if pm.first[rank] < 0 {
+		pm.first[rank] = start
+	}
+	pm.last[rank] = end
+}
+
+// waveSend records one pipeline boundary message leaving rank.
+func (pm *pipeMetrics) waveSend(rank, elems int) {
+	pm.waveMsgs.Add(rank, 1)
+	pm.waveElems.Add(rank, int64(elems))
+}
+
+// finishRun publishes the fill/drain/steady phase split from the per-rank
+// compute envelopes, records the observed makespan, and refreshes the
+// model-drift gauges. Call once per Run, after every rank has retired.
+func (pm *pipeMetrics) finishRun(nW, nT, p, b int, elapsed time.Duration) metrics.DriftReport {
+	var minFirst, maxFirst, minLast, maxLast int64 = -1, -1, -1, -1
+	for r := range pm.first {
+		f, l := pm.first[r], pm.last[r]
+		if f < 0 {
+			continue
+		}
+		if minFirst < 0 || f < minFirst {
+			minFirst = f
+		}
+		if f > maxFirst {
+			maxFirst = f
+		}
+		if minLast < 0 || l < minLast {
+			minLast = l
+		}
+		if l > maxLast {
+			maxLast = l
+		}
+	}
+	if minFirst >= 0 {
+		pm.reg.Gauge(metrics.PipeFillNs).Set(float64(maxFirst - minFirst))
+		pm.reg.Gauge(metrics.PipeDrainNs).Set(float64(maxLast - minLast))
+		steady := minLast - maxFirst // interval with every rank active
+		if steady < 0 {
+			steady = 0
+		}
+		pm.reg.Gauge(metrics.PipeSteadyNs).Set(float64(steady))
+	}
+	if b < 1 {
+		b = nT
+	}
+	return pm.reg.UpdateDrift(metrics.DriftInput{
+		NW: nW, NT: nT, P: p, B: b, ObservedNs: int64(elapsed),
+	})
+}

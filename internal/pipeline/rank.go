@@ -32,7 +32,7 @@ func (f *forwardEnv) Scalar(name string) (float64, bool) {
 // runRank is the SPMD body: scatter, pipeline loop, gather. The phase
 // barrier separates global-array reads (scatter) from global-array writes
 // (gather) across ranks.
-func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *comm.SyncBarrier, tr *trace.Recorder) error {
+func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *comm.SyncBarrier, tr *trace.Recorder, pm *pipeMetrics) error {
 	rank := e.Rank()
 	L := pl.slabs[rank]
 
@@ -79,9 +79,16 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 		tr.Record(trace.Ev(trace.KindScatter, rank, scatterT0, tr.Now()))
 	}
 	barrierT0 := tr.Now()
+	var mBar0 int64
+	if pm != nil {
+		mBar0 = pm.now()
+	}
 	phase.Wait() // everyone has scattered; globals may now be overwritten
 	if tr != nil {
 		tr.Record(trace.Ev(trace.KindBarrier, rank, barrierT0, tr.Now()))
+	}
+	if pm != nil {
+		pm.waitNs.Add(rank, pm.now()-mBar0)
 	}
 	if scatterErr != nil {
 		return scatterErr
@@ -96,6 +103,9 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 	hasUp := rank > 0 && len(pl.pipeNames) > 0
 	hasDown := rank < pl.p-1 && len(pl.pipeNames) > 0
 	T := pl.tileCount()
+	if pm != nil {
+		pm.waves.Add(rank, 1) // one wave sweep over this rank's slab
+	}
 	recvd := 0
 	for t := 0; t < T; t++ {
 		need := -1
@@ -127,7 +137,14 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 		}
 		tile := pl.tileRegion(L, t)
 		computeT0 := tr.Now()
+		var mTile0 int64
+		if pm != nil {
+			mTile0 = pm.now()
+		}
 		kern.Run(tile, pl.an.Loop)
+		if pm != nil {
+			pm.tile(rank, tile.Size(), mTile0, pm.now())
+		}
 		if tr != nil {
 			ev := trace.Ev(trace.KindCompute, rank, computeT0, tr.Now())
 			ev.Tile, ev.Wave, ev.Elems = t, 0, tile.Size()
@@ -144,6 +161,9 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 			}
 			if err := e.Send(rank+1, t, buf); err != nil {
 				return err
+			}
+			if pm != nil {
+				pm.waveSend(rank, len(buf))
 			}
 			if tr != nil {
 				ev := trace.Ev(trace.KindWaveSend, rank, waveT0, tr.Now())

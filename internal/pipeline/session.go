@@ -12,6 +12,7 @@ import (
 	"wavefront/internal/fault"
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
+	"wavefront/internal/metrics"
 	"wavefront/internal/scan"
 	"wavefront/internal/trace"
 )
@@ -48,6 +49,10 @@ type Session struct {
 	mu    sync.Mutex
 	topo  *comm.Topology
 	stats SessionStats
+	// pm is the resolved instrument set of the Run in flight (nil when
+	// metrics are disabled); msrv is the HTTP endpoint from MetricsAddr.
+	pm   *pipeMetrics
+	msrv *metrics.Server
 }
 
 // SessionConfig fixes a session's decomposition.
@@ -73,6 +78,16 @@ type SessionConfig struct {
 	// messages; senders then block on a full link (backpressure). 0 (the
 	// default) keeps links unbounded.
 	LinkCapacity int
+	// Metrics, when non-nil, streams counters, latency histograms, and the
+	// online model-drift estimate into the registry; it may be scraped
+	// concurrently while ranks run. Nil (the default) disables collection —
+	// unless MetricsAddr is set, which creates a registry automatically.
+	Metrics *metrics.Registry
+	// MetricsAddr, when non-empty, serves the registry over HTTP at this
+	// address (":0" picks a free port; see Session.MetricsAddr): Prometheus
+	// text at /metrics, expvar JSON at /debug/vars, and pprof under
+	// /debug/pprof/. The listener lives until Session.Close.
+	MetricsAddr string
 }
 
 // SessionStats summarizes a finished Run.
@@ -82,6 +97,9 @@ type SessionStats struct {
 	// Summary is the per-rank busy/wait/comm breakdown with pipeline
 	// fill/drain/overlap; nil when SessionConfig.Trace was nil.
 	Summary *trace.Summary
+	// Drift is the model-drift report refreshed by the run; nil when
+	// metrics were disabled.
+	Drift *metrics.DriftReport
 }
 
 // NewSession validates the blocks against the decomposition and
@@ -127,7 +145,40 @@ func NewSession(env expr.Env, blocks []*scan.Block, cfg SessionConfig) (*Session
 		sess.names = append(sess.names, name)
 	}
 	sort.Strings(sess.names)
+	if cfg.MetricsAddr != "" {
+		if sess.cfg.Metrics == nil {
+			sess.cfg.Metrics = metrics.New(cfg.Procs)
+		}
+		srv, err := metrics.Serve(cfg.MetricsAddr, sess.cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		sess.msrv = srv
+	}
 	return sess, nil
+}
+
+// Metrics returns the session's registry (nil when metrics are disabled).
+func (s *Session) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// MetricsAddr returns the bound address of the metrics endpoint, or ""
+// when SessionConfig.MetricsAddr was empty.
+func (s *Session) MetricsAddr() string {
+	if s.msrv == nil {
+		return ""
+	}
+	return s.msrv.Addr()
+}
+
+// Close releases the session's metrics endpoint, if any. A session may
+// still Run after Close; only the HTTP listener is gone.
+func (s *Session) Close() error {
+	if s.msrv == nil {
+		return nil
+	}
+	err := s.msrv.Close()
+	s.msrv = nil
+	return err
 }
 
 func (s *Session) register(b *scan.Block) error {
@@ -260,8 +311,13 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	if err := topo.SetLinkCapacity(s.cfg.LinkCapacity); err != nil {
 		return err
 	}
+	if err := topo.SetMetrics(s.cfg.Metrics); err != nil {
+		return err
+	}
+	pm := newPipeMetrics(s.cfg.Metrics, s.cfg.Procs)
 	s.mu.Lock()
 	s.topo = topo
+	s.pm = pm
 	s.mu.Unlock()
 	tr := s.cfg.Trace
 	// All ranks must finish scattering (reading the global arrays) before
@@ -272,9 +328,16 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	err = topo.Run(func(e *comm.Endpoint) error {
 		rk, err := s.newRank(e)
 		barrierT0 := tr.Now()
+		var mBar0 int64
+		if pm != nil {
+			mBar0 = pm.now()
+		}
 		phase.Wait()
 		if tr != nil {
 			tr.Record(trace.Ev(trace.KindBarrier, e.Rank(), barrierT0, tr.Now()))
+		}
+		if pm != nil {
+			pm.waitNs.Add(e.Rank(), pm.now()-mBar0)
 		}
 		if err != nil {
 			return err
@@ -284,7 +347,20 @@ func (s *Session) Run(body func(r *Rank) error) error {
 		}
 		return rk.gather()
 	})
-	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: time.Since(start), Summary: tr.Summarize()}
+	elapsed := time.Since(start)
+	var drift *metrics.DriftReport
+	if pm != nil {
+		w := s.cfg.WavefrontDim
+		nW := s.cfg.Domain.Dim(w).Size()
+		nT := 1
+		if nW > 0 {
+			nT = s.cfg.Domain.Size() / nW
+		}
+		bUsed := s.cfg.Block
+		rep := pm.finishRun(nW, nT, s.cfg.Procs, bUsed, elapsed)
+		drift = &rep
+	}
+	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: elapsed, Summary: tr.Summarize(), Drift: drift}
 	if err != nil {
 		return err
 	}
@@ -376,6 +452,10 @@ func (r *Rank) ID() int { return r.id }
 // tr returns the session's trace recorder (nil = tracing disabled).
 func (r *Rank) tr() *trace.Recorder { return r.sess.cfg.Trace }
 
+// pm returns the instrument set of the Run in flight (nil = metrics
+// disabled).
+func (r *Rank) pm() *pipeMetrics { return r.sess.pm }
+
 // SetScalar binds a rank-local scalar, shadowing the global environment.
 // Because compiled kernels capture scalar values, a scalar already used by
 // an executed block must not change afterwards; Exec reports an error if
@@ -399,7 +479,17 @@ func (r *Rank) GetScalar(name string) (float64, bool) { return r.lenv.Scalar(nam
 func (r *Rank) P() int { return r.sess.cfg.Procs }
 
 // Barrier synchronizes all ranks.
-func (r *Rank) Barrier() error { return r.e.Barrier() }
+func (r *Rank) Barrier() error {
+	pm := r.pm()
+	if pm == nil {
+		return r.e.Barrier()
+	}
+	t0 := pm.now()
+	err := r.e.Barrier()
+	pm.barriers.Add(r.id, 1)
+	pm.waitNs.Add(r.id, pm.now()-t0)
+	return err
+}
 
 func (r *Rank) sendNext(to int, data []float64) error {
 	tag := r.sendSeq[to]
@@ -487,8 +577,16 @@ func (r *Rank) Exec(b *scan.Block) error {
 		if len(pl.pipeNames) == 0 {
 			// Fully parallel (or anti-dependences only): compute the portion.
 			tr := r.tr()
+			pm := r.pm()
 			computeT0 := tr.Now()
+			var mT0 int64
+			if pm != nil {
+				mT0 = pm.now()
+			}
 			kern.Run(L, pl.an.Loop)
+			if pm != nil {
+				pm.tile(r.id, L.Size(), mT0, pm.now())
+			}
 			if tr != nil {
 				ev := trace.Ev(trace.KindCompute, r.id, computeT0, tr.Now())
 				ev.Elems = L.Size()
@@ -529,8 +627,12 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 	}
 
 	tr := r.tr()
+	pm := r.pm()
 	wave := r.waveRuns
 	r.waveRuns++
+	if pm != nil {
+		pm.waves.Add(r.id, 1)
+	}
 	T := pl.tileCount()
 	recvd := 0
 	for t := 0; t < T; t++ {
@@ -562,7 +664,14 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 		}
 		tile := pl.tileRegion(L, t)
 		computeT0 := tr.Now()
+		var mT0 int64
+		if pm != nil {
+			mT0 = pm.now()
+		}
 		kern.Run(tile, pl.an.Loop)
+		if pm != nil {
+			pm.tile(r.id, tile.Size(), mT0, pm.now())
+		}
 		if tr != nil {
 			ev := trace.Ev(trace.KindCompute, r.id, computeT0, tr.Now())
 			ev.Tile, ev.Wave, ev.Elems = t, wave, tile.Size()
@@ -579,6 +688,9 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 			}
 			if err := r.sendNext(downstream, buf); err != nil {
 				return err
+			}
+			if pm != nil {
+				pm.waveSend(r.id, len(buf))
 			}
 			if tr != nil {
 				ev := trace.Ev(trace.KindWaveSend, r.id, waveT0, tr.Now())
@@ -686,6 +798,9 @@ func (r *Rank) exchange(names []string) error {
 	for _, n := range names {
 		r.dirty[n] = false
 	}
+	if pm := r.pm(); pm != nil {
+		pm.exchanges.Add(r.id, 1)
+	}
 	if tr != nil {
 		tr.Record(trace.Ev(trace.KindExchange, r.id, exchangeT0, tr.Now()))
 	}
@@ -727,6 +842,9 @@ func (r *Rank) Reduce(op scan.ReduceOp, region grid.Region, node expr.Node) (flo
 	tr := r.tr()
 	reduceT0 := tr.Now()
 	out, err := r.e.AllReduce(local, commOp)
+	if pm := r.pm(); pm != nil {
+		pm.reductions.Add(r.id, 1)
+	}
 	if tr != nil {
 		tr.Record(trace.Ev(trace.KindReduce, r.id, reduceT0, tr.Now()))
 	}

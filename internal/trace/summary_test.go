@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSummarizeNilRecorder: the disabled recorder summarizes to nil and
+// the nil summary still prints.
+func TestSummarizeNilRecorder(t *testing.T) {
+	var r *Recorder
+	s := r.Summarize()
+	if s != nil {
+		t.Fatalf("nil recorder summarized to %+v", s)
+	}
+	if got := s.String(); got != "<no trace>" {
+		t.Errorf("nil summary string = %q", got)
+	}
+}
+
+// TestSummarizeEmptyTrace: a recorder with no events yields a zero wall
+// clock, no fill/drain, and zero overlap — not a panic or NaN.
+func TestSummarizeEmptyTrace(t *testing.T) {
+	r := New(3, 16)
+	s := r.Summarize()
+	if s.Procs != 3 || len(s.Ranks) != 3 {
+		t.Fatalf("procs = %d, ranks = %d", s.Procs, len(s.Ranks))
+	}
+	if s.Wall != 0 || s.Fill != 0 || s.Drain != 0 {
+		t.Errorf("empty trace has wall %v fill %v drain %v", s.Wall, s.Fill, s.Drain)
+	}
+	if s.Overlap != 0 || s.Utilization != 0 {
+		t.Errorf("empty trace overlap %g utilization %g", s.Overlap, s.Utilization)
+	}
+	for _, rs := range s.Ranks {
+		if rs.FirstComputeStart != -1 || rs.LastComputeEnd != -1 {
+			t.Errorf("rank %d compute envelope %d..%d, want -1..-1",
+				rs.Rank, rs.FirstComputeStart, rs.LastComputeEnd)
+		}
+	}
+	if !strings.Contains(s.String(), "wall") {
+		t.Errorf("summary table missing header: %q", s.String())
+	}
+}
+
+// TestSummarizeSingleRank: one rank computing alone has no fill, no
+// drain, no overlap, and utilization equal to busy/wall.
+func TestSummarizeSingleRank(t *testing.T) {
+	r := New(1, 16)
+	r.Record(Ev(KindCompute, 0, 100, 600))
+	r.Record(Ev(KindCompute, 0, 700, 900))
+	s := r.Summarize()
+	if s.Wall != 800 {
+		t.Errorf("wall = %v, want 800ns (100..900)", s.Wall)
+	}
+	if s.Fill != 0 || s.Drain != 0 {
+		t.Errorf("single rank fill %v drain %v, want 0", s.Fill, s.Drain)
+	}
+	if s.Overlap != 0 {
+		t.Errorf("single rank overlap = %g, want 0", s.Overlap)
+	}
+	if want := float64(700) / 800; s.Utilization != want {
+		t.Errorf("utilization = %g, want %g", s.Utilization, want)
+	}
+	rs := s.Ranks[0]
+	if rs.Busy != 700*time.Nanosecond || rs.FirstComputeStart != 100 || rs.LastComputeEnd != 900 {
+		t.Errorf("rank summary %+v", rs)
+	}
+}
+
+// TestSummarizeBlockedSendSplitsWaitFromComm: the blocked part of a send
+// counts as wait, the remainder as comm.
+func TestSummarizeBlockedSendSplitsWaitFromComm(t *testing.T) {
+	r := New(2, 16)
+	ev := Ev(KindSend, 0, 0, 1000)
+	ev.Blocked = 600
+	r.Record(ev)
+	s := r.Summarize()
+	if s.Ranks[0].Wait != 600 || s.Ranks[0].Comm != 400 {
+		t.Errorf("wait %v comm %v, want 600/400 split", s.Ranks[0].Wait, s.Ranks[0].Comm)
+	}
+}
+
+// TestSummarizeKernelFallback: a serial trace with only fused kernel runs
+// still reports busy time and a compute envelope.
+func TestSummarizeKernelFallback(t *testing.T) {
+	r := New(1, 16)
+	r.Record(Ev(KindKernel, 0, 50, 250))
+	s := r.Summarize()
+	if s.Ranks[0].Busy != 200 {
+		t.Errorf("kernel busy = %v, want 200ns", s.Ranks[0].Busy)
+	}
+	if s.Ranks[0].FirstComputeStart != 50 || s.Ranks[0].LastComputeEnd != 250 {
+		t.Errorf("kernel envelope %d..%d", s.Ranks[0].FirstComputeStart, s.Ranks[0].LastComputeEnd)
+	}
+}
+
+// TestSummarizeOverlapFraction: two ranks computing half-overlapped give
+// overlap 1/3 (100..200 shared out of 0..300 active).
+func TestSummarizeOverlapFraction(t *testing.T) {
+	r := New(2, 16)
+	r.Record(Ev(KindCompute, 0, 0, 200))
+	r.Record(Ev(KindCompute, 1, 100, 300))
+	s := r.Summarize()
+	if want := 1.0 / 3; s.Overlap < want-1e-9 || s.Overlap > want+1e-9 {
+		t.Errorf("overlap = %g, want %g", s.Overlap, want)
+	}
+	if s.Fill != 100 || s.Drain != 100 {
+		t.Errorf("fill %v drain %v, want 100/100", s.Fill, s.Drain)
+	}
+}
+
+// TestDisabledRecorderDoesNotAllocate: the nil-recorder hot path — the
+// same contract the metrics registry follows — is allocation-free.
+func TestDisabledRecorderDoesNotAllocate(t *testing.T) {
+	var r *Recorder
+	ev := Ev(KindCompute, 0, 1, 2)
+	if n := testing.AllocsPerRun(100, func() {
+		r.Record(ev)
+		_ = r.Now()
+		_ = r.Enabled()
+	}); n != 0 {
+		t.Errorf("disabled recorder allocated %v times per op", n)
+	}
+}
