@@ -341,6 +341,60 @@ func BenchmarkPipelineFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineSteadyAllocs measures the steady-state wave with buffer
+// pooling off vs on: one op is a full 4-rank sweep of the Tomcatv forward
+// wavefront through a persistent session (kernels, plans, and — pooled —
+// free lists all warm from a prior Run). With pooling on, allocs/op must
+// sit at zero for large b.N and ns/op must be no worse than the off case;
+// BENCH_pr4.json snapshots both.
+func BenchmarkPipelineSteadyAllocs(b *testing.B) {
+	for _, pooled := range []bool{false, true} {
+		name := "off"
+		if pooled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			t, err := workload.NewTomcatv(128, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blk := t.ForwardBlock()
+			cfg := pipeline.SessionConfig{Procs: 4, Domain: t.All, Block: 16}
+			if pooled {
+				cfg.Pool = wavefront.NewBufferPool(4)
+			}
+			sess, err := pipeline.NewSession(t.Env, []*scan.Block{blk}, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := func(r *pipeline.Rank) error {
+				for i := 0; i < 3; i++ {
+					if err := r.Exec(blk); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := sess.Run(warm); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			err = sess.Run(func(r *pipeline.Rank) error {
+				for i := 0; i < b.N; i++ {
+					if err := r.Exec(blk); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 func BenchmarkSerialScanTomcatvForward(b *testing.B) {
 	t, err := workload.NewTomcatv(128, field.RowMajor)
 	if err != nil {

@@ -15,12 +15,20 @@ import (
 // serving the registry over HTTP (-serve) and/or printing a periodic
 // one-line summary (-watch). The loop stops after -duration, or on
 // SIGINT/SIGTERM when the duration is 0.
-func runLive(addr string, watch bool, procs, block, n int, dur time.Duration) error {
+func runLive(addr string, watch bool, procs, block, n int, dur time.Duration, pooled, autotune bool) error {
 	t, err := prepTomcatv(n)
 	if err != nil {
 		return err
 	}
 	reg := wavefront.NewMetrics(procs)
+	// One pool shared across every run keeps the free lists warm, so after
+	// the first run the steady-state waves stop allocating. AutoTune reads
+	// the same registry the loop publishes into, so each run consumes the
+	// drift fitted over all prior runs.
+	var pool *wavefront.BufferPool
+	if pooled {
+		pool = wavefront.NewBufferPool(procs)
+	}
 
 	if addr != "" {
 		srv, err := wavefront.ServeMetrics(addr, reg)
@@ -72,7 +80,8 @@ func runLive(addr string, watch bool, procs, block, n int, dur time.Duration) er
 			lastTiles, lastBusy, lastAt = tiles, busy, now
 		default:
 			if _, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
-				wavefront.Pipeline{Procs: procs, Block: block, Metrics: reg}); err != nil {
+				wavefront.Pipeline{Procs: procs, Block: block, Metrics: reg,
+					Pool: pool, AutoTune: autotune}); err != nil {
 				return err
 			}
 			runs++

@@ -58,6 +58,8 @@ func main() {
 		serve     = flag.String("serve", "", "serve live metrics at this address (e.g. :8080) while looping the workload")
 		watch     = flag.Bool("watch", false, "print a periodic one-line live summary while looping the workload")
 		duration  = flag.Duration("duration", 0, "stop the -serve/-watch workload loop after this long (0 = until interrupted)")
+		pool      = flag.Bool("pool", false, "reuse message buffers across waves (zero-alloc steady state) in the workload loop")
+		autotune  = flag.Bool("autotune", false, "let the drift monitor retune the tile width between workload-loop runs")
 	)
 	flag.Parse()
 
@@ -81,7 +83,7 @@ func main() {
 	}
 
 	if *serve != "" || *watch {
-		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration))
+		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration, *pool, *autotune))
 		return
 	}
 

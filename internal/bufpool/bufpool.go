@@ -1,0 +1,291 @@
+// Package bufpool recycles the float64 payload buffers of the wavefront
+// runtime so the steady-state pipeline allocates nothing per wave. It is
+// the runtime's answer to the hidden third term of Equation (1): per-tile
+// compute τ and per-message cost α+βb are modeled, but a fresh allocation
+// per halo send adds GC pressure that grows with wave count and pollutes
+// the very τ/α/β estimates the drift monitor fits.
+//
+// A Pool holds one free-list shard per rank, each padded onto its own
+// cache lines so concurrent ranks never false-share. Buffers are grouped
+// into power-of-two size classes; Get leases the smallest class that fits
+// and Put files a buffer under the largest class its capacity covers, so
+// a leased buffer can travel (sender leases, receiver returns — usually
+// to the *sender's* shard via the rank argument, which is what keeps
+// every shard refilled in steady state when payloads flow one way down
+// the pipeline).
+//
+// Like the trace recorder, fault injector, and metrics registry, a nil
+// *Pool is the disabled pool: Get degrades to make and Put to a no-op,
+// costing one pointer comparison. Code threading a pool through never
+// branches on "pooling enabled".
+//
+// The Config debug switches exist for the property-test suite: Poison
+// fills returned buffers with a NaN sentinel so any alias still reading a
+// returned buffer computes garbage loudly, and Track keeps the set of
+// outstanding leases so a double return or a foreign return panics at the
+// offending call site instead of corrupting a free list.
+package bufpool
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+const (
+	// minShift/maxShift bound the pooled size classes: 1<<minShift (64)
+	// elements up to 1<<maxShift (4 Mi) elements. Requests above the top
+	// class fall through to plain allocation and are never retained.
+	minShift = 6
+	maxShift = 22
+	numClass = maxShift - minShift + 1
+
+	// defaultMaxPerClass bounds each (rank, class) free list; beyond it,
+	// returned buffers are dropped for the GC, keeping worst-case retained
+	// memory proportional to ranks × classes.
+	defaultMaxPerClass = 16
+)
+
+// Poison is the sentinel returned buffers are filled with in Poison mode:
+// a quiet NaN, so any computation still aliasing a returned buffer turns
+// into NaNs instead of silently stale values.
+var Poison = math.NaN()
+
+// Config tunes a Pool. The zero value is the production configuration.
+type Config struct {
+	// MaxPerClass bounds each per-rank, per-class free list; 0 means the
+	// default (16).
+	MaxPerClass int
+	// Poison fills every returned buffer with the Poison sentinel, so
+	// aliasing bugs surface as NaNs. Debug/testing only: it re-touches the
+	// whole buffer on every return.
+	Poison bool
+	// Track records outstanding leases and panics on a double or foreign
+	// return. Debug/testing only: it takes a global lock per operation.
+	Track bool
+}
+
+// Stats aggregates a pool's traffic. Hits and Misses partition Gets
+// (Misses also counts requests above the largest class); Returns and
+// Discards partition Puts.
+type Stats struct {
+	Hits, Misses      int64
+	Returns, Discards int64
+}
+
+// HitRatio is Hits / (Hits + Misses), or 0 before any Get.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// shard is one rank's free lists plus its share of the counters, guarded
+// by its own mutex and padded so adjacent ranks' shards never share a
+// cache line.
+type shard struct {
+	mu                              sync.Mutex
+	classes                         [numClass][][]float64
+	hits, misses, returns, discards int64
+	_                               [64]byte
+}
+
+// Pool is a size-classed, per-rank buffer pool. Construct with New; a nil
+// *Pool is valid and disabled.
+type Pool struct {
+	procs       int
+	maxPerClass int
+	poison      bool
+	track       bool
+	shards      []shard
+
+	// leased is the outstanding-lease set of Track mode, keyed by the
+	// buffer's base pointer (stable across re-slicing from the front).
+	leasedMu sync.Mutex
+	leased   map[*float64]int // base -> leased length
+}
+
+// New creates a pool with per-rank shards for procs ranks and the
+// production configuration.
+func New(procs int) *Pool { return NewWithConfig(procs, Config{}) }
+
+// NewWithConfig creates a pool with explicit debug/tuning switches.
+func NewWithConfig(procs int, cfg Config) *Pool {
+	if procs < 1 {
+		procs = 1
+	}
+	p := &Pool{
+		procs:       procs,
+		maxPerClass: cfg.MaxPerClass,
+		poison:      cfg.Poison,
+		track:       cfg.Track,
+		shards:      make([]shard, procs),
+	}
+	if p.maxPerClass <= 0 {
+		p.maxPerClass = defaultMaxPerClass
+	}
+	if p.track {
+		p.leased = map[*float64]int{}
+	}
+	return p
+}
+
+// Procs returns the shard count (0 for nil).
+func (p *Pool) Procs() int {
+	if p == nil {
+		return 0
+	}
+	return p.procs
+}
+
+// classFor returns the smallest class index whose size holds n, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	if n > 1<<maxShift {
+		return -1
+	}
+	c := 0
+	for n > 1<<(minShift+c) {
+		c++
+	}
+	return c
+}
+
+// classOfCap returns the largest class index whose size fits within c, or
+// -1 when c is below the smallest class.
+func classOfCap(c int) int {
+	if c < 1<<minShift {
+		return -1
+	}
+	k := 0
+	for k+1 < numClass && c >= 1<<(minShift+k+1) {
+		k++
+	}
+	return k
+}
+
+// Get leases a buffer of length n from rank's shard. The contents are
+// unspecified (poisoned in Poison mode): callers must overwrite every
+// element before reading. On a nil pool Get is plain allocation. n <= 0
+// returns nil.
+func (p *Pool) Get(rank, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil {
+		return make([]float64, n)
+	}
+	c := classFor(n)
+	if c < 0 {
+		// Above the largest class: allocate exactly, never pooled.
+		s := &p.shards[rank]
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return make([]float64, n)
+	}
+	s := &p.shards[rank]
+	s.mu.Lock()
+	var buf []float64
+	if l := len(s.classes[c]); l > 0 {
+		buf = s.classes[c][l-1]
+		s.classes[c][l-1] = nil
+		s.classes[c] = s.classes[c][:l-1]
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	if buf == nil {
+		buf = make([]float64, n, 1<<(minShift+c))
+	} else {
+		buf = buf[:n]
+	}
+	if p.track {
+		base := &buf[:1][0]
+		p.leasedMu.Lock()
+		if _, dup := p.leased[base]; dup {
+			p.leasedMu.Unlock()
+			panic(fmt.Sprintf("bufpool: buffer %p leased twice (free list corrupted by a double return?)", base))
+		}
+		p.leased[base] = n
+		p.leasedMu.Unlock()
+	}
+	return buf
+}
+
+// Put returns a buffer to rank's shard. Pass the rank the buffer was
+// leased from — for one-way pipeline traffic that is the *sender's* rank,
+// which is what refills the sender's shard in steady state. Undersized,
+// oversized, or surplus buffers are discarded for the GC. Put(nil) and
+// Put on a nil pool are no-ops. The caller must not touch the buffer
+// afterwards.
+func (p *Pool) Put(rank int, buf []float64) {
+	if p == nil || cap(buf) == 0 {
+		return
+	}
+	if p.track {
+		base := &buf[:1][0]
+		p.leasedMu.Lock()
+		if _, ok := p.leased[base]; !ok {
+			p.leasedMu.Unlock()
+			panic(fmt.Sprintf("bufpool: returning buffer %p that is not on lease (double or foreign return)", base))
+		}
+		delete(p.leased, base)
+		p.leasedMu.Unlock()
+	}
+	c := classOfCap(cap(buf))
+	if c < 0 {
+		s := &p.shards[rank]
+		s.mu.Lock()
+		s.discards++
+		s.mu.Unlock()
+		return
+	}
+	buf = buf[:cap(buf)]
+	if p.poison {
+		for i := range buf {
+			buf[i] = Poison
+		}
+	}
+	s := &p.shards[rank]
+	s.mu.Lock()
+	if len(s.classes[c]) >= p.maxPerClass {
+		s.discards++
+	} else {
+		s.classes[c] = append(s.classes[c], buf)
+		s.returns++
+	}
+	s.mu.Unlock()
+}
+
+// Outstanding reports the number of leases not yet returned. It is 0
+// unless the pool was built with Track.
+func (p *Pool) Outstanding() int {
+	if p == nil || !p.track {
+		return 0
+	}
+	p.leasedMu.Lock()
+	defer p.leasedMu.Unlock()
+	return len(p.leased)
+}
+
+// Stats sums the traffic counters over all shards. Zero for nil.
+func (p *Pool) Stats() Stats {
+	var st Stats
+	if p == nil {
+		return st
+	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Returns += s.returns
+		st.Discards += s.discards
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,278 @@
+package bufpool
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNilPoolIsDisabled(t *testing.T) {
+	var p *Pool
+	buf := p.Get(0, 100)
+	if len(buf) != 100 {
+		t.Fatalf("nil pool Get: len %d, want 100", len(buf))
+	}
+	p.Put(0, buf) // no-op, must not panic
+	if st := p.Stats(); st != (Stats{}) {
+		t.Fatalf("nil pool stats: %+v, want zero", st)
+	}
+	if p.Outstanding() != 0 || p.Procs() != 0 {
+		t.Fatal("nil pool Outstanding/Procs must be 0")
+	}
+}
+
+func TestGetLengthAndClassCapacity(t *testing.T) {
+	p := New(1)
+	for _, n := range []int{1, 63, 64, 65, 100, 127, 128, 1000, 4096, 4097, 1 << 20} {
+		buf := p.Get(0, n)
+		if len(buf) != n {
+			t.Fatalf("Get(%d): len %d", n, len(buf))
+		}
+		// Capacity is the smallest power-of-two class >= max(n, 64).
+		want := 64
+		for want < n {
+			want *= 2
+		}
+		if cap(buf) != want {
+			t.Fatalf("Get(%d): cap %d, want class size %d", n, cap(buf), want)
+		}
+		p.Put(0, buf)
+	}
+	if p.Get(0, 0) != nil || p.Get(0, -1) != nil {
+		t.Fatal("Get(<=0) must return nil")
+	}
+}
+
+func TestReuseSameClass(t *testing.T) {
+	p := New(1)
+	a := p.Get(0, 100)
+	base := &a[0]
+	p.Put(0, a)
+	b := p.Get(0, 70) // same class (128): must reuse the returned buffer
+	if &b[0] != base {
+		t.Fatal("expected the returned buffer to be reused within its class")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Returns != 1 {
+		t.Fatalf("stats %+v, want 1 hit, 1 miss, 1 return", st)
+	}
+	if r := st.HitRatio(); r != 0.5 {
+		t.Fatalf("hit ratio %g, want 0.5", r)
+	}
+}
+
+func TestCrossRankReturnRefillsThatShard(t *testing.T) {
+	// The pipeline pattern: rank 0 leases and sends; rank 1 receives and
+	// returns the buffer to rank 0's shard, so rank 0's next lease hits.
+	p := New(2)
+	buf := p.Get(0, 200)
+	base := &buf[0]
+	p.Put(0, buf) // receiver returns to the sender's shard
+	again := p.Get(0, 200)
+	if &again[0] != base {
+		t.Fatal("return to the leasing rank's shard must refill it")
+	}
+	// A return filed under the other shard must NOT serve rank 0.
+	p.Put(1, again)
+	other := p.Get(0, 200)
+	if &other[0] == base {
+		t.Fatal("rank 0 must not be served from rank 1's shard")
+	}
+}
+
+func TestPoisonFillOnReturn(t *testing.T) {
+	p := NewWithConfig(1, Config{Poison: true})
+	buf := p.Get(0, 64)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	alias := buf
+	p.Put(0, buf)
+	for i, v := range alias {
+		if !math.IsNaN(v) {
+			t.Fatalf("element %d of a returned buffer reads %g, want the NaN poison", i, v)
+		}
+	}
+}
+
+func TestTrackDoubleReturnPanics(t *testing.T) {
+	p := NewWithConfig(1, Config{Track: true, MaxPerClass: 64})
+	buf := p.Get(0, 64)
+	p.Put(0, buf)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double return must panic in Track mode")
+		}
+	}()
+	p.Put(0, buf)
+}
+
+func TestTrackForeignReturnPanics(t *testing.T) {
+	p := NewWithConfig(1, Config{Track: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("returning a buffer the pool never leased must panic in Track mode")
+		}
+	}()
+	p.Put(0, make([]float64, 64))
+}
+
+func TestTrackOutstanding(t *testing.T) {
+	p := NewWithConfig(1, Config{Track: true})
+	a, b := p.Get(0, 64), p.Get(0, 128)
+	if got := p.Outstanding(); got != 2 {
+		t.Fatalf("outstanding %d, want 2", got)
+	}
+	p.Put(0, a)
+	p.Put(0, b)
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("outstanding %d after returns, want 0", got)
+	}
+}
+
+func TestOversizeBypassesPool(t *testing.T) {
+	p := New(1)
+	n := (1 << 22) + 1
+	buf := p.Get(0, n)
+	if len(buf) != n {
+		t.Fatalf("oversize Get: len %d", len(buf))
+	}
+	p.Put(0, buf)
+	again := p.Get(0, n)
+	if &again[0] == &buf[0] {
+		t.Fatal("buffers above the largest class must not be retained")
+	}
+	st := p.Stats()
+	if st.Hits != 0 {
+		t.Fatalf("oversize requests must never hit: %+v", st)
+	}
+}
+
+func TestTinyCapacityDiscarded(t *testing.T) {
+	p := NewWithConfig(1, Config{Track: false})
+	p.Put(0, make([]float64, 10)) // below the smallest class
+	if st := p.Stats(); st.Discards != 1 || st.Returns != 0 {
+		t.Fatalf("stats %+v, want the tiny buffer discarded", st)
+	}
+}
+
+func TestMaxPerClassBound(t *testing.T) {
+	p := NewWithConfig(1, Config{MaxPerClass: 2})
+	bufs := make([][]float64, 5)
+	for i := range bufs {
+		bufs[i] = p.Get(0, 64)
+	}
+	for _, b := range bufs {
+		p.Put(0, b)
+	}
+	st := p.Stats()
+	if st.Returns != 2 || st.Discards != 3 {
+		t.Fatalf("stats %+v, want 2 retained and 3 discarded", st)
+	}
+}
+
+// TestRandomizedConcurrentLeases is the aliasing property test: goroutines
+// lease from their own shard, stamp a unique pattern, hold the buffer
+// across other goroutines' traffic, verify the pattern survived intact
+// (two live leases aliasing the same memory would corrupt it — Poison
+// makes any such corruption a loud NaN), and return the buffer to a
+// random shard. Run under -race this also proves the locking is sound.
+func TestRandomizedConcurrentLeases(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 400
+	)
+	p := NewWithConfig(workers, Config{Poison: true, Track: true, MaxPerClass: 8})
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			type lease struct {
+				buf   []float64
+				stamp float64
+			}
+			var held []lease
+			flush := func(k int) {
+				for ; k > 0 && len(held) > 0; k-- {
+					l := held[len(held)-1]
+					held = held[:len(held)-1]
+					for i, v := range l.buf {
+						if v != l.stamp {
+							errs <- "" // signal; detail below
+							t.Errorf("worker %d: element %d reads %g, want stamp %g (aliased lease)", w, i, v, l.stamp)
+							return
+						}
+					}
+					p.Put(rng.Intn(workers), l.buf)
+				}
+			}
+			for i := 0; i < iters; i++ {
+				n := 1 + rng.Intn(5000)
+				buf := p.Get(w, n)
+				stamp := float64(w*1_000_000 + i + 1)
+				for j := range buf {
+					buf[j] = stamp
+				}
+				held = append(held, lease{buf, stamp})
+				if len(held) > 4 || rng.Intn(3) == 0 {
+					flush(1 + rng.Intn(len(held)))
+				}
+			}
+			flush(len(held))
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if len(errs) > 0 {
+		t.Fatal("aliasing detected between concurrent leases")
+	}
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("%d leases never returned", got)
+	}
+	st := p.Stats()
+	if st.Hits+st.Misses != workers*iters {
+		t.Fatalf("gets %d, want %d", st.Hits+st.Misses, workers*iters)
+	}
+	if st.Returns+st.Discards != workers*iters {
+		t.Fatalf("puts %d, want %d", st.Returns+st.Discards, workers*iters)
+	}
+	if st.Hits == 0 {
+		t.Fatal("randomized traffic should produce at least one pool hit")
+	}
+}
+
+func TestClassBoundaries(t *testing.T) {
+	// White-box check of the two classifiers at every boundary.
+	for c := 0; c < numClass; c++ {
+		size := 1 << (minShift + c)
+		if got := classFor(size); got != c {
+			t.Fatalf("classFor(%d) = %d, want %d", size, got, c)
+		}
+		if got := classOfCap(size); got != c {
+			t.Fatalf("classOfCap(%d) = %d, want %d", size, got, c)
+		}
+		if c > 0 {
+			if got := classFor(size - 1); got != c-1 && size-1 > 1<<minShift {
+				// size-1 still needs class c-1 only when it fits there.
+				if size-1 > 1<<(minShift+c-1) {
+					if got != c {
+						t.Fatalf("classFor(%d) = %d, want %d", size-1, got, c)
+					}
+				}
+			}
+			if got := classOfCap(size - 1); got != c-1 {
+				t.Fatalf("classOfCap(%d) = %d, want %d", size-1, got, c-1)
+			}
+		}
+	}
+	if classFor(1<<maxShift+1) != -1 {
+		t.Fatal("classFor above the top class must be -1")
+	}
+	if classOfCap(1<<minShift-1) != -1 {
+		t.Fatal("classOfCap below the bottom class must be -1")
+	}
+}

@@ -171,7 +171,7 @@ func (t *Topology) cancelError() error {
 }
 
 // beginWait registers rank as blocked. When every live rank of the current
-// Run is now blocked, it dispatches the deadlock checker. Callers may hold
+// Run is now blocked, it pokes the deadlock watchdog. Callers may hold
 // the waited link's lock (the lock order is link.mu before Topology.mu;
 // cancel and checkDeadlock never hold mu while taking a link lock).
 func (t *Topology) beginWait(rank int, w waitInfo) {
@@ -180,11 +180,14 @@ func (t *Topology) beginWait(rank int, w waitInfo) {
 	t.waits[rank] = w
 	t.blocked++
 	t.waitGen++
-	trigger := t.live > 0 && t.blocked == t.live && !t.canceled.Load()
-	t.mu.Unlock()
-	if trigger {
-		go t.checkDeadlock()
+	if t.live > 0 && t.blocked == t.live && !t.canceled.Load() && t.wake != nil {
+		// Non-blocking: a pending poke already guarantees a fresh check.
+		select {
+		case t.wake <- struct{}{}:
+		default:
+		}
 	}
+	t.mu.Unlock()
 }
 
 // endWait deregisters rank after it wakes.
@@ -202,11 +205,34 @@ func (t *Topology) rankDone(rank int) {
 	t.mu.Lock()
 	t.live--
 	t.waitGen++
-	trigger := t.live > 0 && t.blocked == t.live && !t.canceled.Load()
-	t.mu.Unlock()
-	if trigger {
-		go t.checkDeadlock()
+	if t.live > 0 && t.blocked == t.live && !t.canceled.Load() && t.wake != nil {
+		select {
+		case t.wake <- struct{}{}:
+		default:
+		}
 	}
+	t.mu.Unlock()
+}
+
+// watchdog is the Run-scoped deadlock checker: one persistent goroutine
+// woken through the buffered wake channel whenever the last live rank
+// blocks. A single goroutine with preallocated scratch keeps the
+// all-blocked notification — a routine event whenever a sender's wake-up
+// broadcast races a fresh wait — free of per-event allocations; a poke
+// arriving mid-check coalesces into the buffered slot and triggers one
+// more check, so no suspicion is ever dropped.
+func (t *Topology) watchdog(wake <-chan struct{}) {
+	suspects := make([]suspect, 0, t.p)
+	entries := make([]WaitEntry, 0, t.p)
+	for range wake {
+		t.checkDeadlock(suspects, entries)
+	}
+}
+
+// suspect is one registered wait under deadlock suspicion.
+type suspect struct {
+	rank int
+	w    waitInfo
 }
 
 // checkDeadlock verifies a suspected deadlock and, if confirmed, cancels
@@ -214,19 +240,16 @@ func (t *Topology) rankDone(rank int) {
 // if (a) every registered wait is still unsatisfiable under its link lock
 // and (b) no wait transition happened concurrently (the generation counter
 // is unchanged) — every blocked rank is in cond.Wait, so the state it
-// verified cannot move afterwards.
-func (t *Topology) checkDeadlock() {
+// verified cannot move afterwards. The scratch slices are the watchdog's;
+// confirmed diagnoses are cloned out of them.
+func (t *Topology) checkDeadlock(suspects []suspect, entries []WaitEntry) {
 	t.mu.Lock()
 	if t.canceled.Load() || t.live == 0 || t.blocked != t.live {
 		t.mu.Unlock()
 		return
 	}
 	gen := t.waitGen
-	type suspect struct {
-		rank int
-		w    waitInfo
-	}
-	suspects := make([]suspect, 0, t.live)
+	suspects = suspects[:0]
 	for r := range t.waits {
 		if t.waits[r].active {
 			suspects = append(suspects, suspect{r, t.waits[r]})
@@ -234,7 +257,7 @@ func (t *Topology) checkDeadlock() {
 	}
 	t.mu.Unlock()
 
-	entries := make([]WaitEntry, 0, len(suspects))
+	entries = entries[:0]
 	for _, s := range suspects {
 		qlen := s.w.queueLen
 		if s.w.link >= 0 {
@@ -264,7 +287,7 @@ func (t *Topology) checkDeadlock() {
 	if !stable {
 		return // a rank progressed while we looked; any new all-blocked state re-triggers
 	}
-	t.cancel(-1, &DeadlockError{Waits: entries})
+	t.cancel(-1, &DeadlockError{Waits: append([]WaitEntry(nil), entries...)})
 }
 
 // stall implements the injector's ActStall: the rank parks — visible to the

@@ -67,22 +67,29 @@ func (e *Endpoint) AllReduce(v float64, op ReduceOp) (float64, error) {
 				return 0, err
 			}
 			acc = op(acc, d[0])
+			e.ReleaseTo(r, d)
 		}
 		for r := 1; r < p; r++ {
-			if err := e.Send(r, tagBcast, []float64{acc}); err != nil {
+			out := e.Lease(1)
+			out[0] = acc
+			if err := e.Send(r, tagBcast, out); err != nil {
 				return 0, err
 			}
 		}
 		return acc, nil
 	}
-	if err := e.Send(0, tagReduce, []float64{v}); err != nil {
+	up := e.Lease(1)
+	up[0] = v
+	if err := e.Send(0, tagReduce, up); err != nil {
 		return 0, err
 	}
 	d, err := e.Recv(0, tagBcast)
 	if err != nil {
 		return 0, err
 	}
-	return d[0], nil
+	out := d[0]
+	e.ReleaseTo(0, d)
+	return out, nil
 }
 
 // Broadcast sends rank 0's value to every rank and returns it.
@@ -93,7 +100,9 @@ func (e *Endpoint) Broadcast(v float64) (float64, error) {
 	}
 	if e.rank == 0 {
 		for r := 1; r < p; r++ {
-			if err := e.Send(r, tagBcast, []float64{v}); err != nil {
+			out := e.Lease(1)
+			out[0] = v
+			if err := e.Send(r, tagBcast, out); err != nil {
 				return 0, err
 			}
 		}
@@ -103,5 +112,7 @@ func (e *Endpoint) Broadcast(v float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return d[0], nil
+	out := d[0]
+	e.ReleaseTo(0, d)
+	return out, nil
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wavefront/internal/bufpool"
 	"wavefront/internal/fault"
 	"wavefront/internal/metrics"
 	"wavefront/internal/trace"
@@ -73,6 +74,9 @@ type Topology struct {
 	// capacity bounds every link's queue; 0 means unbounded. Set before
 	// Run; read-only after.
 	capacity int
+	// pool, when non-nil, recycles payload buffers: Lease draws from it and
+	// Release/ReleaseTo return to it. Set before Run; read-only after.
+	pool *bufpool.Pool
 
 	// Cancellation and deadlock-watchdog state (see cancel.go). canceled is
 	// the fast-path flag; done closes when the topology is poisoned; mu
@@ -87,6 +91,10 @@ type Topology struct {
 	blocked   int        // ranks registered as blocked in a wait
 	waitGen   uint64     // bumped on every wait/live transition
 	waits     []waitInfo // per-rank registered wait
+	// wake pokes the Run's persistent deadlock watchdog (buffered, so the
+	// all-blocked notification never blocks and coalesces while a check is
+	// in flight); nil outside Run.
+	wake chan struct{}
 }
 
 // NewTopology creates a topology of p ranks.
@@ -163,8 +171,40 @@ func (t *Topology) SetMetrics(reg *metrics.Registry) error {
 
 // SetFaults attaches a fault injector consulted on every send and receive.
 // Must be called before Run; a nil injector disables injection (the
-// default) at the cost of one pointer comparison per operation.
-func (t *Topology) SetFaults(in *fault.Injector) { t.inj = in }
+// default) at the cost of one pointer comparison per operation. Attaching
+// an injector drops any buffer pool: injected duplicates and corruptions
+// alias payload buffers, which a recycling pool must never see.
+func (t *Topology) SetFaults(in *fault.Injector) {
+	t.inj = in
+	if in != nil {
+		t.pool = nil
+	}
+}
+
+// SetBufPool attaches a buffer pool sized for at least P ranks: Lease then
+// draws payload buffers from the caller's shard and Release/ReleaseTo
+// return them. Must be called before Run; a nil pool disables recycling
+// (the default) at the cost of one pointer comparison per operation, the
+// same contract as SetTrace. Pooling is incompatible with fault injection
+// (ActDuplicate enqueues one payload twice; ActCorrupt swaps payloads),
+// so SetBufPool fails while an injector is attached.
+func (t *Topology) SetBufPool(p *bufpool.Pool) error {
+	if p == nil {
+		t.pool = nil
+		return nil
+	}
+	if t.inj != nil {
+		return errors.New("comm: buffer pooling is incompatible with fault injection; detach the injector first")
+	}
+	if p.Procs() < t.p {
+		return fmt.Errorf("comm: buffer pool sized for %d ranks, topology has %d", p.Procs(), t.p)
+	}
+	t.pool = p
+	return nil
+}
+
+// BufPool returns the attached pool (nil when pooling is disabled).
+func (t *Topology) BufPool() *bufpool.Pool { return t.pool }
 
 // SetLinkCapacity bounds every link to at most n queued messages; senders
 // block on a full link until the receiver drains it (backpressure mode).
@@ -310,6 +350,27 @@ func (e *Endpoint) Rank() int { return e.rank }
 
 // P returns the topology size.
 func (e *Endpoint) P() int { return e.topo.p }
+
+// Lease returns a payload buffer of length n with unspecified contents,
+// drawn from this rank's pool shard when a pool is attached and freshly
+// allocated otherwise. Sending a leased buffer transfers ownership to the
+// receiver, which returns it with ReleaseTo(sender, buf).
+func (e *Endpoint) Lease(n int) []float64 { return e.topo.pool.Get(e.rank, n) }
+
+// Release returns a buffer to this rank's own pool shard. A no-op
+// without a pool; the caller must not touch the buffer afterwards.
+func (e *Endpoint) Release(buf []float64) { e.topo.pool.Put(e.rank, buf) }
+
+// ReleaseTo returns a received buffer to rank's pool shard — pass the
+// sending rank, so the shard that leased the buffer is the one refilled.
+// In a steady one-way pipeline this is what keeps the upstream sender's
+// free list stocked. A no-op without a pool.
+func (e *Endpoint) ReleaseTo(rank int, buf []float64) {
+	if rank < 0 || rank >= e.topo.p {
+		rank = e.rank
+	}
+	e.topo.pool.Put(rank, buf)
+}
 
 // recordFault traces an injected fault firing at rank; the action code
 // travels in Seq.
@@ -488,7 +549,10 @@ func (t *Topology) Run(body func(e *Endpoint) error) error {
 	t.running = true
 	t.live = t.p
 	t.waitGen++
+	wake := make(chan struct{}, 1)
+	t.wake = wake
 	t.mu.Unlock()
+	go t.watchdog(wake)
 
 	errs := make([]error, t.p)
 	var wg sync.WaitGroup
@@ -510,8 +574,10 @@ func (t *Topology) Run(body func(e *Endpoint) error) error {
 
 	t.mu.Lock()
 	t.running = false
+	t.wake = nil
 	canceled, cause, causeRank := t.canceled.Load(), t.cause, t.causeRank
 	t.mu.Unlock()
+	close(wake) // no rank is left to poke the watchdog; retire it
 	if canceled {
 		if causeRank >= 0 {
 			return fmt.Errorf("comm: rank %d failed, peers canceled: %w", causeRank, cause)

@@ -1,0 +1,153 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+
+	"wavefront/internal/bufpool"
+	"wavefront/internal/fault"
+)
+
+func TestSetBufPoolValidation(t *testing.T) {
+	topo, err := NewTopology(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetBufPool(bufpool.New(2)); err == nil {
+		t.Fatal("a pool sized for 2 ranks must be rejected on a 4-rank topology")
+	}
+	if err := topo.SetBufPool(bufpool.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if topo.BufPool() == nil {
+		t.Fatal("pool not attached")
+	}
+	if err := topo.SetBufPool(nil); err != nil || topo.BufPool() != nil {
+		t.Fatal("nil must detach the pool")
+	}
+}
+
+func TestBufPoolFaultsAreMutuallyExclusive(t *testing.T) {
+	topo, err := NewTopology(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.New(fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpSend, Rank: fault.Any, Peer: fault.Any, Tag: fault.Any, Action: fault.ActDrop},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.SetFaults(inj)
+	if err := topo.SetBufPool(bufpool.New(2)); err == nil {
+		t.Fatal("SetBufPool must fail while an injector is attached")
+	} else if !strings.Contains(err.Error(), "fault injection") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	topo.SetFaults(nil)
+	if err := topo.SetBufPool(bufpool.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Attaching an injector afterwards must drop the pool.
+	topo.SetFaults(inj)
+	if topo.BufPool() != nil {
+		t.Fatal("SetFaults must detach the pool")
+	}
+}
+
+// TestLeasedPayloadRoundTrip is the steady-state pipeline pattern at the
+// comm level: the sender leases, the receiver returns to the sender's
+// shard, and the second wave's lease is a pool hit reusing the same
+// memory.
+func TestLeasedPayloadRoundTrip(t *testing.T) {
+	pool := bufpool.NewWithConfig(2, bufpool.Config{Track: true})
+	topo, err := NewTopology(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetBufPool(pool); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver acks each wave so the return to rank 0's shard is
+	// ordered before the next lease — exactly the back-pressure a bounded
+	// pipeline provides.
+	const waves = 5
+	err = topo.Run(func(e *Endpoint) error {
+		for w := 0; w < waves; w++ {
+			if e.Rank() == 0 {
+				buf := e.Lease(100)
+				for i := range buf {
+					buf[i] = float64(w*1000 + i)
+				}
+				if err := e.Send(1, w, buf); err != nil {
+					return err
+				}
+				if _, err := e.Recv(1, w); err != nil {
+					return err
+				}
+			} else {
+				buf, err := e.Recv(0, w)
+				if err != nil {
+					return err
+				}
+				for i, v := range buf {
+					if v != float64(w*1000+i) {
+						t.Errorf("wave %d element %d = %g", w, i, v)
+					}
+				}
+				e.ReleaseTo(0, buf)
+				if err := e.Send(0, w, nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Hits != waves-1 {
+		t.Fatalf("got %d pool hits over %d waves, want %d (every wave after the first reuses)",
+			st.Hits, waves, waves-1)
+	}
+	if n := pool.Outstanding(); n != 0 {
+		t.Fatalf("%d leases outstanding after the run", n)
+	}
+}
+
+func TestCollectivesReturnLeases(t *testing.T) {
+	pool := bufpool.NewWithConfig(3, bufpool.Config{Track: true})
+	topo, err := NewTopology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetBufPool(pool); err != nil {
+		t.Fatal(err)
+	}
+	err = topo.Run(func(e *Endpoint) error {
+		for i := 0; i < 4; i++ {
+			got, err := e.AllReduce(float64(e.Rank()+1), SumOp)
+			if err != nil {
+				return err
+			}
+			if got != 6 {
+				t.Errorf("allreduce = %g, want 6", got)
+			}
+			bc, err := e.Broadcast(got * 2)
+			if err != nil {
+				return err
+			}
+			if bc != 12 {
+				t.Errorf("broadcast = %g, want 12", bc)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.Outstanding(); n != 0 {
+		t.Fatalf("%d collective leases never returned", n)
+	}
+}

@@ -1,25 +1,185 @@
 package field
 
-import "wavefront/internal/grid"
+import (
+	"fmt"
 
-// PackRegion copies the elements of region r out of the field into a fresh
-// slice, in the canonical (all dimensions low-to-high, dimension 0
-// outermost) iteration order. It is the marshalling half of boundary
-// exchange: the packed slice is what a message carries.
+	"wavefront/internal/grid"
+)
+
+// This file is the marshalling half of boundary exchange: packing a
+// region of a field into the flat slice a message carries, and unpacking
+// a received slice back into a region. The canonical order — every
+// dimension low-to-high, dimension 0 outermost — is the wire format both
+// ends agree on.
+//
+// PackInto and UnpackFrom are the allocation-free forms: they walk the
+// region with a fixed-size odometer (no per-point closure, no Point
+// allocation) over precomputed storage strides, and degrade to a single
+// memmove per innermost run when the region's last dimension is
+// contiguous in storage. PackRegion/UnpackRegion remain as the
+// allocating conveniences, now built on the same loop.
+
+// maxOdoRank bounds the stack-allocated odometer; regions of higher rank
+// (none exist in practice — the paper's workloads are rank 2 and 3) fall
+// back to the Each-based walk.
+const maxOdoRank = 8
+
+// PackInto copies the elements of region r out of the field into dst in
+// canonical order and returns the number of elements written. It is an
+// error — not a silent truncation — when dst is shorter than r.Size(),
+// and an error when r does not lie within the field's storage bounds.
+// PackInto never allocates for regions of rank <= 8.
+func (f *Field) PackInto(r grid.Region, dst []float64) (int, error) {
+	size, err := f.checkRegion(r)
+	if err != nil {
+		return 0, fmt.Errorf("field %q: pack: %w", f.name, err)
+	}
+	if len(dst) < size {
+		return 0, fmt.Errorf("field %q: pack: destination holds %d elements, region %v needs %d",
+			f.name, len(dst), r, size)
+	}
+	if size == 0 {
+		return 0, nil
+	}
+	if r.Rank() > maxOdoRank {
+		i := 0
+		r.Each(nil, func(p grid.Point) {
+			dst[i] = f.data[f.Index(p)]
+			i++
+		})
+		return size, nil
+	}
+	f.odometer(r, dst[:size], false)
+	return size, nil
+}
+
+// UnpackFrom writes src into region r of the field in canonical order and
+// returns the number of elements consumed. It is an error when src holds
+// fewer than r.Size() elements or when r does not lie within the field's
+// storage bounds. Extra trailing elements of src are ignored (the caller
+// owns the offset arithmetic of coalesced messages). UnpackFrom never
+// allocates for regions of rank <= 8.
+func (f *Field) UnpackFrom(r grid.Region, src []float64) (int, error) {
+	size, err := f.checkRegion(r)
+	if err != nil {
+		return 0, fmt.Errorf("field %q: unpack: %w", f.name, err)
+	}
+	if len(src) < size {
+		return 0, fmt.Errorf("field %q: unpack: source holds %d elements, region %v needs %d",
+			f.name, len(src), r, size)
+	}
+	if size == 0 {
+		return 0, nil
+	}
+	if r.Rank() > maxOdoRank {
+		i := 0
+		r.Each(nil, func(p grid.Point) {
+			f.data[f.Index(p)] = src[i]
+			i++
+		})
+		return size, nil
+	}
+	f.odometer(r, src[:size], true)
+	return size, nil
+}
+
+// checkRegion validates that r matches the field's rank and lies within
+// its storage bounds, returning the region's size.
+func (f *Field) checkRegion(r grid.Region) (int, error) {
+	if r.Rank() != f.bounds.Rank() {
+		return 0, fmt.Errorf("region %v has rank %d, field has rank %d", r, r.Rank(), f.bounds.Rank())
+	}
+	size := 1
+	for d := 0; d < r.Rank(); d++ {
+		dim := r.Dim(d)
+		n := dim.Size()
+		size *= n
+		if n == 0 {
+			continue
+		}
+		b := f.bounds.Dim(d)
+		last := dim.Lo + (n-1)*dim.Stride
+		if dim.Lo < b.Lo || last > b.Hi {
+			return 0, fmt.Errorf("region %v outside bounds %v (dim %d)", r, f.bounds, d)
+		}
+	}
+	return size, nil
+}
+
+// odometer walks region r in canonical order with a stack-allocated
+// multi-index, either copying field elements out into buf (pack) or
+// writing buf into the field (unpack). When the innermost dimension is
+// contiguous in storage each innermost run is a single copy.
+func (f *Field) odometer(r grid.Region, buf []float64, unpack bool) {
+	rank := r.Rank()
+	var count, step [maxOdoRank]int
+	base := 0
+	for d := 0; d < rank; d++ {
+		dim := r.Dim(d)
+		count[d] = dim.Size()
+		step[d] = f.strides[d] * dim.Stride
+		base += (dim.Lo - f.bounds.Dim(d).Lo) * f.strides[d]
+	}
+	inner := rank - 1
+	nInner, sInner := count[inner], step[inner]
+	var idx [maxOdoRank]int
+	off, k := base, 0
+	for {
+		if sInner == 1 {
+			if unpack {
+				copy(f.data[off:off+nInner], buf[k:k+nInner])
+			} else {
+				copy(buf[k:k+nInner], f.data[off:off+nInner])
+			}
+			k += nInner
+		} else {
+			o := off
+			if unpack {
+				for i := 0; i < nInner; i++ {
+					f.data[o] = buf[k]
+					k++
+					o += sInner
+				}
+			} else {
+				for i := 0; i < nInner; i++ {
+					buf[k] = f.data[o]
+					k++
+					o += sInner
+				}
+			}
+		}
+		d := inner - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			off += step[d]
+			if idx[d] < count[d] {
+				break
+			}
+			idx[d] = 0
+			off -= count[d] * step[d]
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// PackRegion copies the elements of region r out of the field into a
+// fresh slice of exactly r.Size() elements, in canonical order. It panics
+// on a region outside the field's bounds (the historical contract).
 func (f *Field) PackRegion(r grid.Region) []float64 {
-	out := make([]float64, 0, r.Size())
-	r.Each(nil, func(p grid.Point) {
-		out = append(out, f.At(p))
-	})
+	out := make([]float64, r.Size())
+	if _, err := f.PackInto(r, out); err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// UnpackRegion writes data into region r of the field in the same canonical
-// order used by PackRegion. It panics if data is shorter than the region.
+// UnpackRegion writes data into region r of the field in the same
+// canonical order used by PackRegion. It panics if data is shorter than
+// the region or the region exceeds the field's bounds.
 func (f *Field) UnpackRegion(r grid.Region, data []float64) {
-	i := 0
-	r.Each(nil, func(p grid.Point) {
-		f.Set(p, data[i])
-		i++
-	})
+	if _, err := f.UnpackFrom(r, data); err != nil {
+		panic(err)
+	}
 }

@@ -77,6 +77,16 @@ const (
 	ModelDrift         = "model_drift_ratio"
 	ModelProbedAlphaNs = "model_probed_alpha_ns"
 	ModelProbedBetaNs  = "model_probed_beta_ns"
+	ModelSamples       = "model_comm_samples" // comm-cost observations behind α/β
+
+	// buffer pool and allocation health (gauges refreshed per run from the
+	// pool's own totals; see internal/bufpool).
+	PoolHits      = "pool_hits_total"
+	PoolMisses    = "pool_misses_total"
+	PoolReturns   = "pool_returns_total"
+	PoolDiscards  = "pool_discards_total"
+	PoolHitRatio  = "pool_hit_ratio"
+	AllocsPerWave = "allocs_per_wave" // heap objects allocated per wave epoch
 )
 
 // padCell is one cache-line-padded atomic counter cell. 64 bytes of

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"testing"
+
+	"wavefront/internal/bufpool"
+	"wavefront/internal/field"
+	"wavefront/internal/scan"
+	"wavefront/internal/workload"
+)
+
+// The allocation-regression suite pins the PR's central contract: with a
+// buffer pool attached, a steady-state wave — halo exchange, upstream
+// receives, tile computes, downstream sends — performs zero heap
+// allocations per Exec. The companion baseline test documents what the
+// same schedule costs without the pool, so a regression report always
+// shows both sides of the ledger.
+
+const (
+	// allocWarm executions fill every cache the hot path consults: the
+	// compiled kernel, the block portion, the execPlan, and — with a pool —
+	// the per-class free lists (the first wave's leases all miss).
+	allocWarm = 3
+	// allocRuns is the AllocsPerRun sample count. AllocsPerRun floors the
+	// per-run average, so stray one-off allocations (e.g. a transient
+	// deadlock-watchdog probe) below one-per-run do not flake the zero
+	// assertion, while a genuine per-wave allocation still reads >= 1.
+	allocRuns = 10
+)
+
+// sessionAllocsPerExec measures heap allocations per steady-state Exec of
+// the Tomcatv forward wavefront through a persistent session. Rank 0 runs
+// the measured executions; every other rank executes the same count so the
+// pipeline stays matched. The forward sweep is rank-2 (the kernel's
+// allocation-free fast path) and dirties its arrays every run, so each
+// measured Exec carries a full coalesced halo exchange plus the pipelined
+// boundary messages.
+func sessionAllocsPerExec(t *testing.T, procs int, pooled bool) float64 {
+	t.Helper()
+	tom, err := workload.NewTomcatv(48, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := tom.ForwardBlock()
+	cfg := SessionConfig{Procs: procs, Domain: tom.All, Block: 8}
+	if pooled {
+		cfg.Pool = bufpool.New(procs)
+	}
+	sess, err := NewSession(tom.Env, []*scan.Block{blk}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allocs float64
+	err = sess.Run(func(r *Rank) error {
+		exec := func() {
+			if err := r.Exec(blk); err != nil {
+				panic(err)
+			}
+		}
+		if r.ID() == 0 {
+			for i := 0; i < allocWarm; i++ {
+				exec()
+			}
+			// AllocsPerRun invokes exec allocRuns+1 times (one extra
+			// warmup), so the peers below run allocRuns+1 past their warm
+			// phase to match.
+			allocs = testing.AllocsPerRun(allocRuns, exec)
+			return nil
+		}
+		for i := 0; i < allocWarm+allocRuns+1; i++ {
+			exec()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return allocs
+}
+
+// TestSteadyWaveZeroAllocs is the acceptance gate: pooled steady-state
+// waves allocate nothing, single-rank and across a real pipeline.
+func TestSteadyWaveZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	for _, procs := range []int{1, 2, 4} {
+		if got := sessionAllocsPerExec(t, procs, true); got != 0 {
+			t.Errorf("procs=%d: steady-state Exec allocated %.0f times per wave with pooling on, want 0", procs, got)
+		}
+	}
+}
+
+// TestSteadyWaveAllocBaseline documents the pooling-off cost on the same
+// schedule: every message leases a fresh buffer, so a multi-rank steady
+// wave must allocate. If this ever reads zero the zero-alloc test above
+// has stopped measuring anything.
+func TestSteadyWaveAllocBaseline(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	base := sessionAllocsPerExec(t, 2, false)
+	if base == 0 {
+		t.Error("pooling off allocated nothing per steady-state Exec; the measurement is broken")
+	}
+	t.Logf("baseline without pooling: %.0f allocs per steady-state Exec (pooled: 0)", base)
+}
+
+// TestRunPoolReuseAcrossRuns: a pool shared across Run calls keeps its
+// free lists warm, so the second run's leases hit instead of allocating,
+// and every leased buffer is back in the pool when the topology drains.
+func TestRunPoolReuseAcrossRuns(t *testing.T) {
+	tom, err := workload.NewTomcatv(32, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufpool.New(4)
+	cfg := DefaultConfig(4, 4)
+	cfg.Pool = pool
+	for i := 0; i < 2; i++ {
+		stats, err := Run(tom.ForwardBlock(), tom.Env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Pool == nil {
+			t.Fatal("pooled run returned nil Stats.Pool")
+		}
+	}
+	st := pool.Stats()
+	if st.Hits == 0 {
+		t.Errorf("second pooled run recorded no pool hits: %+v", st)
+	}
+	if out := pool.Outstanding(); out != 0 {
+		t.Errorf("%d buffers still leased after runs completed", out)
+	}
+}

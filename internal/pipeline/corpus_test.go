@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"wavefront/internal/bufpool"
 	"wavefront/internal/dep"
 	"wavefront/internal/scan"
 	"wavefront/internal/trace"
@@ -55,6 +56,23 @@ func TestDifferentialCorpus(t *testing.T) {
 						if diff := parEnv.Arrays[name].MaxAbsDiff(bounds, serialEnv.Arrays[name]); diff != 0 {
 							t.Errorf("seed %d p=%d b=%d dims=(%d,%d): array %q differs by %g\n%s",
 								seed, p, b, d.w, d.t, name, diff, blk)
+						}
+					}
+					if d.w == -1 && d.t == -1 {
+						// Pooled leg of the differential: same cell with a
+						// buffer pool attached must stay bit-identical.
+						poolEnv := genEnv(seed)
+						pcfg := Config{Procs: p, Block: b, WavefrontDim: d.w, TileDim: d.t,
+							Pool: bufpool.New(p)}
+						if _, err := Run(blk, poolEnv, pcfg); err != nil {
+							t.Fatalf("seed %d p=%d b=%d: pooled run failed where unpooled passed: %v\n%s",
+								seed, p, b, err, blk)
+						}
+						for _, name := range genNames {
+							if diff := poolEnv.Arrays[name].MaxAbsDiff(bounds, parEnv.Arrays[name]); diff != 0 {
+								t.Errorf("seed %d p=%d b=%d: pooled array %q differs from unpooled by %g\n%s",
+									seed, p, b, name, diff, blk)
+							}
 						}
 					}
 					if err := trace.ValidateRecorder(cfg.Trace); err != nil {

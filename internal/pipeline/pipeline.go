@@ -14,8 +14,10 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
+	"wavefront/internal/bufpool"
 	"wavefront/internal/comm"
 	"wavefront/internal/dep"
 	"wavefront/internal/expr"
@@ -59,7 +61,32 @@ type Config struct {
 	// — the default — disables collection at the cost of a pointer check
 	// per operation.
 	Metrics *metrics.Registry
+	// Pool, when non-nil, recycles pipeline message buffers through
+	// size-classed per-rank free lists (see internal/bufpool): senders
+	// lease payloads from their shard, receivers return them to it, and
+	// the steady-state wave allocates nothing. Nil — the default —
+	// allocates a fresh buffer per message. Pooling is incompatible with
+	// fault injection (duplicated and corrupted payloads alias buffers a
+	// recycling pool must never see), so the pool is ignored when Faults
+	// is also set.
+	Pool *bufpool.Pool
+	// AutoTune, when true and Metrics is non-nil, consults the drift
+	// monitor before planning: when the α/β/τ estimates rest on enough
+	// observations and predict that Block is mistuned by more than ~5%,
+	// the run uses Equation (1)'s recomputed optimal width instead. The
+	// registry carries calibration across runs, so a Config reused with
+	// the same registry converges onto the model's choice.
+	AutoTune bool
 }
+
+// Retuning thresholds: how many comm-cost samples the α/β estimate needs
+// before it is trusted, and the predicted mistune penalty (predicted
+// actual / predicted optimal) that justifies abandoning the configured
+// block size.
+const (
+	autoTuneMinSamples = 32
+	autoTuneMistune    = 1.05
+)
 
 // DefaultConfig returns a Config that accepts the analysis' choices.
 func DefaultConfig(procs, block int) Config {
@@ -87,6 +114,9 @@ type Stats struct {
 	// recomputed optimal block, predicted vs observed makespan); nil when
 	// Config.Metrics was nil.
 	Drift *metrics.DriftReport
+	// Pool is a snapshot of the buffer pool's cumulative totals after the
+	// run; nil when Config.Pool was nil or ignored.
+	Pool *bufpool.Stats
 }
 
 // ErrUnsupported marks scan blocks whose dependence pattern the 1-D
@@ -96,13 +126,14 @@ var ErrUnsupported = errors.New("pipeline: unsupported dependence pattern")
 
 // plan is the decomposition derived from the analysis.
 type plan struct {
-	an    *scan.Analysis
-	wDim  int
-	tDim  int
-	p     int
-	block int
-	slabs []grid.Region // indexed by pipeline position (upstream first)
-	tiles []grid.Range  // tile ranges along tDim, in traversal order
+	an     *scan.Analysis
+	region grid.Region // the block's region (tilings derive from it)
+	wDim   int
+	tDim   int
+	p      int
+	block  int
+	slabs  []grid.Region // indexed by pipeline position (upstream first)
+	tiles  []grid.Range  // tile ranges along tDim, in traversal order
 	// tileTravel orders the tiles so every dependence points to the same or
 	// an earlier tile; it may differ from the within-tile loop direction.
 	tileTravel grid.LoopDir
@@ -126,6 +157,11 @@ type haloSpec struct {
 // Run executes the block across cfg.Procs ranks and returns statistics.
 // The result in env's fields is identical to serial execution.
 func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
+	if cfg.AutoTune {
+		if bOpt, ok := cfg.Metrics.SuggestBlock(autoTuneMinSamples, autoTuneMistune); ok {
+			cfg.Block = bOpt
+		}
+	}
 	pl, err := makePlan(b, env, cfg)
 	if err != nil {
 		return nil, err
@@ -138,6 +174,11 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 		return nil, err
 	}
 	topo.SetFaults(cfg.Faults)
+	if cfg.Faults == nil {
+		if err := topo.SetBufPool(cfg.Pool); err != nil {
+			return nil, err
+		}
+	}
 	if err := topo.SetLinkCapacity(cfg.LinkCapacity); err != nil {
 		return nil, err
 	}
@@ -150,6 +191,10 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	// (and vice versa). Without pipeline messages nothing else orders the
 	// ranks.
 	phase := comm.NewSyncBarrier(pl.p)
+	var mem0 runtime.MemStats
+	if pm != nil {
+		runtime.ReadMemStats(&mem0)
+	}
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
 		return runRank(b, env, pl, e, phase, cfg.Trace, pm)
@@ -171,6 +216,14 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 		}
 		rep := pm.finishRun(nW, nT, pl.p, bUsed, elapsed)
 		drift = &rep
+		var mem1 runtime.MemStats
+		runtime.ReadMemStats(&mem1)
+		pm.publishAlloc(int64(mem1.Mallocs-mem0.Mallocs), int64(pl.p), topo.BufPool())
+	}
+	var poolStats *bufpool.Stats
+	if p := topo.BufPool(); p != nil {
+		st := p.Stats()
+		poolStats = &st
 	}
 	return &Stats{
 		Procs:        pl.p,
@@ -184,6 +237,7 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 		Elapsed:      elapsed,
 		Summary:      cfg.Trace.Summarize(),
 		Drift:        drift,
+		Pool:         poolStats,
 	}, nil
 }
 
@@ -242,7 +296,7 @@ func makePlan(b *scan.Block, env expr.Env, cfg Config) (*plan, error) {
 
 	var firstErr error
 	for _, wDim := range candidates {
-		pl := &plan{an: an, p: cfg.Procs, block: cfg.Block, wDim: wDim,
+		pl := &plan{an: an, region: b.Region, p: cfg.Procs, block: cfg.Block, wDim: wDim,
 			pipeArrays: map[string]int{}, written: map[string]bool{}}
 		pl.tDim = cfg.TileDim
 		if pl.tDim < 0 {

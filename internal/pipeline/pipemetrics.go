@@ -3,6 +3,7 @@ package pipeline
 import (
 	"time"
 
+	"wavefront/internal/bufpool"
 	"wavefront/internal/metrics"
 )
 
@@ -54,7 +55,8 @@ func newPipeMetrics(reg *metrics.Registry, p int) *pipeMetrics {
 		metrics.PipeFillNs, metrics.PipeDrainNs, metrics.PipeSteadyNs,
 		metrics.ModelAlphaNs, metrics.ModelBetaNs, metrics.ModelElemNs,
 		metrics.ModelOptBlock, metrics.ModelPredictedNs, metrics.ModelPredActualNs,
-		metrics.ModelObservedNs, metrics.ModelDrift,
+		metrics.ModelObservedNs, metrics.ModelDrift, metrics.ModelSamples,
+		metrics.PoolHitRatio, metrics.AllocsPerWave,
 	} {
 		reg.Gauge(name)
 	}
@@ -81,6 +83,25 @@ func (pm *pipeMetrics) tile(rank, elems int, start, end int64) {
 func (pm *pipeMetrics) waveSend(rank, elems int) {
 	pm.waveMsgs.Add(rank, 1)
 	pm.waveElems.Add(rank, int64(elems))
+}
+
+// publishAlloc publishes the run's allocation health: heap objects
+// allocated per wave epoch (a whole-process figure — scatter, gather, and
+// unrelated goroutines included — so it bounds the hot path from above)
+// and the buffer pool's cumulative totals. Call after the run's ranks
+// have retired.
+func (pm *pipeMetrics) publishAlloc(mallocs, waves int64, pool *bufpool.Pool) {
+	if waves > 0 {
+		pm.reg.Gauge(metrics.AllocsPerWave).Set(float64(mallocs) / float64(waves))
+	}
+	if pool != nil {
+		st := pool.Stats()
+		pm.reg.Gauge(metrics.PoolHits).Set(float64(st.Hits))
+		pm.reg.Gauge(metrics.PoolMisses).Set(float64(st.Misses))
+		pm.reg.Gauge(metrics.PoolReturns).Set(float64(st.Returns))
+		pm.reg.Gauge(metrics.PoolDiscards).Set(float64(st.Discards))
+		pm.reg.Gauge(metrics.PoolHitRatio).Set(st.HitRatio())
+	}
 }
 
 // finishRun publishes the fill/drain/steady phase split from the per-rank

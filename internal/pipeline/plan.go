@@ -187,40 +187,49 @@ func (pl *plan) maxPipeDepth() int {
 	return maxDepth
 }
 
-// decomposeTiles cuts the tile dimension into traversal-ordered tiles.
-func (pl *plan) decomposeTiles(b *scan.Block) {
+// tilesFor cuts the tile dimension into traversal-ordered tiles of the
+// given width. It is the width-parameterized core of decomposeTiles:
+// online retuning builds rank-local tilings from it without mutating the
+// shared plan.
+func (pl *plan) tilesFor(width int) []grid.Range {
 	if pl.tDim < 0 {
-		pl.tiles = nil
-		return
+		return nil
 	}
-	width := pl.block
 	if pl.noTiling {
 		width = 0 // single tile: the only legal granularity
 	}
-	tiles := grid.Tiles(b.Region.Dim(pl.tDim), width)
+	tiles := grid.Tiles(pl.region.Dim(pl.tDim), width)
 	if pl.tileTravel == grid.HighToLow {
 		for i, j := 0, len(tiles)-1; i < j; i, j = i+1, j-1 {
 			tiles[i], tiles[j] = tiles[j], tiles[i]
 		}
 	}
-	pl.tiles = tiles
+	return tiles
+}
+
+// decomposeTiles cuts the tile dimension into traversal-ordered tiles.
+func (pl *plan) decomposeTiles(b *scan.Block) {
+	pl.tiles = pl.tilesFor(pl.block)
+}
+
+// tileCountOf returns the number of pipeline steps a tiling implies.
+func tileCountOf(tiles []grid.Range) int {
+	if len(tiles) == 0 {
+		return 1
+	}
+	return len(tiles)
 }
 
 // tileCount returns the number of pipeline steps per rank.
-func (pl *plan) tileCount() int {
-	if len(pl.tiles) == 0 {
-		return 1
-	}
-	return len(pl.tiles)
-}
+func (pl *plan) tileCount() int { return tileCountOf(pl.tiles) }
 
-// neededUpstream returns the index of the last upstream message rank must
-// hold before computing tile t: with no forward reach it is t; diagonal
-// cross-boundary reads extend it by ceil(maxFwd / tile width) in traversal
-// position terms.
-func (pl *plan) neededUpstream(t int) int {
-	last := pl.tileCount() - 1
-	if pl.maxFwd == 0 || len(pl.tiles) == 0 {
+// neededUpstreamIn returns the index of the last upstream message a rank
+// must hold before computing tile t of the given tiling: with no forward
+// reach it is t; diagonal cross-boundary reads extend it by the forward
+// reach in traversal-position terms.
+func (pl *plan) neededUpstreamIn(t int, tiles []grid.Range) int {
+	last := tileCountOf(tiles) - 1
+	if pl.maxFwd == 0 || len(tiles) == 0 {
 		return t
 	}
 	// Traversal-position of the end of tile t, plus the forward reach,
@@ -228,13 +237,13 @@ func (pl *plan) neededUpstream(t int) int {
 	pos := 0
 	end := 0
 	for k := 0; k <= t; k++ {
-		end = pos + pl.tiles[k].Size() - 1
-		pos += pl.tiles[k].Size()
+		end = pos + tiles[k].Size() - 1
+		pos += tiles[k].Size()
 	}
 	target := end + pl.maxFwd
 	cum := 0
-	for k := 0; k < len(pl.tiles); k++ {
-		cum += pl.tiles[k].Size()
+	for k := 0; k < len(tiles); k++ {
+		cum += tiles[k].Size()
 		if target < cum {
 			return k
 		}
@@ -242,21 +251,29 @@ func (pl *plan) neededUpstream(t int) int {
 	return last
 }
 
-// tileRegion restricts slab L to tile t.
-func (pl *plan) tileRegion(L grid.Region, t int) grid.Region {
-	if len(pl.tiles) == 0 {
+// neededUpstream is neededUpstreamIn over the plan's own tiling.
+func (pl *plan) neededUpstream(t int) int { return pl.neededUpstreamIn(t, pl.tiles) }
+
+// tileRegionIn restricts slab L to tile t of the given tiling.
+func (pl *plan) tileRegionIn(L grid.Region, t int, tiles []grid.Range) grid.Region {
+	if len(tiles) == 0 {
 		return L
 	}
 	dims := L.Dims()
-	dims[pl.tDim] = pl.tiles[t]
+	dims[pl.tDim] = tiles[t]
 	return grid.MustRegion(dims...)
 }
 
-// boundaryRegion returns, in global coordinates, the rows array `name`
-// must ship downstream after tile t: the sender slab's last depth rows in
-// travel order, restricted to tile t along the tile dimension (other
-// dimensions span the slab).
-func (pl *plan) boundaryRegion(L grid.Region, name string, t int) grid.Region {
+// tileRegion restricts slab L to tile t.
+func (pl *plan) tileRegion(L grid.Region, t int) grid.Region {
+	return pl.tileRegionIn(L, t, pl.tiles)
+}
+
+// boundaryRegionIn returns, in global coordinates, the rows array `name`
+// must ship downstream after tile t of the given tiling: the sender
+// slab's last depth rows in travel order, restricted to tile t along the
+// tile dimension (other dimensions span the slab).
+func (pl *plan) boundaryRegionIn(L grid.Region, name string, t int, tiles []grid.Range) grid.Region {
 	depth := pl.pipeArrays[name]
 	dims := L.Dims()
 	w := dims[pl.wDim]
@@ -265,8 +282,13 @@ func (pl *plan) boundaryRegion(L grid.Region, name string, t int) grid.Region {
 	} else {
 		dims[pl.wDim] = grid.NewRange(w.Lo, w.Lo+depth-1)
 	}
-	if len(pl.tiles) > 0 {
-		dims[pl.tDim] = pl.tiles[t]
+	if len(tiles) > 0 {
+		dims[pl.tDim] = tiles[t]
 	}
 	return grid.MustRegion(dims...)
+}
+
+// boundaryRegion is boundaryRegionIn over the plan's own tiling.
+func (pl *plan) boundaryRegion(L grid.Region, name string, t int) grid.Region {
+	return pl.boundaryRegionIn(L, name, t, pl.tiles)
 }

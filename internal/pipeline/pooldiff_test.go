@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"testing"
+
+	"wavefront/internal/bufpool"
+	"wavefront/internal/field"
+	"wavefront/internal/scan"
+	"wavefront/internal/workload"
+)
+
+// The pooling differential suite pins the PR's correctness contract on the
+// paper's three workloads: buffer pooling and the coalesced, preplanned
+// halo/pipeline wire format are pure transport optimizations. Every array
+// a pooled session produces must be bit-identical to the unpooled session
+// AND to serial execution — any drift means a lease was reused while its
+// payload was still live, or the coalesced offsets disagreed between
+// sender and receiver.
+
+func TestPoolingBitIdenticalTomcatv(t *testing.T) {
+	n, iters, procs := 26, 3, 4
+	serial, err := workload.NewTomcatv(n, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		for _, b := range serial.Blocks() {
+			if err := scan.Exec(b, serial.Env, scan.ExecOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run := func(pooled bool) *workload.Tomcatv {
+		w, _ := workload.NewTomcatv(n, field.RowMajor)
+		cfg := SessionConfig{Procs: procs, Domain: w.All, Block: 4}
+		if pooled {
+			cfg.Pool = bufpool.New(procs)
+		}
+		blocks := w.Blocks()
+		sess, err := NewSession(w.Env, blocks, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = sess.Run(func(r *Rank) error {
+			for i := 0; i < iters; i++ {
+				for _, b := range blocks {
+					if err := r.Exec(b); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	plain, pooled := run(false), run(true)
+	for name := range serial.Env.Arrays {
+		if d := pooled.Env.Arrays[name].MaxAbsDiff(serial.All, plain.Env.Arrays[name]); d != 0 {
+			t.Errorf("tomcatv %s: pooled differs from unpooled by %g", name, d)
+		}
+		if d := pooled.Env.Arrays[name].MaxAbsDiff(serial.All, serial.Env.Arrays[name]); d != 0 {
+			t.Errorf("tomcatv %s: pooled differs from serial by %g", name, d)
+		}
+	}
+}
+
+func TestPoolingBitIdenticalSimple(t *testing.T) {
+	n, steps, procs := 24, 3, 3
+	serial, err := workload.NewSimple(n, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		if _, err := serial.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(pooled bool) *workload.Simple {
+		w, _ := workload.NewSimple(n, field.RowMajor)
+		cfg := SessionConfig{Procs: procs, Domain: w.All, Block: 5}
+		if pooled {
+			cfg.Pool = bufpool.New(procs)
+		}
+		blocks := w.Blocks()
+		sess, err := NewSession(w.Env, blocks, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = sess.Run(func(r *Rank) error {
+			for i := 0; i < steps; i++ {
+				for _, b := range blocks {
+					if err := r.Exec(b); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	plain, pooled := run(false), run(true)
+	for _, name := range workload.SimpleArrays {
+		if d := pooled.Env.Arrays[name].MaxAbsDiff(serial.All, plain.Env.Arrays[name]); d != 0 {
+			t.Errorf("simple %s: pooled differs from unpooled by %g", name, d)
+		}
+		if d := pooled.Env.Arrays[name].MaxAbsDiff(serial.All, serial.Env.Arrays[name]); d != 0 {
+			t.Errorf("simple %s: pooled differs from serial by %g", name, d)
+		}
+	}
+}
+
+func TestPoolingBitIdenticalSweep3D(t *testing.T) {
+	n, procs := 8, 2
+	serial, err := workload.NewSweep(n, 3, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dirs := range serial.Octants() {
+		if err := scan.Exec(serial.OctantBlock(dirs), serial.Env, scan.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(pooled bool) *workload.Sweep {
+		w, _ := workload.NewSweep(n, 3, field.RowMajor)
+		var blocks []*scan.Block
+		for _, dirs := range w.Octants() {
+			blocks = append(blocks, w.OctantBlock(dirs))
+		}
+		cfg := SessionConfig{Procs: procs, Domain: w.Inner, Block: 3}
+		if pooled {
+			cfg.Pool = bufpool.New(procs)
+		}
+		sess, err := NewSession(w.Env, blocks, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = sess.Run(func(r *Rank) error {
+			for _, b := range blocks {
+				if err := r.Exec(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	plain, pooled := run(false), run(true)
+	if d := pooled.Env.Arrays["flux"].MaxAbsDiff(serial.Inner, plain.Env.Arrays["flux"]); d != 0 {
+		t.Errorf("sweep3d flux: pooled differs from unpooled by %g", d)
+	}
+	if d := pooled.Env.Arrays["flux"].MaxAbsDiff(serial.Inner, serial.Env.Arrays["flux"]); d != 0 {
+		t.Errorf("sweep3d flux: pooled differs from serial by %g", d)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package pipeline
+
+// raceEnabled mirrors the stdlib pattern: allocation-count assertions are
+// skipped under the race detector, whose instrumentation allocates.
+const raceEnabled = false

@@ -102,32 +102,38 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 
 	hasUp := rank > 0 && len(pl.pipeNames) > 0
 	hasDown := rank < pl.p-1 && len(pl.pipeNames) > 0
-	T := pl.tileCount()
+	var upPortion grid.Region
+	if hasUp {
+		upPortion = pl.slabs[rank-1]
+	}
+	ep := buildExecPlan(pl, pl.block, locals, L, upPortion, hasUp, hasDown, rank-1, rank+1)
 	if pm != nil {
 		pm.waves.Add(rank, 1) // one wave sweep over this rank's slab
 	}
+	T := len(ep.tiles)
 	recvd := 0
 	for t := 0; t < T; t++ {
-		need := -1
+		need := ep.needUp[t]
 		if hasUp {
-			need = pl.neededUpstream(t)
 			for ; recvd <= need; recvd++ {
 				waveT0 := tr.Now()
 				buf, err := e.Recv(rank-1, recvd)
 				if err != nil {
 					return err
 				}
+				if len(buf) < ep.recvTotal[recvd] {
+					return fmt.Errorf("pipeline: rank %d: message %d too short: need %d elements, have %d",
+						rank, recvd, ep.recvTotal[recvd], len(buf))
+				}
 				off := 0
-				for _, name := range pl.pipeNames {
-					r := pl.boundaryRegion(pl.slabs[rank-1], name, recvd)
-					sz := r.Size()
-					if off+sz > len(buf) {
-						return fmt.Errorf("pipeline: rank %d: message %d too short: need %d elements at offset %d, have %d",
-							rank, recvd, sz, off, len(buf))
+				for i, f := range ep.fields {
+					sz := ep.recvSizes[recvd][i]
+					if _, err := f.UnpackFrom(ep.recvRegs[recvd][i], buf[off:off+sz]); err != nil {
+						return err
 					}
-					locals[name].UnpackRegion(r, buf[off:off+sz])
 					off += sz
 				}
+				e.ReleaseTo(rank-1, buf)
 				if tr != nil {
 					ev := trace.Ev(trace.KindWaveRecv, rank, waveT0, tr.Now())
 					ev.Peer, ev.Seq, ev.Wave, ev.Elems = rank-1, recvd, 0, len(buf)
@@ -135,7 +141,7 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 				}
 			}
 		}
-		tile := pl.tileRegion(L, t)
+		tile := ep.tiles[t]
 		computeT0 := tr.Now()
 		var mTile0 int64
 		if pm != nil {
@@ -155,9 +161,14 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 		}
 		if hasDown {
 			waveT0 := tr.Now()
-			var buf []float64
-			for _, name := range pl.pipeNames {
-				buf = append(buf, locals[name].PackRegion(pl.boundaryRegion(L, name, t))...)
+			buf := e.Lease(ep.sendTotal[t])
+			off := 0
+			for i, f := range ep.fields {
+				n, err := f.PackInto(ep.sendRegs[t][i], buf[off:])
+				if err != nil {
+					return err
+				}
+				off += n
 			}
 			if err := e.Send(rank+1, t, buf); err != nil {
 				return err

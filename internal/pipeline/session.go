@@ -2,10 +2,12 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"wavefront/internal/bufpool"
 	"wavefront/internal/comm"
 	"wavefront/internal/dep"
 	"wavefront/internal/expr"
@@ -88,6 +90,28 @@ type SessionConfig struct {
 	// text at /metrics, expvar JSON at /debug/vars, and pprof under
 	// /debug/pprof/. The listener lives until Session.Close.
 	MetricsAddr string
+	// Pool, when non-nil, recycles pipeline and halo-exchange message
+	// buffers (see internal/bufpool): senders lease payloads from their
+	// per-rank shard, receivers return them to the sender's shard, and the
+	// steady-state wave allocates nothing. Nil (the default) allocates a
+	// fresh buffer per message. Ignored when Faults is set — injected
+	// duplicates and corruptions alias buffers a recycling pool must never
+	// see.
+	Pool *bufpool.Pool
+	// AutoTune, when true and metrics are enabled, re-reads the drift
+	// monitor's α/β/τ estimates at the start of every Run and re-plans all
+	// registered blocks at Equation (1)'s recomputed optimal tile width
+	// when the predicted mistune penalty exceeds ~5% (see
+	// metrics.SuggestBlock). Calibration carries across Runs through the
+	// registry, so a long-lived session converges onto the model's choice
+	// as the machine drifts.
+	AutoTune bool
+	// AutoTuneEvery, when > 0 alongside AutoTune, additionally re-checks
+	// the decision every k wavefront sweeps inside a Run, behind a
+	// barrier: all ranks read the same frozen gauges, reach the same
+	// decision, and switch tilings together at a wave boundary. 0 (the
+	// default) retunes only between Runs.
+	AutoTuneEvery int
 }
 
 // SessionStats summarizes a finished Run.
@@ -100,6 +124,9 @@ type SessionStats struct {
 	// Drift is the model-drift report refreshed by the run; nil when
 	// metrics were disabled.
 	Drift *metrics.DriftReport
+	// Pool is a snapshot of the buffer pool's cumulative totals after the
+	// run; nil when SessionConfig.Pool was nil or ignored.
+	Pool *bufpool.Stats
 }
 
 // NewSession validates the blocks against the decomposition and
@@ -216,7 +243,7 @@ func (s *Session) register(b *scan.Block) error {
 		return err
 	}
 	pl := &plan{
-		an: an, p: s.cfg.Procs, block: s.cfg.Block, wDim: s.cfg.WavefrontDim,
+		an: an, region: b.Region, p: s.cfg.Procs, block: s.cfg.Block, wDim: s.cfg.WavefrontDim,
 		pipeArrays: map[string]int{}, written: map[string]bool{},
 	}
 	pl.tDim = -1
@@ -296,10 +323,30 @@ func (s *Session) Cancel(cause error) {
 // Slab returns rank r's portion of the domain.
 func (s *Session) Slab(r int) grid.Region { return s.slabs[r] }
 
+// Retune re-plans every registered block at tile width b. It must not be
+// called while a Run is in flight; Runs themselves call it when AutoTune
+// decides a new width is justified. Ranks mid-run retile locally (see
+// execPlan), so the shared plans only ever change here, between Runs.
+func (s *Session) Retune(b int) {
+	if b < 1 || b == s.cfg.Block {
+		return
+	}
+	s.cfg.Block = b
+	for blk, pl := range s.plans {
+		pl.block = b
+		pl.decomposeTiles(blk)
+	}
+}
+
 // Run scatters the arrays, executes body on every rank concurrently,
 // gathers the written portions back into the global arrays, and records
 // statistics. A Session may Run multiple times; each Run re-scatters.
 func (s *Session) Run(body func(r *Rank) error) error {
+	if s.cfg.AutoTune {
+		if b, ok := s.cfg.Metrics.SuggestBlock(autoTuneMinSamples, autoTuneMistune); ok {
+			s.Retune(b)
+		}
+	}
 	topo, err := comm.NewTopology(s.cfg.Procs)
 	if err != nil {
 		return err
@@ -308,6 +355,11 @@ func (s *Session) Run(body func(r *Rank) error) error {
 		return err
 	}
 	topo.SetFaults(s.cfg.Faults)
+	if s.cfg.Faults == nil {
+		if err := topo.SetBufPool(s.cfg.Pool); err != nil {
+			return err
+		}
+	}
 	if err := topo.SetLinkCapacity(s.cfg.LinkCapacity); err != nil {
 		return err
 	}
@@ -324,6 +376,12 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	// any rank may gather (writing them); with no other messages in flight
 	// nothing else orders the ranks.
 	phase := comm.NewSyncBarrier(s.cfg.Procs)
+	var mem0 runtime.MemStats
+	var waves0 int64
+	if pm != nil {
+		waves0 = pm.waves.Value()
+		runtime.ReadMemStats(&mem0)
+	}
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
 		rk, err := s.newRank(e)
@@ -359,8 +417,16 @@ func (s *Session) Run(body func(r *Rank) error) error {
 		bUsed := s.cfg.Block
 		rep := pm.finishRun(nW, nT, s.cfg.Procs, bUsed, elapsed)
 		drift = &rep
+		var mem1 runtime.MemStats
+		runtime.ReadMemStats(&mem1)
+		pm.publishAlloc(int64(mem1.Mallocs-mem0.Mallocs), pm.waves.Value()-waves0, topo.BufPool())
 	}
-	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: elapsed, Summary: tr.Summarize(), Drift: drift}
+	var poolStats *bufpool.Stats
+	if p := topo.BufPool(); p != nil {
+		st := p.Stats()
+		poolStats = &st
+	}
+	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: elapsed, Summary: tr.Summarize(), Drift: drift, Pool: poolStats}
 	if err != nil {
 		return err
 	}
@@ -394,6 +460,31 @@ type Rank struct {
 	// executes the same block sequence, equal counts identify the same run
 	// in the trace on every rank.
 	waveRuns int
+	// curBlock is this rank's current tile width; it starts at the
+	// session's width and moves when a mid-run retune fires. All ranks
+	// move together (the decision is a pure function of gauges frozen
+	// since the last Run), so senders and receivers always agree on the
+	// message tiling.
+	curBlock int
+	// eplans caches the materialized schedule per wavefront block; an
+	// entry built for a different width than curBlock is rebuilt.
+	eplans map[*scan.Block]*execPlan
+	// portions caches each block's share of this rank (portion builds two
+	// slices per call; slab and block regions never change).
+	portions map[*scan.Block]grid.Region
+	// xregs holds each array's precomputed halo-exchange regions per
+	// neighbour side; exchange reads them instead of rebuilding regions.
+	xregs map[string]xchgRegs
+	// needs is the reusable scratch list of stale arrays (Exec, Reduce).
+	needs []string
+}
+
+// xchgRegs is one array's halo-exchange geometry: the rows to send to and
+// receive from each neighbour side (Lo = rank id-1, Hi = rank id+1). A
+// zero Region (rank 0) marks an absent transfer.
+type xchgRegs struct {
+	sendLo, recvLo grid.Region
+	sendHi, recvHi grid.Region
 }
 
 func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
@@ -409,6 +500,10 @@ func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
 		wrote:    map[string]bool{},
 		sendSeq:  make([]int, s.cfg.Procs),
 		recvSeq:  make([]int, s.cfg.Procs),
+		curBlock: s.cfg.Block,
+		eplans:   map[*scan.Block]*execPlan{},
+		portions: map[*scan.Block]grid.Region{},
+		needs:    make([]string, 0, len(s.names)),
 	}
 	slab := s.slabs[r.id]
 	for _, name := range s.names {
@@ -438,6 +533,45 @@ func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
 		}
 		lf.CopyRegion(bounds, g)
 		r.locals[name] = lf
+	}
+	// Precompute the halo-exchange geometry: for each array and each
+	// neighbour side, the rows of my slab the neighbour's halo needs
+	// (send) and the rows of its slab my halo needs (recv).
+	r.xregs = make(map[string]xchgRegs, len(s.names))
+	w := s.cfg.WavefrontDim
+	for _, name := range s.names {
+		h := s.halos[name]
+		rowRegion := func(rows grid.Range) grid.Region {
+			dims := r.locals[name].Bounds().Dims()
+			dims[w] = rows
+			return grid.MustRegion(dims...)
+		}
+		var x xchgRegs
+		if peer := r.id - 1; peer >= 0 {
+			// Peer below me in index order: it needs my lowest pos[w] rows; I
+			// need its highest neg[w] rows.
+			if h.pos[w] > 0 {
+				lo := slab.Dim(w).Lo
+				x.sendLo = rowRegion(grid.NewRange(lo, lo+h.pos[w]-1))
+			}
+			if h.neg[w] > 0 {
+				hi := s.slabs[peer].Dim(w).Hi
+				x.recvLo = rowRegion(grid.NewRange(hi-h.neg[w]+1, hi))
+			}
+		}
+		if peer := r.id + 1; peer < s.cfg.Procs {
+			// Peer above me: it needs my highest neg[w] rows; I need its
+			// lowest pos[w] rows.
+			if h.neg[w] > 0 {
+				hi := slab.Dim(w).Hi
+				x.sendHi = rowRegion(grid.NewRange(hi-h.neg[w]+1, hi))
+			}
+			if h.pos[w] > 0 {
+				lo := s.slabs[peer].Dim(w).Lo
+				x.recvHi = rowRegion(grid.NewRange(lo, lo+h.pos[w]-1))
+			}
+		}
+		r.xregs[name] = x
 	}
 	r.lenv = &forwardEnv{arrays: r.locals, parent: s.genv}
 	if tr := s.cfg.Trace; tr != nil {
@@ -536,7 +670,7 @@ func (r *Rank) Exec(b *scan.Block) error {
 	// boundary. Pipelined arrays also refresh: their upstream halo rows are
 	// overwritten by pipeline messages tile by tile, while anti-dependence
 	// reads need the pre-block values installed here.
-	var needs []string
+	needs := r.needs[:0]
 	w := r.sess.cfg.WavefrontDim
 	for name, h := range pl.halo {
 		if (h.neg[w] > 0 || h.pos[w] > 0) && r.dirty[name] {
@@ -544,11 +678,16 @@ func (r *Rank) Exec(b *scan.Block) error {
 		}
 	}
 	sort.Strings(needs)
+	r.needs = needs
 	if err := r.exchange(needs); err != nil {
 		return err
 	}
 
-	L := r.portion(b.Region)
+	L, ok := r.portions[b]
+	if !ok {
+		L = r.portion(b.Region)
+		r.portions[b] = L
+	}
 	if pl.an.NeedsTemp() {
 		// Contradictory anti-dependences: materialize the right-hand side
 		// into a temporary over this rank's portion (the halo carries the
@@ -606,24 +745,44 @@ func (r *Rank) Exec(b *scan.Block) error {
 // execWavefront pipelines one wavefront block: receive upstream boundary
 // tiles, compute own tiles, forward boundary tiles downstream. Travel
 // direction follows the block's derived loop, so forward and backward
-// sweeps flow through opposite neighbours.
+// sweeps flow through opposite neighbours. The schedule (tile regions,
+// boundary regions, message sizes) comes from a cached execPlan, so the
+// steady-state wave allocates nothing when a buffer pool is attached.
 func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.Region) error {
-	travelLow := pl.an.Loop.Dirs[pl.wDim] == grid.LowToHigh
-	upstream, downstream := r.id-1, r.id+1
-	if !travelLow {
-		upstream, downstream = r.id+1, r.id-1
-	}
-	hasUp := upstream >= 0 && upstream < r.P()
-	hasDown := downstream >= 0 && downstream < r.P()
-	var upPortion grid.Region
-	if hasUp {
-		dims := b.Region.Dims()
-		rows, err := dims[pl.wDim].Intersect(r.sess.slabs[upstream].Dim(pl.wDim))
-		if err != nil {
+	// Mid-run retune: every k-th sweep, synchronize and re-read the drift
+	// gauges. They have been frozen since the last Run's finishRun, so
+	// every rank computes the same width and the message tilings stay in
+	// agreement; the barrier pins the switch to a wave boundary, after all
+	// of the previous sweep's messages have been consumed.
+	if k := r.sess.cfg.AutoTuneEvery; k > 0 && r.sess.cfg.AutoTune && r.waveRuns > 0 && r.waveRuns%k == 0 {
+		if err := r.Barrier(); err != nil {
 			return err
 		}
-		dims[pl.wDim] = rows
-		upPortion = grid.MustRegion(dims...)
+		if bOpt, ok := r.sess.cfg.Metrics.SuggestBlock(autoTuneMinSamples, autoTuneMistune); ok {
+			r.curBlock = bOpt
+		}
+	}
+	ep := r.eplans[b]
+	if ep == nil || ep.width != r.curBlock {
+		travelLow := pl.an.Loop.Dirs[pl.wDim] == grid.LowToHigh
+		upstream, downstream := r.id-1, r.id+1
+		if !travelLow {
+			upstream, downstream = r.id+1, r.id-1
+		}
+		hasUp := upstream >= 0 && upstream < r.P()
+		hasDown := downstream >= 0 && downstream < r.P()
+		var upPortion grid.Region
+		if hasUp {
+			dims := b.Region.Dims()
+			rows, err := dims[pl.wDim].Intersect(r.sess.slabs[upstream].Dim(pl.wDim))
+			if err != nil {
+				return err
+			}
+			dims[pl.wDim] = rows
+			upPortion = grid.MustRegion(dims...)
+		}
+		ep = buildExecPlan(pl, r.curBlock, r.locals, L, upPortion, hasUp, hasDown, upstream, downstream)
+		r.eplans[b] = ep
 	}
 
 	tr := r.tr()
@@ -633,36 +792,37 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 	if pm != nil {
 		pm.waves.Add(r.id, 1)
 	}
-	T := pl.tileCount()
+	T := len(ep.tiles)
 	recvd := 0
 	for t := 0; t < T; t++ {
-		need := -1
-		if hasUp {
-			need = pl.neededUpstream(t)
+		need := ep.needUp[t]
+		if ep.hasUp {
 			for ; recvd <= need; recvd++ {
 				waveT0 := tr.Now()
-				buf, err := r.recvNext(upstream)
+				buf, err := r.recvNext(ep.upstream)
 				if err != nil {
 					return err
 				}
+				if len(buf) < ep.recvTotal[recvd] {
+					return fmt.Errorf("pipeline: rank %d: wavefront message %d too short", r.id, recvd)
+				}
 				off := 0
-				for _, name := range pl.pipeNames {
-					reg := pl.boundaryRegion(upPortion, name, recvd)
-					sz := reg.Size()
-					if off+sz > len(buf) {
-						return fmt.Errorf("pipeline: rank %d: wavefront message %d too short", r.id, recvd)
+				for i, f := range ep.fields {
+					sz := ep.recvSizes[recvd][i]
+					if _, err := f.UnpackFrom(ep.recvRegs[recvd][i], buf[off:off+sz]); err != nil {
+						return err
 					}
-					r.locals[name].UnpackRegion(reg, buf[off:off+sz])
 					off += sz
 				}
+				r.e.ReleaseTo(ep.upstream, buf)
 				if tr != nil {
 					ev := trace.Ev(trace.KindWaveRecv, r.id, waveT0, tr.Now())
-					ev.Peer, ev.Seq, ev.Wave, ev.Elems = upstream, recvd, wave, len(buf)
+					ev.Peer, ev.Seq, ev.Wave, ev.Elems = ep.upstream, recvd, wave, len(buf)
 					tr.Record(ev)
 				}
 			}
 		}
-		tile := pl.tileRegion(L, t)
+		tile := ep.tiles[t]
 		computeT0 := tr.Now()
 		var mT0 int64
 		if pm != nil {
@@ -675,18 +835,23 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 		if tr != nil {
 			ev := trace.Ev(trace.KindCompute, r.id, computeT0, tr.Now())
 			ev.Tile, ev.Wave, ev.Elems = t, wave, tile.Size()
-			if hasUp {
-				ev.Peer, ev.Need = upstream, need
+			if ep.hasUp {
+				ev.Peer, ev.Need = ep.upstream, need
 			}
 			tr.Record(ev)
 		}
-		if hasDown {
+		if ep.hasDown {
 			waveT0 := tr.Now()
-			var buf []float64
-			for _, name := range pl.pipeNames {
-				buf = append(buf, r.locals[name].PackRegion(pl.boundaryRegion(L, name, t))...)
+			buf := r.e.Lease(ep.sendTotal[t])
+			off := 0
+			for i, f := range ep.fields {
+				n, err := f.PackInto(ep.sendRegs[t][i], buf[off:])
+				if err != nil {
+					return err
+				}
+				off += n
 			}
-			if err := r.sendNext(downstream, buf); err != nil {
+			if err := r.sendNext(ep.downstream, buf); err != nil {
 				return err
 			}
 			if pm != nil {
@@ -694,7 +859,7 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 			}
 			if tr != nil {
 				ev := trace.Ev(trace.KindWaveSend, r.id, waveT0, tr.Now())
-				ev.Peer, ev.Seq, ev.Wave, ev.Elems = downstream, t, wave, len(buf)
+				ev.Peer, ev.Seq, ev.Wave, ev.Elems = ep.downstream, t, wave, len(buf)
 				tr.Record(ev)
 			}
 		}
@@ -702,9 +867,31 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 	return nil
 }
 
+// sendReg and recvReg read the precomputed exchange geometry for one
+// array and one neighbour side (0 = rank id-1, 1 = rank id+1). A zero
+// Region marks an absent transfer.
+func (r *Rank) sendReg(name string, side int) grid.Region {
+	x := r.xregs[name]
+	if side == 0 {
+		return x.sendLo
+	}
+	return x.sendHi
+}
+
+func (r *Rank) recvReg(name string, side int) grid.Region {
+	x := r.xregs[name]
+	if side == 0 {
+		return x.recvLo
+	}
+	return x.recvHi
+}
+
 // exchange swaps boundary rows of the named arrays with both neighbours
-// and marks them clean. Message layout is deterministic: names in sorted
-// order, each array's region in canonical order.
+// and marks them clean. The wire format is one coalesced message per
+// neighbour: names in sorted order, each array's region back-to-back in
+// canonical order. Regions come precomputed from newRank and payloads are
+// leased, so a steady-state exchange allocates nothing when a buffer pool
+// is attached; receivers return each payload to its sender's shard.
 func (r *Rank) exchange(names []string) error {
 	if len(names) == 0 || r.P() == 1 {
 		for _, n := range names {
@@ -714,86 +901,60 @@ func (r *Rank) exchange(names []string) error {
 	}
 	tr := r.tr()
 	exchangeT0 := tr.Now()
-	w := r.sess.cfg.WavefrontDim
-	slab := r.sess.slabs[r.id]
-	// sendRegion(neighbor side): rows of MY slab the neighbour's halo
-	// needs; recvRegion: rows of the neighbour's slab my halo needs.
-	rowRegion := func(name string, rows grid.Range) grid.Region {
-		g := r.locals[name]
-		dims := g.Bounds().Dims()
-		dims[w] = rows
-		return grid.MustRegion(dims...)
-	}
-	type xfer struct {
-		peer int
-		send []float64
-		recv []grid.Region // per name, in order
-	}
-	var xfers []xfer
-	for _, peer := range []int{r.id - 1, r.id + 1} {
+	// Send to both sides first (sends never block), then receive.
+	for side := 0; side < 2; side++ {
+		peer := r.id - 1 + 2*side
 		if peer < 0 || peer >= r.P() {
 			continue
 		}
-		x := xfer{peer: peer}
-		peerSlab := r.sess.slabs[peer]
+		total := 0
 		for _, name := range names {
-			h := r.sess.halos[name]
-			if peer == r.id-1 {
-				// Peer below me in index order: it needs my lowest pos[w]
-				// rows; I need its highest neg[w] rows.
-				if h.pos[w] > 0 {
-					lo := slab.Dim(w).Lo
-					x.send = append(x.send, r.locals[name].PackRegion(
-						rowRegion(name, grid.NewRange(lo, lo+h.pos[w]-1)))...)
-				}
-				if h.neg[w] > 0 {
-					hi := peerSlab.Dim(w).Hi
-					x.recv = append(x.recv, rowRegion(name, grid.NewRange(hi-h.neg[w]+1, hi)))
-				} else {
-					x.recv = append(x.recv, grid.Region{})
-				}
-			} else {
-				// Peer above me: it needs my highest neg[w] rows; I need its
-				// lowest pos[w] rows.
-				if h.neg[w] > 0 {
-					hi := slab.Dim(w).Hi
-					x.send = append(x.send, r.locals[name].PackRegion(
-						rowRegion(name, grid.NewRange(hi-h.neg[w]+1, hi)))...)
-				}
-				if h.pos[w] > 0 {
-					lo := peerSlab.Dim(w).Lo
-					x.recv = append(x.recv, rowRegion(name, grid.NewRange(lo, lo+h.pos[w]-1)))
-				} else {
-					x.recv = append(x.recv, grid.Region{})
-				}
+			if reg := r.sendReg(name, side); reg.Rank() != 0 {
+				total += reg.Size()
 			}
 		}
-		xfers = append(xfers, x)
-	}
-	// Send everything first (sends never block), then receive.
-	for _, x := range xfers {
-		if err := r.sendNext(x.peer, x.send); err != nil {
+		buf := r.e.Lease(total)
+		off := 0
+		for _, name := range names {
+			reg := r.sendReg(name, side)
+			if reg.Rank() == 0 {
+				continue
+			}
+			n, err := r.locals[name].PackInto(reg, buf[off:])
+			if err != nil {
+				return err
+			}
+			off += n
+		}
+		if err := r.sendNext(peer, buf); err != nil {
 			return err
 		}
 	}
-	for _, x := range xfers {
-		buf, err := r.recvNext(x.peer)
+	for side := 0; side < 2; side++ {
+		peer := r.id - 1 + 2*side
+		if peer < 0 || peer >= r.P() {
+			continue
+		}
+		buf, err := r.recvNext(peer)
 		if err != nil {
 			return err
 		}
 		off := 0
-		for i, name := range names {
-			reg := x.recv[i]
+		for _, name := range names {
+			reg := r.recvReg(name, side)
 			if reg.Rank() == 0 {
 				continue
 			}
 			sz := reg.Size()
 			if off+sz > len(buf) {
-				return fmt.Errorf("pipeline: rank %d: halo message from %d too short", r.id, x.peer)
+				return fmt.Errorf("pipeline: rank %d: halo message from %d too short", r.id, peer)
 			}
-			r.locals[name].UnpackRegion(reg, buf[off:off+sz])
+			if _, err := r.locals[name].UnpackFrom(reg, buf[off:off+sz]); err != nil {
+				return err
+			}
 			off += sz
 		}
+		r.e.ReleaseTo(peer, buf)
 	}
 	for _, n := range names {
 		r.dirty[n] = false
@@ -812,7 +973,7 @@ func (r *Rank) exchange(names []string) error {
 // refreshing any stale halos the operand reads across the boundary.
 func (r *Rank) Reduce(op scan.ReduceOp, region grid.Region, node expr.Node) (float64, error) {
 	w := r.sess.cfg.WavefrontDim
-	var needs []string
+	needs := r.needs[:0]
 	for _, ref := range expr.Refs(node) {
 		if ref.Shift != nil && ref.Shift[w] != 0 && r.dirty[ref.Name] {
 			needs = append(needs, ref.Name)
@@ -820,6 +981,7 @@ func (r *Rank) Reduce(op scan.ReduceOp, region grid.Region, node expr.Node) (flo
 	}
 	sort.Strings(needs)
 	needs = dedup(needs)
+	r.needs = needs
 	if err := r.exchange(needs); err != nil {
 		return 0, err
 	}
