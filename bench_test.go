@@ -437,6 +437,62 @@ func BenchmarkSweepOctant(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelTapeVsClosure is the engine A/B for this PR's acceptance
+// criterion: the span-tape engine versus the per-point closure engine on
+// the same serial scans. Rank 2 is the Tomcatv forward wave at n=512 (the
+// span path: dependence along dim 0 only, dim 1 runs as unit-stride
+// spans); rank 3 is a Sweep3D octant (the forced-scalar tape: a
+// dependence along every axis). ns/point is reported so the ratio reads
+// directly against the kernel_ns_per_point gauge.
+func BenchmarkKernelTapeVsClosure(b *testing.B) {
+	cases := []struct {
+		name   string
+		engine scan.Engine
+	}{
+		{"tape", scan.EngineTape},
+		{"closure", scan.EngineClosure},
+	}
+	b.Run("tomcatv512", func(b *testing.B) {
+		for _, c := range cases {
+			b.Run(c.name, func(b *testing.B) {
+				t, err := workload.NewTomcatv(512, field.RowMajor)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blk := t.ForwardBlock()
+				points := float64(t.All.Dim(0).Size() * t.All.Dim(1).Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := scan.Exec(blk, t.Env, scan.ExecOptions{Engine: c.engine}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*points), "ns/point")
+			})
+		}
+	})
+	b.Run("sweep64", func(b *testing.B) {
+		for _, c := range cases {
+			b.Run(c.name, func(b *testing.B) {
+				s, err := workload.NewSweep(64, 3, field.RowMajor)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blk := s.OctantBlock(s.Octants()[0])
+				in := s.Inner
+				points := float64(in.Dim(0).Size() * in.Dim(1).Size() * in.Dim(2).Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := scan.Exec(blk, s.Env, scan.ExecOptions{Engine: c.engine}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*points), "ns/point")
+			})
+		}
+	})
+}
+
 // --- Front-end throughput ---
 
 const benchZPLSrc = `

@@ -60,6 +60,8 @@ func main() {
 		duration  = flag.Duration("duration", 0, "stop the -serve/-watch workload loop after this long (0 = until interrupted)")
 		pool      = flag.Bool("pool", false, "reuse message buffers across waves (zero-alloc steady state) in the workload loop")
 		autotune  = flag.Bool("autotune", false, "let the drift monitor retune the tile width between workload-loop runs")
+		kernelSel = flag.String("kernel", "tape", "kernel execution engine: tape (span-level instruction tapes) or closure (per-point reference path)")
+		validate  = flag.Bool("validate", false, "run Tomcatv/SIMPLE/Sweep3D under both engines, serial and pipelined, and exit nonzero on any bit-level disagreement")
 	)
 	flag.Parse()
 
@@ -82,8 +84,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	engine, err := parseEngine(*kernelSel)
+	exitOn(err)
+
+	if *validate {
+		exitOn(runValidate(*n, *blockSize))
+		return
+	}
+
 	if *serve != "" || *watch {
-		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration, *pool, *autotune))
+		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration, *pool, *autotune, engine))
 		return
 	}
 
@@ -93,7 +103,7 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		exitOn(runTraced(*traceOut, *procs, *blockSize, *n, *linkCap))
+		exitOn(runTraced(*traceOut, *procs, *blockSize, *n, *linkCap, engine))
 		return
 	}
 
@@ -125,14 +135,14 @@ func main() {
 // runTraced pipelines the Tomcatv forward elimination across ranks with
 // tracing on, prints the summary, validates the schedule, and writes the
 // Chrome trace.
-func runTraced(path string, procs, block, n, linkCap int) error {
+func runTraced(path string, procs, block, n, linkCap int, engine wavefront.KernelEngine) error {
 	t, err := workload.NewTomcatv(n, field.RowMajor)
 	if err != nil {
 		return err
 	}
 	rec := wavefront.NewTraceRecorder(procs)
 	stats, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
-		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec, LinkCapacity: linkCap})
+		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec, LinkCapacity: linkCap, Kernel: engine})
 	if err != nil {
 		return err
 	}

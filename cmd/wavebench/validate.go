@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+
+	"wavefront"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+	"wavefront/internal/workload"
+)
+
+// parseEngine maps the -kernel flag to an engine selector.
+func parseEngine(s string) (wavefront.KernelEngine, error) {
+	switch s {
+	case "tape":
+		return wavefront.KernelTape, nil
+	case "closure":
+		return wavefront.KernelClosure, nil
+	}
+	return 0, fmt.Errorf("wavebench: unknown -kernel %q (want tape or closure)", s)
+}
+
+// runValidate pins the engines' bit-identity contract on the paper's three
+// workloads: the closure path run serially is the reference, and the tape
+// engine — serial and pipelined at p = 1, 2, 4 — must reproduce every array
+// bit for bit (as must the pipelined closure path). Any disagreement is a
+// check failure (exit 1).
+func runValidate(n, block int) error {
+	procs := []int{1, 2, 4}
+	mismatches := 0
+	report := func(wl, leg, name string, diff float64) {
+		mismatches++
+		fmt.Printf("MISMATCH %-8s %-16s %-8s max|diff|=%g\n", wl, leg, name, diff)
+	}
+
+	// Tomcatv: the full five-block step, iterated.
+	{
+		iters := 3
+		ref, err := workload.NewTomcatv(n, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		if err := tomcatvSerial(ref, iters, scan.EngineClosure); err != nil {
+			return err
+		}
+		tape, err := workload.NewTomcatv(n, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		if err := tomcatvSerial(tape, iters, scan.EngineTape); err != nil {
+			return err
+		}
+		compareArrays("tomcatv", "serial tape", ref.All, ref.Env.Arrays, tape.Env.Arrays, report)
+		for _, p := range procs {
+			for _, eng := range []wavefront.KernelEngine{wavefront.KernelTape, wavefront.KernelClosure} {
+				w, _ := workload.NewTomcatv(n, field.RowMajor)
+				blocks := w.Blocks()
+				sess, err := wavefront.NewSession(w.Env, blocks, wavefront.SessionConfig{
+					Procs: p, Domain: w.All, Block: block, Kernel: eng})
+				if err != nil {
+					return err
+				}
+				err = sess.Run(func(r *wavefront.Rank) error {
+					for i := 0; i < iters; i++ {
+						for _, b := range blocks {
+							if err := r.Exec(b); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				compareArrays("tomcatv", fmt.Sprintf("p=%d %s", p, engName(eng)), ref.All, ref.Env.Arrays, w.Env.Arrays, report)
+			}
+		}
+	}
+
+	// SIMPLE: hydro + conduction step, iterated.
+	{
+		sn, steps := 32, 3
+		ref, err := workload.NewSimple(sn, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		if err := simpleSerial(ref, steps, scan.EngineClosure); err != nil {
+			return err
+		}
+		tape, err := workload.NewSimple(sn, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		if err := simpleSerial(tape, steps, scan.EngineTape); err != nil {
+			return err
+		}
+		compareArrays("simple", "serial tape", ref.All, ref.Env.Arrays, tape.Env.Arrays, report)
+		for _, p := range procs {
+			for _, eng := range []wavefront.KernelEngine{wavefront.KernelTape, wavefront.KernelClosure} {
+				w, _ := workload.NewSimple(sn, field.RowMajor)
+				blocks := w.Blocks()
+				sess, err := wavefront.NewSession(w.Env, blocks, wavefront.SessionConfig{
+					Procs: p, Domain: w.All, Block: 5, Kernel: eng})
+				if err != nil {
+					return err
+				}
+				err = sess.Run(func(r *wavefront.Rank) error {
+					for i := 0; i < steps; i++ {
+						for _, b := range blocks {
+							if err := r.Exec(b); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				compareArrays("simple", fmt.Sprintf("p=%d %s", p, engName(eng)), ref.All, ref.Env.Arrays, w.Env.Arrays, report)
+			}
+		}
+	}
+
+	// Sweep3D: all eight octants once, rank 3.
+	{
+		sn := 10
+		ref, err := workload.NewSweep(sn, 3, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		if err := sweepSerial(ref, scan.EngineClosure); err != nil {
+			return err
+		}
+		tape, err := workload.NewSweep(sn, 3, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		if err := sweepSerial(tape, scan.EngineTape); err != nil {
+			return err
+		}
+		compareArrays("sweep3d", "serial tape", ref.Inner, ref.Env.Arrays, tape.Env.Arrays, report)
+		for _, p := range procs {
+			for _, eng := range []wavefront.KernelEngine{wavefront.KernelTape, wavefront.KernelClosure} {
+				w, _ := workload.NewSweep(sn, 3, field.RowMajor)
+				var blocks []*wavefront.Block
+				for _, dirs := range w.Octants() {
+					blocks = append(blocks, w.OctantBlock(dirs))
+				}
+				sess, err := wavefront.NewSession(w.Env, blocks, wavefront.SessionConfig{
+					Procs: p, Domain: w.Inner, Block: 3, Kernel: eng})
+				if err != nil {
+					return err
+				}
+				err = sess.Run(func(r *wavefront.Rank) error {
+					for _, b := range blocks {
+						if err := r.Exec(b); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				compareArrays("sweep3d", fmt.Sprintf("p=%d %s", p, engName(eng)), ref.Inner, ref.Env.Arrays, w.Env.Arrays, report)
+			}
+		}
+	}
+
+	if mismatches > 0 {
+		return fmt.Errorf("%w: %d engine disagreement(s)", errCheckFailed, mismatches)
+	}
+	fmt.Println("validate: tape and closure engines bit-identical on tomcatv, simple, sweep3d (serial and p=1/2/4)")
+	return nil
+}
+
+func engName(e wavefront.KernelEngine) string {
+	if e == wavefront.KernelClosure {
+		return "closure"
+	}
+	return "tape"
+}
+
+func tomcatvSerial(t *workload.Tomcatv, iters int, eng scan.Engine) error {
+	for i := 0; i < iters; i++ {
+		for _, b := range t.Blocks() {
+			if err := scan.Exec(b, t.Env, scan.ExecOptions{Engine: eng}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func simpleSerial(s *workload.Simple, steps int, eng scan.Engine) error {
+	for i := 0; i < steps; i++ {
+		for _, b := range s.Blocks() {
+			if err := scan.Exec(b, s.Env, scan.ExecOptions{Engine: eng}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sweepSerial(s *workload.Sweep, eng scan.Engine) error {
+	for _, dirs := range s.Octants() {
+		if err := scan.Exec(s.OctantBlock(dirs), s.Env, scan.ExecOptions{Engine: eng}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func compareArrays(wl, leg string, region grid.Region, ref, got map[string]*field.Field, report func(wl, leg, name string, diff float64)) {
+	for name, rf := range ref {
+		gf, ok := got[name]
+		if !ok {
+			report(wl, leg, name, -1)
+			continue
+		}
+		if d := gf.MaxAbsDiff(region, rf); d != 0 {
+			report(wl, leg, name, d)
+		}
+	}
+}

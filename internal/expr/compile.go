@@ -39,13 +39,28 @@ func Compile(n Node, env Env) (Compiled, error) {
 		if t.Shift == nil || t.Shift.Zero() {
 			return func(p grid.Point) float64 { return f.At(p) }, nil
 		}
-		shift := append(grid.Direction(nil), t.Shift...)
+		// Fold the shift into a constant flat-offset delta so evaluation
+		// never builds a shifted point. Indexing is computed from the raw
+		// strides rather than Field.Index: p itself may lie outside the
+		// field's bounds as long as p+shift is inside (the executors bound-
+		// check the shifted region up front), and Index would reject it.
+		data := f.Data()
+		rank := f.Rank()
+		if len(t.Shift) != rank {
+			return nil, fmt.Errorf("expr: reference %s has shift rank %d, field rank %d", t, len(t.Shift), rank)
+		}
+		strides := make([]int, rank)
+		off0 := 0
+		for d := 0; d < rank; d++ {
+			strides[d] = f.Stride(d)
+			off0 += (t.Shift[d] - f.Bounds().Dim(d).Lo) * strides[d]
+		}
 		return func(p grid.Point) float64 {
-			q := make(grid.Point, len(p))
-			for i := range p {
-				q[i] = p[i] + shift[i]
+			off := off0
+			for d, x := range p {
+				off += x * strides[d]
 			}
-			return f.At(q)
+			return data[off]
 		}, nil
 	case Unary:
 		x, err := Compile(t.X, env)

@@ -1,0 +1,26 @@
+package kernel
+
+import "math"
+
+// These mirror the wrappers in internal/expr exactly: both engines must go
+// through the same float64 call sequence for bit-identical results.
+
+func sqrt(x float64) float64   { return math.Sqrt(x) }
+func abs(x float64) float64    { return math.Abs(x) }
+func exp(x float64) float64    { return math.Exp(x) }
+func logf(x float64) float64   { return math.Log(x) }
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,843 @@
+// Package kernel lowers compiled statement right-hand sides into flat
+// instruction tapes executed over whole inner-loop spans at a time — the
+// fused, unit-stride loop bodies the paper credits for the serial speedups
+// of Figure 6 — instead of dispatching a tree of per-point closures.
+//
+// A Program is the lowered form of one block: a shared table of the fields
+// the statements touch, plus one tape per statement. Each tape instruction
+// reads spans (load at a constant flat offset from the current loop
+// position), broadcast constants, or combines scratch registers with
+// arithmetic and intrinsics; the final register stores back to the
+// statement's destination field. Registers are full inner-loop spans leased
+// from a bufpool (or plainly allocated when no pool is attached) and
+// retained across runs, so the steady state allocates nothing.
+//
+// Span legality comes from the block's unconstrained distance vectors: a
+// dimension v is span-executable iff every non-zero UDV either has a zero
+// component along v or a non-zero component along some other dimension (in
+// which case an outer loop carries it and no dependence connects two points
+// of one span). A UDV non-zero only along v — a primed reference whose
+// shift lies in the inner dimension — forces the scalar tape: the same
+// instructions executed point at a time in exactly the derived loop order,
+// still free of per-point closure calls and grid.Point allocations.
+package kernel
+
+import (
+	"fmt"
+
+	"wavefront/internal/bufpool"
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+// op enumerates the tape ISA. Arithmetic comes in register-register and
+// register-immediate forms; the non-commutative ops carry both immediate
+// sides. There is deliberately no fused multiply-add: an fma computes with
+// a single rounding where the closure path rounds twice, so including it
+// would break the bit-identity contract between the engines.
+type op uint8
+
+const (
+	opLoad  op = iota // dst[e] = field[base+off+e*step]
+	opConst           // dst[e] = imm
+	opAdd             // dst = a + b
+	opSub             // dst = a - b
+	opMul             // dst = a * b
+	opDiv             // dst = a / b
+	opAddImm          // dst = a + imm
+	opSubImmR         // dst = a - imm
+	opSubImmL         // dst = imm - a
+	opMulImm          // dst = a * imm
+	opDivImmR         // dst = a / imm
+	opDivImmL         // dst = imm / a
+	opNeg             // dst = -a
+	opSqrt
+	opAbs
+	opExp
+	opLog
+	opMin
+	opMax
+	opPow
+	opMinImm
+	opMaxImm
+	opPowImmR // dst = pow(a, imm)
+	opPowImmL // dst = pow(imm, a)
+)
+
+// instr is one tape instruction. dst/a/b index scratch registers; fld
+// indexes the program's field table; off is the constant flat-offset delta
+// of a shifted load (sum of shift[d]*stride[d] over the field's dims).
+type instr struct {
+	op   op
+	dst  uint16
+	a, b uint16
+	fld  uint16
+	off  int
+	imm  float64
+}
+
+// stmtTape is one statement's lowered form: run the instructions, then
+// store register out to the destination field (unshifted LHS).
+type stmtTape struct {
+	ins []instr
+	out uint16
+	dst uint16 // destination's field-table index
+}
+
+// Program is a block lowered against concrete fields. It is not safe for
+// concurrent use; the pipelined runtime builds one per rank.
+type Program struct {
+	rank    int
+	fields  []*field.Field
+	data    [][]float64
+	strides [][]int // per field, per dimension
+	lows    [][]int
+	stmts   []stmtTape
+	nregs   int
+	spanOK  []bool // per dimension, from the block's UDVs
+
+	// Scratch state. regs are leased spans retained across runs; base is
+	// the per-field flat offset of the current outer-loop position; saved
+	// holds one base snapshot per loop level for the odometer recursion.
+	pool   *bufpool.Pool
+	prank  int
+	regs   [][]float64
+	regCap int
+	base   []int
+	saved  [][]int
+}
+
+// Lower builds the program for a block's statements: dsts[i] is the
+// (unshifted) destination field of statement i and rhs[i] its expression.
+// udvs are the block's dependence distance vectors, which determine span
+// legality per dimension. Scalars are captured from env at lower time,
+// exactly as expr.Compile captures them. An error means the block is not
+// tape-executable (e.g. a referenced field's rank differs from the region's)
+// and the caller should fall back to the closure engine.
+func Lower(rank int, dsts []*field.Field, rhs []expr.Node, env expr.Env, udvs []dep.UDV) (*Program, error) {
+	if rank < 1 {
+		return nil, fmt.Errorf("kernel: rank must be >= 1, got %d", rank)
+	}
+	if len(dsts) != len(rhs) {
+		return nil, fmt.Errorf("kernel: %d destinations for %d statements", len(dsts), len(rhs))
+	}
+	pr := &Program{rank: rank}
+	for i := range rhs {
+		di, err := pr.fieldIndex(dsts[i])
+		if err != nil {
+			return nil, err
+		}
+		lw := &lowerer{pr: pr, env: env}
+		v, err := lw.lower(rhs[i])
+		if err != nil {
+			return nil, err
+		}
+		out := lw.materialize(v)
+		pr.stmts = append(pr.stmts, stmtTape{ins: lw.ins, out: out, dst: di})
+		if lw.high > pr.nregs {
+			pr.nregs = lw.high
+		}
+	}
+	pr.spanOK = spanMask(rank, udvs)
+	pr.base = make([]int, len(pr.fields))
+	pr.saved = make([][]int, rank)
+	for i := range pr.saved {
+		pr.saved[i] = make([]int, len(pr.fields))
+	}
+	return pr, nil
+}
+
+// SpanMask reports, per dimension, whether the dimension may legally run as
+// whole spans: every non-zero UDV must either not move along it or also
+// move along another dimension (so an outer loop carries the dependence).
+func SpanMask(rank int, udvs []dep.UDV) []bool { return spanMask(rank, udvs) }
+
+func spanMask(rank int, udvs []dep.UDV) []bool {
+	ok := make([]bool, rank)
+	for v := range ok {
+		ok[v] = true
+		for _, u := range udvs {
+			if len(u.Dist) != rank || u.Dist[v] == 0 {
+				continue
+			}
+			solo := true
+			for d, c := range u.Dist {
+				if d != v && c != 0 {
+					solo = false
+					break
+				}
+			}
+			if solo {
+				ok[v] = false
+				break
+			}
+		}
+	}
+	return ok
+}
+
+// SpanOK reports whether dimension v may run as whole spans.
+func (pr *Program) SpanOK(v int) bool { return pr.spanOK[v] }
+
+// Registers returns the scratch register count (for tests and sizing).
+func (pr *Program) Registers() int { return pr.nregs }
+
+// fieldIndex interns f into the program's field table.
+func (pr *Program) fieldIndex(f *field.Field) (uint16, error) {
+	if f == nil {
+		return 0, fmt.Errorf("kernel: nil field")
+	}
+	if f.Rank() != pr.rank {
+		return 0, fmt.Errorf("kernel: field %q has rank %d, region has rank %d", f.Name(), f.Rank(), pr.rank)
+	}
+	for i, g := range pr.fields {
+		if g == f {
+			return uint16(i), nil
+		}
+	}
+	if len(pr.fields) > 0xffff {
+		return 0, fmt.Errorf("kernel: too many fields")
+	}
+	strides := make([]int, pr.rank)
+	lows := make([]int, pr.rank)
+	for d := 0; d < pr.rank; d++ {
+		strides[d] = f.Stride(d)
+		lows[d] = f.Bounds().Dim(d).Lo
+	}
+	pr.fields = append(pr.fields, f)
+	pr.data = append(pr.data, f.Data())
+	pr.strides = append(pr.strides, strides)
+	pr.lows = append(pr.lows, lows)
+	return uint16(len(pr.fields) - 1), nil
+}
+
+// val is a lowering-time value: a scratch register or a compile-time
+// constant (literal or captured scalar). Constants fold through arithmetic
+// with the same float64 operations the closure engine performs per point,
+// so folding once at lower time is bit-identical.
+type val struct {
+	reg   int // -1 for a constant
+	imm   float64
+	konst bool
+}
+
+// lowerer emits one statement's tape with stack-discipline register reuse:
+// registers free in LIFO order, so a tree of depth d needs O(d) registers.
+type lowerer struct {
+	pr   *Program
+	env  expr.Env
+	ins  []instr
+	next int
+	high int
+}
+
+func (lw *lowerer) alloc() uint16 {
+	r := lw.next
+	lw.next++
+	if lw.next > lw.high {
+		lw.high = lw.next
+	}
+	if r > 0xffff {
+		panic("kernel: register overflow")
+	}
+	return uint16(r)
+}
+
+func (lw *lowerer) free(v val) {
+	if !v.konst {
+		lw.next--
+	}
+}
+
+func (lw *lowerer) emit(in instr) { lw.ins = append(lw.ins, in) }
+
+// materialize forces v into a register (emitting a broadcast for constants).
+func (lw *lowerer) materialize(v val) uint16 {
+	if !v.konst {
+		return uint16(v.reg)
+	}
+	dst := lw.alloc()
+	lw.emit(instr{op: opConst, dst: dst, imm: v.imm})
+	return dst
+}
+
+func (lw *lowerer) lower(n expr.Node) (val, error) {
+	switch t := n.(type) {
+	case expr.Const:
+		return val{konst: true, imm: float64(t)}, nil
+	case expr.Scalar:
+		v, ok := lw.env.Scalar(string(t))
+		if !ok {
+			return val{}, fmt.Errorf("kernel: unbound scalar %q", string(t))
+		}
+		return val{konst: true, imm: v}, nil
+	case expr.ArrayRef:
+		f := lw.env.Array(t.Name)
+		if f == nil {
+			return val{}, fmt.Errorf("kernel: unbound array %q", t.Name)
+		}
+		fi, err := lw.pr.fieldIndex(f)
+		if err != nil {
+			return val{}, err
+		}
+		off := 0
+		if t.Shift != nil {
+			if len(t.Shift) != lw.pr.rank {
+				return val{}, fmt.Errorf("kernel: reference %s has shift rank %d, want %d", t, len(t.Shift), lw.pr.rank)
+			}
+			for d, c := range t.Shift {
+				off += c * lw.pr.strides[fi][d]
+			}
+		}
+		dst := lw.alloc()
+		lw.emit(instr{op: opLoad, dst: dst, fld: fi, off: off})
+		return val{reg: int(dst)}, nil
+	case expr.Unary:
+		if t.Op != expr.Neg {
+			return val{}, fmt.Errorf("kernel: bad unary op %v", t.Op)
+		}
+		x, err := lw.lower(t.X)
+		if err != nil {
+			return val{}, err
+		}
+		if x.konst {
+			return val{konst: true, imm: -x.imm}, nil
+		}
+		lw.free(x)
+		dst := lw.alloc()
+		lw.emit(instr{op: opNeg, dst: dst, a: uint16(x.reg)})
+		return val{reg: int(dst)}, nil
+	case expr.Binary:
+		return lw.lowerBinary(t)
+	case expr.Call:
+		return lw.lowerCall(t)
+	}
+	return val{}, fmt.Errorf("kernel: unknown node type %T", n)
+}
+
+func (lw *lowerer) lowerBinary(t expr.Binary) (val, error) {
+	l, err := lw.lower(t.L)
+	if err != nil {
+		return val{}, err
+	}
+	r, err := lw.lower(t.R)
+	if err != nil {
+		return val{}, err
+	}
+	if l.konst && r.konst {
+		switch t.Op {
+		case expr.Add:
+			return val{konst: true, imm: l.imm + r.imm}, nil
+		case expr.Sub:
+			return val{konst: true, imm: l.imm - r.imm}, nil
+		case expr.Mul:
+			return val{konst: true, imm: l.imm * r.imm}, nil
+		case expr.Div:
+			return val{konst: true, imm: l.imm / r.imm}, nil
+		}
+		return val{}, fmt.Errorf("kernel: bad binary op %v", t.Op)
+	}
+	// Free operands (LIFO), then allocate the result; the result may
+	// therefore reuse an operand's register, which the executors allow
+	// because every instruction reads its inputs before writing dst.
+	lw.free(r)
+	lw.free(l)
+	dst := lw.alloc()
+	switch {
+	case !l.konst && !r.konst:
+		var o op
+		switch t.Op {
+		case expr.Add:
+			o = opAdd
+		case expr.Sub:
+			o = opSub
+		case expr.Mul:
+			o = opMul
+		case expr.Div:
+			o = opDiv
+		default:
+			return val{}, fmt.Errorf("kernel: bad binary op %v", t.Op)
+		}
+		lw.emit(instr{op: o, dst: dst, a: uint16(l.reg), b: uint16(r.reg)})
+	case r.konst:
+		var o op
+		switch t.Op {
+		case expr.Add:
+			o = opAddImm
+		case expr.Sub:
+			o = opSubImmR
+		case expr.Mul:
+			o = opMulImm
+		case expr.Div:
+			o = opDivImmR
+		default:
+			return val{}, fmt.Errorf("kernel: bad binary op %v", t.Op)
+		}
+		lw.emit(instr{op: o, dst: dst, a: uint16(l.reg), imm: r.imm})
+	default: // l.konst
+		var o op
+		switch t.Op {
+		case expr.Add:
+			o = opAddImm
+		case expr.Sub:
+			o = opSubImmL
+		case expr.Mul:
+			o = opMulImm
+		case expr.Div:
+			o = opDivImmL
+		default:
+			return val{}, fmt.Errorf("kernel: bad binary op %v", t.Op)
+		}
+		lw.emit(instr{op: o, dst: dst, a: uint16(r.reg), imm: l.imm})
+	}
+	return val{reg: int(dst)}, nil
+}
+
+func (lw *lowerer) lowerCall(t expr.Call) (val, error) {
+	if want := t.Fn.Arity(); want < 0 {
+		return val{}, fmt.Errorf("kernel: unknown intrinsic %q", t.Fn)
+	} else if len(t.Args) != want {
+		return val{}, fmt.Errorf("kernel: %s takes %d arguments, got %d", t.Fn, want, len(t.Args))
+	}
+	switch t.Fn {
+	case expr.Sqrt, expr.Abs, expr.Exp, expr.Log:
+		x, err := lw.lower(t.Args[0])
+		if err != nil {
+			return val{}, err
+		}
+		var o op
+		var f func(float64) float64
+		switch t.Fn {
+		case expr.Sqrt:
+			o, f = opSqrt, sqrt
+		case expr.Abs:
+			o, f = opAbs, abs
+		case expr.Exp:
+			o, f = opExp, exp
+		default:
+			o, f = opLog, logf
+		}
+		if x.konst {
+			return val{konst: true, imm: f(x.imm)}, nil
+		}
+		lw.free(x)
+		dst := lw.alloc()
+		lw.emit(instr{op: o, dst: dst, a: uint16(x.reg)})
+		return val{reg: int(dst)}, nil
+	}
+	// Two-argument intrinsics.
+	l, err := lw.lower(t.Args[0])
+	if err != nil {
+		return val{}, err
+	}
+	r, err := lw.lower(t.Args[1])
+	if err != nil {
+		return val{}, err
+	}
+	if l.konst && r.konst {
+		switch t.Fn {
+		case expr.Min:
+			return val{konst: true, imm: minf(l.imm, r.imm)}, nil
+		case expr.Max:
+			return val{konst: true, imm: maxf(l.imm, r.imm)}, nil
+		}
+		return val{konst: true, imm: pow(l.imm, r.imm)}, nil
+	}
+	lw.free(r)
+	lw.free(l)
+	dst := lw.alloc()
+	switch {
+	case !l.konst && !r.konst:
+		var o op
+		switch t.Fn {
+		case expr.Min:
+			o = opMin
+		case expr.Max:
+			o = opMax
+		default:
+			o = opPow
+		}
+		lw.emit(instr{op: o, dst: dst, a: uint16(l.reg), b: uint16(r.reg)})
+	case r.konst:
+		var o op
+		switch t.Fn {
+		case expr.Min:
+			o = opMinImm
+		case expr.Max:
+			o = opMaxImm
+		default:
+			o = opPowImmR
+		}
+		lw.emit(instr{op: o, dst: dst, a: uint16(l.reg), imm: r.imm})
+	default: // l.konst; min and max commute, pow does not
+		var o op
+		switch t.Fn {
+		case expr.Min:
+			o = opMinImm
+		case expr.Max:
+			o = opMaxImm
+		default:
+			o = opPowImmL
+		}
+		lw.emit(instr{op: o, dst: dst, a: uint16(r.reg), imm: l.imm})
+	}
+	return val{reg: int(dst)}, nil
+}
+
+// SetScratch routes register leases through pool under rank's shard. Any
+// registers already leased return to their previous source first. A nil
+// pool (the default) allocates registers plainly and lets the GC reclaim
+// them with the program.
+func (pr *Program) SetScratch(pool *bufpool.Pool, rank int) {
+	if pr.pool == pool && pr.prank == rank {
+		return
+	}
+	pr.ReleaseScratch()
+	pr.pool = pool
+	pr.prank = rank
+}
+
+// ReleaseScratch returns the leased registers to the pool. The next Run
+// re-leases; callers that track pool.Outstanding should release when a
+// run retires.
+func (pr *Program) ReleaseScratch() {
+	if pr.regs == nil {
+		return
+	}
+	for i := range pr.regs {
+		pr.pool.Put(pr.prank, pr.regs[i])
+		pr.regs[i] = nil
+	}
+	pr.regs = nil
+	pr.regCap = 0
+}
+
+func (pr *Program) ensureRegs(n int) {
+	if pr.regs != nil && pr.regCap >= n {
+		return
+	}
+	pr.ReleaseScratch()
+	nr := pr.nregs
+	if nr < 1 {
+		nr = 1
+	}
+	pr.regs = make([][]float64, nr)
+	for i := range pr.regs {
+		pr.regs[i] = pr.pool.Get(pr.prank, n)
+	}
+	pr.regCap = n
+}
+
+// Run executes the program over region in the derived loop order. When the
+// innermost dimension is span-executable the statements run one at a time
+// over whole spans (always ascending — legal, since no dependence connects
+// two points of a span); otherwise the scalar tape runs the statements
+// interleaved point by point in exactly the loop's directions.
+func (pr *Program) Run(region grid.Region, loop dep.LoopSpec) {
+	if region.Rank() != pr.rank {
+		panic(fmt.Sprintf("kernel: region rank %d, program rank %d", region.Rank(), pr.rank))
+	}
+	for d := 0; d < pr.rank; d++ {
+		if region.Dim(d).Empty() {
+			return
+		}
+	}
+	v := loop.Perm[len(loop.Perm)-1]
+	span := pr.spanOK[v]
+	// Initialize each field's flat offset at the loop's starting corner. In
+	// span mode the inner dimension always starts at its low end.
+	for fi := range pr.fields {
+		off := 0
+		for d := 0; d < pr.rank; d++ {
+			r := region.Dim(d)
+			x := r.Lo
+			if loop.Dirs[d] == grid.HighToLow && !(span && d == v) {
+				x = r.Lo + (r.Size()-1)*r.Stride
+			}
+			off += (x - pr.lows[fi][d]) * pr.strides[fi][d]
+		}
+		pr.base[fi] = off
+	}
+	if span {
+		d := region.Dim(v)
+		pr.ensureRegs(d.Size())
+		pr.runSpan(region, loop, 0, v, d.Size(), d.Stride)
+	} else {
+		pr.ensureRegs(1)
+		pr.runScalar(region, loop, 0)
+	}
+}
+
+// runSpan is the outer-loop odometer: levels 0..rank-2 step the per-field
+// base offsets; the innermost level executes whole spans.
+func (pr *Program) runSpan(region grid.Region, loop dep.LoopSpec, lvl, v, n, vstride int) {
+	if lvl == pr.rank-1 {
+		pr.execSpans(v, n, vstride)
+		return
+	}
+	d := loop.Perm[lvl]
+	r := region.Dim(d)
+	cnt := r.Size()
+	step := r.Stride
+	if loop.Dirs[d] == grid.HighToLow {
+		step = -step
+	}
+	save := pr.saved[lvl]
+	copy(save, pr.base)
+	for i := 0; ; i++ {
+		pr.runSpan(region, loop, lvl+1, v, n, vstride)
+		if i+1 >= cnt {
+			break
+		}
+		for fi := range pr.base {
+			pr.base[fi] += step * pr.strides[fi][d]
+		}
+	}
+	copy(pr.base, save)
+}
+
+// execSpans runs every statement's tape over one span of n points along
+// dimension v. Statement order is preserved at span granularity, which the
+// span-legality mask guarantees is equivalent to the per-point order.
+func (pr *Program) execSpans(v, n, vstride int) {
+	for si := range pr.stmts {
+		st := &pr.stmts[si]
+		for ii := range st.ins {
+			in := &st.ins[ii]
+			dst := pr.regs[in.dst][:n]
+			switch in.op {
+			case opLoad:
+				src := pr.data[in.fld]
+				b := pr.base[in.fld] + in.off
+				if step := pr.strides[in.fld][v] * vstride; step == 1 {
+					copy(dst, src[b:b+n])
+				} else {
+					for e := range dst {
+						dst[e] = src[b+e*step]
+					}
+				}
+			case opConst:
+				imm := in.imm
+				for e := range dst {
+					dst[e] = imm
+				}
+			case opAdd:
+				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
+				for e := range dst {
+					dst[e] = a[e] + b[e]
+				}
+			case opSub:
+				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
+				for e := range dst {
+					dst[e] = a[e] - b[e]
+				}
+			case opMul:
+				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
+				for e := range dst {
+					dst[e] = a[e] * b[e]
+				}
+			case opDiv:
+				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
+				for e := range dst {
+					dst[e] = a[e] / b[e]
+				}
+			case opAddImm:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = a[e] + imm
+				}
+			case opSubImmR:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = a[e] - imm
+				}
+			case opSubImmL:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = imm - a[e]
+				}
+			case opMulImm:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = a[e] * imm
+				}
+			case opDivImmR:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = a[e] / imm
+				}
+			case opDivImmL:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = imm / a[e]
+				}
+			case opNeg:
+				a := pr.regs[in.a][:n]
+				for e := range dst {
+					dst[e] = -a[e]
+				}
+			case opSqrt:
+				a := pr.regs[in.a][:n]
+				for e := range dst {
+					dst[e] = sqrt(a[e])
+				}
+			case opAbs:
+				a := pr.regs[in.a][:n]
+				for e := range dst {
+					dst[e] = abs(a[e])
+				}
+			case opExp:
+				a := pr.regs[in.a][:n]
+				for e := range dst {
+					dst[e] = exp(a[e])
+				}
+			case opLog:
+				a := pr.regs[in.a][:n]
+				for e := range dst {
+					dst[e] = logf(a[e])
+				}
+			case opMin:
+				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
+				for e := range dst {
+					dst[e] = minf(a[e], b[e])
+				}
+			case opMax:
+				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
+				for e := range dst {
+					dst[e] = maxf(a[e], b[e])
+				}
+			case opPow:
+				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
+				for e := range dst {
+					dst[e] = pow(a[e], b[e])
+				}
+			case opMinImm:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = minf(a[e], imm)
+				}
+			case opMaxImm:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = maxf(a[e], imm)
+				}
+			case opPowImmR:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = pow(a[e], imm)
+				}
+			case opPowImmL:
+				a, imm := pr.regs[in.a][:n], in.imm
+				for e := range dst {
+					dst[e] = pow(imm, a[e])
+				}
+			}
+		}
+		out := pr.regs[st.out][:n]
+		dd := pr.data[st.dst]
+		b := pr.base[st.dst]
+		if step := pr.strides[st.dst][v] * vstride; step == 1 {
+			copy(dd[b:b+n], out)
+		} else {
+			for e := range out {
+				dd[b+e*step] = out[e]
+			}
+		}
+	}
+}
+
+// runScalar is the scalar-tape odometer: all levels step base offsets, and
+// the innermost level executes every statement per point, interleaved, in
+// exactly the derived loop's directions.
+func (pr *Program) runScalar(region grid.Region, loop dep.LoopSpec, lvl int) {
+	d := loop.Perm[lvl]
+	r := region.Dim(d)
+	cnt := r.Size()
+	step := r.Stride
+	if loop.Dirs[d] == grid.HighToLow {
+		step = -step
+	}
+	save := pr.saved[lvl]
+	copy(save, pr.base)
+	inner := lvl == pr.rank-1
+	for i := 0; ; i++ {
+		if inner {
+			pr.execPoint()
+		} else {
+			pr.runScalar(region, loop, lvl+1)
+		}
+		if i+1 >= cnt {
+			break
+		}
+		for fi := range pr.base {
+			pr.base[fi] += step * pr.strides[fi][d]
+		}
+	}
+	copy(pr.base, save)
+}
+
+// execPoint runs every statement's tape at the current point through the
+// registers' element 0.
+func (pr *Program) execPoint() {
+	for si := range pr.stmts {
+		st := &pr.stmts[si]
+		for ii := range st.ins {
+			in := &st.ins[ii]
+			var x float64
+			switch in.op {
+			case opLoad:
+				x = pr.data[in.fld][pr.base[in.fld]+in.off]
+			case opConst:
+				x = in.imm
+			case opAdd:
+				x = pr.regs[in.a][0] + pr.regs[in.b][0]
+			case opSub:
+				x = pr.regs[in.a][0] - pr.regs[in.b][0]
+			case opMul:
+				x = pr.regs[in.a][0] * pr.regs[in.b][0]
+			case opDiv:
+				x = pr.regs[in.a][0] / pr.regs[in.b][0]
+			case opAddImm:
+				x = pr.regs[in.a][0] + in.imm
+			case opSubImmR:
+				x = pr.regs[in.a][0] - in.imm
+			case opSubImmL:
+				x = in.imm - pr.regs[in.a][0]
+			case opMulImm:
+				x = pr.regs[in.a][0] * in.imm
+			case opDivImmR:
+				x = pr.regs[in.a][0] / in.imm
+			case opDivImmL:
+				x = in.imm / pr.regs[in.a][0]
+			case opNeg:
+				x = -pr.regs[in.a][0]
+			case opSqrt:
+				x = sqrt(pr.regs[in.a][0])
+			case opAbs:
+				x = abs(pr.regs[in.a][0])
+			case opExp:
+				x = exp(pr.regs[in.a][0])
+			case opLog:
+				x = logf(pr.regs[in.a][0])
+			case opMin:
+				x = minf(pr.regs[in.a][0], pr.regs[in.b][0])
+			case opMax:
+				x = maxf(pr.regs[in.a][0], pr.regs[in.b][0])
+			case opPow:
+				x = pow(pr.regs[in.a][0], pr.regs[in.b][0])
+			case opMinImm:
+				x = minf(pr.regs[in.a][0], in.imm)
+			case opMaxImm:
+				x = maxf(pr.regs[in.a][0], in.imm)
+			case opPowImmR:
+				x = pow(pr.regs[in.a][0], in.imm)
+			case opPowImmL:
+				x = pow(in.imm, pr.regs[in.a][0])
+			}
+			pr.regs[in.dst][0] = x
+		}
+		pr.data[st.dst][pr.base[st.dst]] = pr.regs[st.out][0]
+	}
+}

@@ -48,6 +48,7 @@ const (
 
 	// pipeline runtime.
 	PipeTiles     = "pipeline_tiles_total"
+	PipePoints    = "pipeline_points_total" // grid points computed by kernels
 	PipeWaves     = "pipeline_wave_epochs_total"
 	PipeBusyNs    = "pipeline_busy_ns_total"
 	PipeWaitNs    = "pipeline_wait_ns_total"
@@ -57,6 +58,10 @@ const (
 	PipeFillNs    = "pipeline_fill_ns" // gauges: last run's phase split
 	PipeDrainNs   = "pipeline_drain_ns"
 	PipeSteadyNs  = "pipeline_steady_ns"
+	// KernelNsPerPoint is the last run's mean kernel compute cost per grid
+	// point (busy ns / points) — the figure of merit for the tape-vs-closure
+	// engine comparison.
+	KernelNsPerPoint = "kernel_ns_per_point"
 
 	// session layer (per-rank counters).
 	SessExchanges  = "session_halo_exchanges_total"

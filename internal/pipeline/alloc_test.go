@@ -91,6 +91,54 @@ func TestSteadyWaveZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyWaveZeroAllocsRank3 locks the same contract in for rank 3,
+// where the tape engine runs in forced-scalar mode (Sweep3D carries a
+// dependence along every axis): a pooled steady-state octant sweep must
+// not allocate either, single-rank and pipelined.
+func TestSteadyWaveZeroAllocsRank3(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	for _, procs := range []int{1, 2, 4} {
+		sw, err := workload.NewSweep(24, 3, field.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk := sw.OctantBlock(sw.Octants()[0])
+		cfg := SessionConfig{Procs: procs, Domain: sw.Inner, Block: 6,
+			Pool: bufpool.New(procs)}
+		sess, err := NewSession(sw.Env, []*scan.Block{blk}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var allocs float64
+		err = sess.Run(func(r *Rank) error {
+			exec := func() {
+				if err := r.Exec(blk); err != nil {
+					panic(err)
+				}
+			}
+			if r.ID() == 0 {
+				for i := 0; i < allocWarm; i++ {
+					exec()
+				}
+				allocs = testing.AllocsPerRun(allocRuns, exec)
+				return nil
+			}
+			for i := 0; i < allocWarm+allocRuns+1; i++ {
+				exec()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocs != 0 {
+			t.Errorf("procs=%d: rank-3 steady-state Exec allocated %.0f times per wave with pooling on, want 0", procs, allocs)
+		}
+	}
+}
+
 // TestSteadyWaveAllocBaseline documents the pooling-off cost on the same
 // schedule: every message leases a fresh buffer, so a multi-rank steady
 // wave must allocate. If this ever reads zero the zero-alloc test above

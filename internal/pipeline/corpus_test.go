@@ -74,6 +74,22 @@ func TestDifferentialCorpus(t *testing.T) {
 									seed, p, b, name, diff, blk)
 							}
 						}
+						// Engine leg: the default runs above use the span
+						// tape; the same cell forced onto the per-point
+						// closure reference path must stay bit-identical.
+						closEnv := genEnv(seed)
+						ccfg := Config{Procs: p, Block: b, WavefrontDim: d.w, TileDim: d.t,
+							Kernel: scan.EngineClosure}
+						if _, err := Run(blk, closEnv, ccfg); err != nil {
+							t.Fatalf("seed %d p=%d b=%d: closure-engine run failed where tape passed: %v\n%s",
+								seed, p, b, err, blk)
+						}
+						for _, name := range genNames {
+							if diff := closEnv.Arrays[name].MaxAbsDiff(bounds, parEnv.Arrays[name]); diff != 0 {
+								t.Errorf("seed %d p=%d b=%d: closure-engine array %q differs from tape by %g\n%s",
+									seed, p, b, name, diff, blk)
+							}
+						}
 					}
 					if err := trace.ValidateRecorder(cfg.Trace); err != nil {
 						t.Errorf("seed %d p=%d b=%d dims=(%d,%d): schedule validation failed: %v",

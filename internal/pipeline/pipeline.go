@@ -70,6 +70,10 @@ type Config struct {
 	// recycling pool must never see), so the pool is ignored when Faults
 	// is also set.
 	Pool *bufpool.Pool
+	// Kernel selects the execution engine for compiled kernels: the span
+	// tape by default, or scan.EngineClosure to force the per-point
+	// compiled-closure reference path (the A/B leg for validation).
+	Kernel scan.Engine
 	// AutoTune, when true and Metrics is non-nil, consults the drift
 	// monitor before planning: when the α/β/τ estimates rest on enough
 	// observations and predict that Block is mistuned by more than ~5%,
@@ -148,6 +152,11 @@ type plan struct {
 	halo map[string]haloSpec
 	// written arrays (gathered back at the end).
 	written map[string]bool
+	// engine selects the kernel execution strategy for every rank.
+	engine scan.Engine
+	// scratch, when non-nil, backs the tape engine's register leases (one
+	// shard per rank); released when the rank retires.
+	scratch *bufpool.Pool
 }
 
 type haloSpec struct {
@@ -297,7 +306,8 @@ func makePlan(b *scan.Block, env expr.Env, cfg Config) (*plan, error) {
 	var firstErr error
 	for _, wDim := range candidates {
 		pl := &plan{an: an, region: b.Region, p: cfg.Procs, block: cfg.Block, wDim: wDim,
-			pipeArrays: map[string]int{}, written: map[string]bool{}}
+			pipeArrays: map[string]int{}, written: map[string]bool{},
+			engine: cfg.Kernel, scratch: cfg.Pool}
 		pl.tDim = cfg.TileDim
 		if pl.tDim < 0 {
 			for _, d := range an.Class.ParallelDims() {

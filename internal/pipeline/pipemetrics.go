@@ -14,7 +14,7 @@ import (
 // *pipeMetrics disables everything.
 type pipeMetrics struct {
 	reg                             *metrics.Registry
-	tiles, waves                    *metrics.Counter
+	tiles, waves, points            *metrics.Counter
 	busyNs, waitNs                  *metrics.Counter
 	waveMsgs, waveElems             *metrics.Counter
 	exchanges, reductions, barriers *metrics.Counter
@@ -34,6 +34,7 @@ func newPipeMetrics(reg *metrics.Registry, p int) *pipeMetrics {
 		reg:        reg,
 		tiles:      reg.Counter(metrics.PipeTiles),
 		waves:      reg.Counter(metrics.PipeWaves),
+		points:     reg.Counter(metrics.PipePoints),
 		busyNs:     reg.Counter(metrics.PipeBusyNs),
 		waitNs:     reg.Counter(metrics.PipeWaitNs),
 		waveMsgs:   reg.Counter(metrics.PipeWaveMsgs),
@@ -56,7 +57,7 @@ func newPipeMetrics(reg *metrics.Registry, p int) *pipeMetrics {
 		metrics.ModelAlphaNs, metrics.ModelBetaNs, metrics.ModelElemNs,
 		metrics.ModelOptBlock, metrics.ModelPredictedNs, metrics.ModelPredActualNs,
 		metrics.ModelObservedNs, metrics.ModelDrift, metrics.ModelSamples,
-		metrics.PoolHitRatio, metrics.AllocsPerWave,
+		metrics.PoolHitRatio, metrics.AllocsPerWave, metrics.KernelNsPerPoint,
 	} {
 		reg.Gauge(name)
 	}
@@ -70,6 +71,7 @@ func (pm *pipeMetrics) now() int64 { return pm.reg.Now() }
 func (pm *pipeMetrics) tile(rank, elems int, start, end int64) {
 	d := end - start
 	pm.tiles.Add(rank, 1)
+	pm.points.Add(rank, int64(elems))
 	pm.busyNs.Add(rank, d)
 	pm.tileNs.Observe(rank, d)
 	pm.compCost.Observe(rank, float64(elems), float64(d))
@@ -135,6 +137,9 @@ func (pm *pipeMetrics) finishRun(nW, nT, p, b int, elapsed time.Duration) metric
 			steady = 0
 		}
 		pm.reg.Gauge(metrics.PipeSteadyNs).Set(float64(steady))
+	}
+	if pts := pm.points.Value(); pts > 0 {
+		pm.reg.Gauge(metrics.KernelNsPerPoint).Set(float64(pm.busyNs.Value()) / float64(pts))
 	}
 	if b < 1 {
 		b = nT

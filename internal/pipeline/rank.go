@@ -99,6 +99,11 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 	if err != nil {
 		return err
 	}
+	kern.SetEngine(pl.engine)
+	kern.SetScratch(pl.scratch, rank)
+	// Registers leased from the shared pool go back when the rank retires
+	// so post-run Outstanding() audits see a drained pool.
+	defer kern.ReleaseScratch()
 
 	hasUp := rank > 0 && len(pl.pipeNames) > 0
 	hasDown := rank < pl.p-1 && len(pl.pipeNames) > 0

@@ -112,6 +112,10 @@ type SessionConfig struct {
 	// decision, and switch tilings together at a wave boundary. 0 (the
 	// default) retunes only between Runs.
 	AutoTuneEvery int
+	// Kernel selects the execution engine for compiled kernels: the span
+	// tape by default, or scan.EngineClosure to force the per-point
+	// compiled-closure reference path (the A/B leg for validation).
+	Kernel scan.Engine
 }
 
 // SessionStats summarizes a finished Run.
@@ -385,6 +389,12 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
 		rk, err := s.newRank(e)
+		if rk != nil {
+			// Pool-leased tape registers go back when the rank's sweep ends
+			// — error paths included — so post-run Outstanding() audits see
+			// a drained pool. Kernels persist and re-lease next Run.
+			defer rk.releaseScratch()
+		}
 		barrierT0 := tr.Now()
 		var mBar0 int64
 		if pm != nil {
@@ -704,6 +714,8 @@ func (r *Rank) Exec(b *scan.Block) error {
 			if err != nil {
 				return err
 			}
+			kern.SetEngine(r.sess.cfg.Kernel)
+			kern.SetScratch(r.sess.cfg.Pool, r.id)
 			r.kernels[b] = kern
 			for _, st := range b.Stmts {
 				for _, name := range expr.Scalars(st.RHS) {
@@ -1024,6 +1036,13 @@ func dedup(sorted []string) []string {
 }
 
 // gather writes every written array's slab back to the global fields.
+// releaseScratch returns every cached kernel's pool-leased tape registers.
+func (r *Rank) releaseScratch() {
+	for _, kern := range r.kernels {
+		kern.ReleaseScratch()
+	}
+}
+
 func (r *Rank) gather() error {
 	tr := r.tr()
 	gatherT0 := tr.Now()

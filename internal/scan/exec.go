@@ -25,6 +25,31 @@ type ExecOptions struct {
 	// TraceRank attributes serial spans when Trace is set (0 for a plain
 	// serial run; the executing rank when a parallel runtime delegates).
 	TraceRank int
+	// Engine selects the kernel execution strategy (tape by default, with
+	// EngineClosure forcing the per-point reference path).
+	Engine Engine
+}
+
+// SpanPreference returns a loop-derivation preference that biases each
+// destination field's contiguous (unit-stride) dimension innermost, so the
+// tape engine gets the longest legal unit-stride spans. The bias only
+// reorders dimensions the dependences leave free; Derive still satisfies
+// every UDV first.
+func SpanPreference(b *Block, env expr.Env) dep.Preference {
+	pref := dep.Preference{PreferLow: true}
+	for _, s := range b.Stmts {
+		if f := env.Array(s.LHS.Name); f != nil {
+			rank := f.Rank()
+			for d := 0; d < rank; d++ {
+				if f.Stride(d) == 1 {
+					pref.Innermost = append(pref.Innermost, d)
+					break
+				}
+			}
+			break
+		}
+	}
+	return pref
 }
 
 // Exec runs the block serially against env. Scan blocks execute as a single
@@ -40,7 +65,7 @@ func Exec(b *Block, env expr.Env, opt ExecOptions) error {
 		if err != nil {
 			return err
 		}
-		return execFused(b, env, an.Loop, opt)
+		return execFused(b, env, an, opt)
 	case PlainKind:
 		for i := range b.Stmts {
 			sub := &Block{Kind: PlainKind, Region: b.Region, Stmts: b.Stmts[i : i+1]}
@@ -54,7 +79,7 @@ func Exec(b *Block, env expr.Env, opt ExecOptions) error {
 				}
 				continue
 			}
-			if err := execFused(sub, env, an.Loop, opt); err != nil {
+			if err := execFused(sub, env, an, opt); err != nil {
 				return err
 			}
 		}
@@ -105,14 +130,16 @@ func checkBounds(b *Block, env expr.Env) error {
 }
 
 // execFused runs the block's statements in a single fused loop nest with
-// the given structure, reading and writing fields in place.
-func execFused(b *Block, env expr.Env, loop dep.LoopSpec, opt ExecOptions) error {
-	k, err := NewKernel(b, env)
+// the analysis's loop structure, reading and writing fields in place. The
+// analysis's UDVs feed the kernel build so the dependence walk runs once.
+func execFused(b *Block, env expr.Env, an *Analysis, opt ExecOptions) error {
+	k, err := NewKernelDeps(b, env, an.UDVs)
 	if err != nil {
 		return err
 	}
+	k.SetEngine(opt.Engine)
 	k.Instrument(opt.Trace, opt.TraceRank)
-	k.Run(b.Region, loop)
+	k.Run(b.Region, an.Loop)
 	return nil
 }
 

@@ -1,11 +1,26 @@
 package scan
 
 import (
+	"wavefront/internal/bufpool"
 	"wavefront/internal/dep"
 	"wavefront/internal/expr"
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
+	"wavefront/internal/kernel"
 	"wavefront/internal/trace"
+)
+
+// Engine selects the kernel execution strategy.
+type Engine int8
+
+const (
+	// EngineTape (the default) executes lowered instruction tapes over
+	// whole inner-loop spans where the dependences allow, with a scalar
+	// tape otherwise. Blocks that cannot be lowered (unbound names,
+	// mismatched field ranks) silently fall back to the closure path.
+	EngineTape Engine = iota
+	// EngineClosure forces the per-point compiled-closure reference path.
+	EngineClosure
 )
 
 // Kernel is a block compiled against a concrete environment: the statement
@@ -14,14 +29,17 @@ import (
 // is how the pipelined runtime executes one tile at a time without
 // recompiling.
 type Kernel struct {
-	rank int
+	rank   int
+	engine Engine
 	// Tracing (nil = disabled): every Run records one fused-loop span.
 	tr     *trace.Recorder
 	trRank int
-	// Generic path.
+	// Tape engine (nil when the block could not be lowered).
+	prog *kernel.Program
+	// Generic closure path.
 	dst []*field.Field
 	rhs []expr.Compiled
-	// Rank-2 fast path (nil when unavailable).
+	// Rank-2 closure fast path (nil when unavailable).
 	rhs2 []expr.Compiled2
 	data [][]float64
 	base []int
@@ -30,8 +48,27 @@ type Kernel struct {
 }
 
 // NewKernel compiles the block's statements against env. Scalars are
-// captured at compile time.
+// captured at compile time. The dependence summary is recollected here; a
+// caller holding a fresh Analysis should use NewKernelDeps to avoid the
+// duplicate walk.
 func NewKernel(b *Block, env expr.Env) (*Kernel, error) {
+	if udvs, _, err := collectDeps(b); err == nil {
+		return NewKernelDeps(b, env, udvs)
+	}
+	// A block whose dependences don't collect would fail Analyze before
+	// ever running; compile the closure path anyway so construction stays
+	// total, with the tape unavailable.
+	return newKernel(b, env, nil, false)
+}
+
+// NewKernelDeps compiles the block like NewKernel but reuses the UDVs of a
+// prior Analyze (Analysis.UDVs) instead of recollecting them, so the span
+// legality the tape derives matches the loop derivation exactly.
+func NewKernelDeps(b *Block, env expr.Env, udvs []dep.UDV) (*Kernel, error) {
+	return newKernel(b, env, udvs, true)
+}
+
+func newKernel(b *Block, env expr.Env, udvs []dep.UDV, lower bool) (*Kernel, error) {
 	k := &Kernel{rank: b.Region.Rank()}
 	for _, s := range b.Stmts {
 		c, err := expr.Compile(s.RHS, env)
@@ -55,7 +92,44 @@ func NewKernel(b *Block, env expr.Env) (*Kernel, error) {
 			k.base = append(k.base, -f.Bounds().Dim(0).Lo*f.Stride(0)-f.Bounds().Dim(1).Lo*f.Stride(1))
 		}
 	}
+	// Lower to the tape engine. Lowering failures are not errors — the
+	// closure path above is the always-correct reference — so any block
+	// whose dependences or bindings the tape cannot express just runs on
+	// closures.
+	if lower {
+		rhs := make([]expr.Node, len(b.Stmts))
+		for i, s := range b.Stmts {
+			rhs[i] = s.RHS
+		}
+		if prog, err := kernel.Lower(k.rank, k.dst, rhs, env, udvs); err == nil {
+			k.prog = prog
+		}
+	}
 	return k, nil
+}
+
+// SetEngine selects the execution strategy for subsequent Runs. Selecting
+// EngineTape on a kernel whose block could not be lowered is a no-op: the
+// closure path keeps running.
+func (k *Kernel) SetEngine(e Engine) { k.engine = e }
+
+// Tape reports whether the tape engine is available (and would be used
+// under EngineTape).
+func (k *Kernel) Tape() bool { return k.prog != nil }
+
+// SetScratch routes the tape engine's register leases through pool under
+// the given pool rank. A nil pool (the default) allocates plainly.
+func (k *Kernel) SetScratch(pool *bufpool.Pool, rank int) {
+	if k.prog != nil {
+		k.prog.SetScratch(pool, rank)
+	}
+}
+
+// ReleaseScratch returns pooled registers; the next Run re-leases them.
+func (k *Kernel) ReleaseScratch() {
+	if k.prog != nil {
+		k.prog.ReleaseScratch()
+	}
 }
 
 // Instrument makes every Run record a fused-loop span to tr under the
@@ -81,6 +155,19 @@ func (k *Kernel) Run(region grid.Region, loop dep.LoopSpec) {
 }
 
 func (k *Kernel) run(region grid.Region, loop dep.LoopSpec) {
+	if k.prog != nil && k.engine == EngineTape {
+		// The tape pays a per-span dispatch cost that amortizes over the
+		// span length. When the inner dimension cannot run as spans (or
+		// the spans are shorter than the dispatch break-even) and the
+		// specialized rank-2 closure pair exists, that pair is faster —
+		// and bit-identical, so the choice is pure dispatch.
+		if k.rhs2 == nil || region.Rank() != 2 || k.spanProfitable(region, loop) {
+			k.prog.Run(region, loop)
+			return
+		}
+		k.run2(region, loop)
+		return
+	}
 	if k.rhs2 != nil && region.Rank() == 2 {
 		k.run2(region, loop)
 		return
@@ -92,39 +179,46 @@ func (k *Kernel) run(region grid.Region, loop dep.LoopSpec) {
 	})
 }
 
+// minSpan is the inner-run length at which span execution starts beating
+// the rank-2 closure pair: below it, the per-span instruction dispatch
+// dominates the per-point closure-tree walk it replaces.
+const minSpan = 8
+
+func (k *Kernel) spanProfitable(region grid.Region, loop dep.LoopSpec) bool {
+	v := loop.Perm[len(loop.Perm)-1]
+	return k.prog.SpanOK(v) && region.Dim(v).Size() >= minSpan
+}
+
 func (k *Kernel) run2(region grid.Region, loop dep.LoopSpec) {
 	d0, d1 := region.Dim(0), region.Dim(1)
-	if d0.Empty() || d1.Empty() {
+	n0, n1 := d0.Size(), d1.Size()
+	if n0 == 0 || n1 == 0 {
 		return
 	}
-	i0, i1, st0 := d0.Lo, d0.Lo+(d0.Size()-1)*d0.Stride, d0.Stride
+	// Trip counts and signed steps are computed once; the loops below
+	// iterate by count, with no per-iteration direction branches.
+	i0, st0 := d0.Lo, d0.Stride
 	if loop.Dirs[0] == grid.HighToLow {
-		i0, i1, st0 = i1, i0, -st0
+		i0, st0 = d0.Lo+(n0-1)*d0.Stride, -st0
 	}
-	j0, j1, st1 := d1.Lo, d1.Lo+(d1.Size()-1)*d1.Stride, d1.Stride
+	j0, st1 := d1.Lo, d1.Stride
 	if loop.Dirs[1] == grid.HighToLow {
-		j0, j1, st1 = j1, j0, -st1
+		j0, st1 = d1.Lo+(n1-1)*d1.Stride, -st1
 	}
-	past := func(x, end, step int) bool {
-		if step > 0 {
-			return x > end
-		}
-		return x < end
-	}
-	n := len(k.rhs2)
+	ns := len(k.rhs2)
 	if len(loop.Perm) == 2 && loop.Perm[0] == 1 {
-		for j := j0; !past(j, j1, st1); j += st1 {
-			for i := i0; !past(i, i1, st0); i += st0 {
-				for s := 0; s < n; s++ {
+		for jj, j := 0, j0; jj < n1; jj, j = jj+1, j+st1 {
+			for ii, i := 0, i0; ii < n0; ii, i = ii+1, i+st0 {
+				for s := 0; s < ns; s++ {
 					k.data[s][k.base[s]+i*k.str0[s]+j*k.str1[s]] = k.rhs2[s](i, j)
 				}
 			}
 		}
 		return
 	}
-	for i := i0; !past(i, i1, st0); i += st0 {
-		for j := j0; !past(j, j1, st1); j += st1 {
-			for s := 0; s < n; s++ {
+	for ii, i := 0, i0; ii < n0; ii, i = ii+1, i+st0 {
+		for jj, j := 0, j0; jj < n1; jj, j = jj+1, j+st1 {
+			for s := 0; s < ns; s++ {
 				k.data[s][k.base[s]+i*k.str0[s]+j*k.str1[s]] = k.rhs2[s](i, j)
 			}
 		}

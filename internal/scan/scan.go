@@ -165,60 +165,9 @@ func Analyze(b *Block, pref dep.Preference) (*Analysis, error) {
 	if rank == 0 {
 		return nil, &LegalityError{Msg: "rank-0 region"}
 	}
-	writers := b.Writers()
-	var udvs []dep.UDV
-	var primed []grid.Direction
-
-	for si, s := range b.Stmts {
-		if s.LHS.Primed {
-			return nil, &LegalityError{Msg: fmt.Sprintf("statement %d: primed left-hand side %s", si, s.LHS)}
-		}
-		if s.LHS.Shifted() {
-			return nil, &LegalityError{Msg: fmt.Sprintf("statement %d: shifted left-hand side %s", si, s.LHS)}
-		}
-		if err := expr.Validate(s.RHS, rank, nil); err != nil {
-			return nil, &LegalityError{Condition: 3, Msg: fmt.Sprintf("statement %d: %v", si, err)}
-		}
-		for _, r := range expr.Refs(s.RHS) {
-			d := r.Shift
-			if d == nil {
-				d = make(grid.Direction, rank)
-			}
-			ws, written := writers[r.Name]
-			if r.Primed {
-				if b.Kind != ScanKind && r.Name != s.LHS.Name {
-					return nil, &LegalityError{Condition: 1, Msg: fmt.Sprintf(
-						"statement %d: primed reference %s outside a scan block may only name the statement's own target %q", si, r, s.LHS.Name)}
-				}
-				if !written {
-					return nil, &LegalityError{Condition: 1, Msg: fmt.Sprintf(
-						"statement %d: primed array %q is not defined in the block", si, r.Name)}
-				}
-				primed = append(primed, append(grid.Direction(nil), d...))
-				udvs = append(udvs, dep.FromPrimed(d, r.Name, si))
-				continue
-			}
-			if !written {
-				continue // reads of arrays defined outside the block are free
-			}
-			// Non-primed reference to an array written in the block: the
-			// reader must see values of lexically preceding statements and
-			// pre-block values with respect to the current and later ones.
-			earlier, laterOrSame := false, false
-			for _, w := range ws {
-				if w < si {
-					earlier = true
-				} else {
-					laterOrSame = true
-				}
-			}
-			if earlier {
-				udvs = append(udvs, dep.FromUnprimed(d, true, r.Name, si))
-			}
-			if laterOrSame {
-				udvs = append(udvs, dep.FromUnprimed(d, false, r.Name, si))
-			}
-		}
+	udvs, primed, err := collectDeps(b)
+	if err != nil {
+		return nil, err
 	}
 
 	w, err := wsv.New(rank, primed)
@@ -252,6 +201,68 @@ func Analyze(b *Block, pref dep.Preference) (*Analysis, error) {
 	}
 	an.Loop = loop
 	return an, nil
+}
+
+// collectDeps walks the block's statements, checking per-statement legality
+// (unprimed unshifted left-hand sides, well-formed shifts) and collecting
+// the dependence distance vectors plus the primed directions feeding the
+// WSV. It is the front half of Analyze, shared with the kernel lowering so
+// span legality comes from the same UDVs the loop derivation uses.
+func collectDeps(b *Block) (udvs []dep.UDV, primed []grid.Direction, err error) {
+	rank := b.Region.Rank()
+	writers := b.Writers()
+	for si, s := range b.Stmts {
+		if s.LHS.Primed {
+			return nil, nil, &LegalityError{Msg: fmt.Sprintf("statement %d: primed left-hand side %s", si, s.LHS)}
+		}
+		if s.LHS.Shifted() {
+			return nil, nil, &LegalityError{Msg: fmt.Sprintf("statement %d: shifted left-hand side %s", si, s.LHS)}
+		}
+		if err := expr.Validate(s.RHS, rank, nil); err != nil {
+			return nil, nil, &LegalityError{Condition: 3, Msg: fmt.Sprintf("statement %d: %v", si, err)}
+		}
+		for _, r := range expr.Refs(s.RHS) {
+			d := r.Shift
+			if d == nil {
+				d = make(grid.Direction, rank)
+			}
+			ws, written := writers[r.Name]
+			if r.Primed {
+				if b.Kind != ScanKind && r.Name != s.LHS.Name {
+					return nil, nil, &LegalityError{Condition: 1, Msg: fmt.Sprintf(
+						"statement %d: primed reference %s outside a scan block may only name the statement's own target %q", si, r, s.LHS.Name)}
+				}
+				if !written {
+					return nil, nil, &LegalityError{Condition: 1, Msg: fmt.Sprintf(
+						"statement %d: primed array %q is not defined in the block", si, r.Name)}
+				}
+				primed = append(primed, append(grid.Direction(nil), d...))
+				udvs = append(udvs, dep.FromPrimed(d, r.Name, si))
+				continue
+			}
+			if !written {
+				continue // reads of arrays defined outside the block are free
+			}
+			// Non-primed reference to an array written in the block: the
+			// reader must see values of lexically preceding statements and
+			// pre-block values with respect to the current and later ones.
+			earlier, laterOrSame := false, false
+			for _, w := range ws {
+				if w < si {
+					earlier = true
+				} else {
+					laterOrSame = true
+				}
+			}
+			if earlier {
+				udvs = append(udvs, dep.FromUnprimed(d, true, r.Name, si))
+			}
+			if laterOrSame {
+				udvs = append(udvs, dep.FromUnprimed(d, false, r.Name, si))
+			}
+		}
+	}
+	return udvs, primed, nil
 }
 
 // needsTemp (on Analysis) records that in-place execution is impossible for
