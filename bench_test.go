@@ -395,6 +395,66 @@ func BenchmarkPipelineSteadyAllocs(b *testing.B) {
 	}
 }
 
+// --- Task-DAG scheduler: static pipeline vs work-stealing tile DAG ---
+
+// BenchmarkTaskDAGScheduler runs the Tomcatv forward wavefront through a
+// single-rank session under the static schedule and under the task-DAG
+// work-stealing scheduler at several pool sizes. With one rank the DAG's
+// in-portion parallelism is the only variable: on a multi-core host the
+// wider pools win wall-clock, on a single hardware thread the numbers
+// document the scheduler's overhead instead.
+func BenchmarkTaskDAGScheduler(b *testing.B) {
+	legs := []struct {
+		name    string
+		sched   scan.Scheduler
+		workers int
+	}{
+		{"static", scan.SchedStatic, 0},
+		{"taskdag-w1", scan.SchedTaskDAG, 1},
+		{"taskdag-w2", scan.SchedTaskDAG, 2},
+		{"taskdag-w4", scan.SchedTaskDAG, 4},
+	}
+	for _, leg := range legs {
+		b.Run(leg.name, func(b *testing.B) {
+			t, err := workload.NewTomcatv(256, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blk := t.ForwardBlock()
+			cfg := pipeline.SessionConfig{Procs: 1, Domain: t.All, Block: 16,
+				Scheduler: leg.sched, Workers: leg.workers}
+			sess, err := pipeline.NewSession(t.Env, []*scan.Block{blk}, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := func(r *pipeline.Rank) error {
+				for i := 0; i < 3; i++ {
+					if err := r.Exec(blk); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := sess.Run(warm); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			err = sess.Run(func(r *pipeline.Rank) error {
+				for i := 0; i < b.N; i++ {
+					if err := r.Exec(blk); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 func BenchmarkSerialScanTomcatvForward(b *testing.B) {
 	t, err := workload.NewTomcatv(128, field.RowMajor)
 	if err != nil {

@@ -19,7 +19,7 @@ var chaosModes = []string{"drop", "corrupt", "stall", "crash", "delay", "backpre
 // deadlock diagnosis for starvation, an oracle-visible perturbation for
 // corruption, a clean bit-identical run for delay and backpressure — and
 // prints the injector accounting and diagnostics.
-func runChaos(mode string, procs, block, n, linkCap int, seed int64) error {
+func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int) error {
 	modes := []string{mode}
 	if mode == "all" {
 		modes = chaosModes
@@ -36,7 +36,7 @@ func runChaos(mode string, procs, block, n, linkCap int, seed int64) error {
 
 	failed := false
 	for _, m := range modes {
-		if err := runChaosMode(m, procs, block, n, linkCap, seed, oracle); err != nil {
+		if err := runChaosMode(m, procs, block, n, linkCap, seed, sched, workers, oracle); err != nil {
 			fmt.Printf("chaos %s: FAILED: %v\n\n", m, err)
 			failed = true
 		}
@@ -47,7 +47,7 @@ func runChaos(mode string, procs, block, n, linkCap int, seed int64) error {
 	return nil
 }
 
-func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, oracle *workload.Tomcatv) error {
+func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int, oracle *workload.Tomcatv) error {
 	// Pipeline boundary messages flow rank r → r+1 (the forward wavefront
 	// travels north to south) with tags equal to tile indices, so rules
 	// pinned to the 0→1 link deterministically hit boundary traffic.
@@ -90,7 +90,8 @@ func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, oracle 
 		return err
 	}
 	_, err = wavefront.RunPipelined(t.ForwardBlock(), t.Env,
-		wavefront.Pipeline{Procs: procs, Block: block, Faults: inj, LinkCapacity: linkCap})
+		wavefront.Pipeline{Procs: procs, Block: block, Faults: inj, LinkCapacity: linkCap,
+			Scheduler: sched, Workers: workers})
 
 	diff := maxDiff(t, oracle)
 	switch mode {

@@ -15,7 +15,7 @@ import (
 // serving the registry over HTTP (-serve) and/or printing a periodic
 // one-line summary (-watch). The loop stops after -duration, or on
 // SIGINT/SIGTERM when the duration is 0.
-func runLive(addr string, watch bool, procs, block, n int, dur time.Duration, pooled, autotune bool, engine wavefront.KernelEngine) error {
+func runLive(addr string, watch bool, procs, block, n int, dur time.Duration, pooled, autotune bool, engine wavefront.KernelEngine, sched wavefront.Scheduler, workers int) error {
 	t, err := prepTomcatv(n)
 	if err != nil {
 		return err
@@ -81,7 +81,8 @@ func runLive(addr string, watch bool, procs, block, n int, dur time.Duration, po
 		default:
 			if _, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
 				wavefront.Pipeline{Procs: procs, Block: block, Metrics: reg,
-					Pool: pool, AutoTune: autotune, Kernel: engine}); err != nil {
+					Pool: pool, AutoTune: autotune, Kernel: engine,
+					Scheduler: sched, Workers: workers}); err != nil {
 				return err
 			}
 			runs++

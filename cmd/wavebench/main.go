@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"wavefront"
@@ -61,7 +62,10 @@ func main() {
 		pool      = flag.Bool("pool", false, "reuse message buffers across waves (zero-alloc steady state) in the workload loop")
 		autotune  = flag.Bool("autotune", false, "let the drift monitor retune the tile width between workload-loop runs")
 		kernelSel = flag.String("kernel", "tape", "kernel execution engine: tape (span-level instruction tapes) or closure (per-point reference path)")
-		validate  = flag.Bool("validate", false, "run Tomcatv/SIMPLE/Sweep3D under both engines, serial and pipelined, and exit nonzero on any bit-level disagreement")
+		schedSel  = flag.String("sched", "static", "tile scheduler: static (pipeline schedule) or taskdag (work-stealing tile DAG)")
+		workers   = flag.Int("workers", 0, "task-DAG pool size per rank for -sched=taskdag (0 = GOMAXPROCS)")
+		validate  = flag.Bool("validate", false, "run Tomcatv/SIMPLE/Sweep3D under both engines and both schedulers, serial and pipelined, and exit nonzero on any bit-level disagreement")
+		speedup   = flag.Bool("speedup", false, "time the Tomcatv forward wavefront under -sched=taskdag at 1 worker vs -workers workers and report the wall-clock ratio")
 	)
 	flag.Parse()
 
@@ -86,24 +90,31 @@ func main() {
 
 	engine, err := parseEngine(*kernelSel)
 	exitOn(err)
+	sched, err := wavefront.ParseScheduler(*schedSel)
+	exitOn(err)
 
 	if *validate {
 		exitOn(runValidate(*n, *blockSize))
 		return
 	}
 
+	if *speedup {
+		exitOn(runSpeedup(*n, *blockSize, *workers))
+		return
+	}
+
 	if *serve != "" || *watch {
-		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration, *pool, *autotune, engine))
+		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration, *pool, *autotune, engine, sched, *workers))
 		return
 	}
 
 	if *chaos != "" {
-		exitOn(runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed))
+		exitOn(runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed, sched, *workers))
 		return
 	}
 
 	if *traceOut != "" {
-		exitOn(runTraced(*traceOut, *procs, *blockSize, *n, *linkCap, engine))
+		exitOn(runTraced(*traceOut, *procs, *blockSize, *n, *linkCap, engine, sched, *workers))
 		return
 	}
 
@@ -134,20 +145,30 @@ func main() {
 
 // runTraced pipelines the Tomcatv forward elimination across ranks with
 // tracing on, prints the summary, validates the schedule, and writes the
-// Chrome trace.
-func runTraced(path string, procs, block, n, linkCap int, engine wavefront.KernelEngine) error {
+// Chrome trace. Under -sched=taskdag the recorder carries procs*(1+workers)
+// rings so every DAG worker's tile spans land in the trace and the
+// validator replays the dynamic schedule too.
+func runTraced(path string, procs, block, n, linkCap int, engine wavefront.KernelEngine, sched wavefront.Scheduler, workers int) error {
 	t, err := workload.NewTomcatv(n, field.RowMajor)
 	if err != nil {
 		return err
 	}
-	rec := wavefront.NewTraceRecorder(procs)
+	rings := procs
+	if sched == wavefront.SchedTaskDAG {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rings = procs * (1 + workers)
+	}
+	rec := wavefront.NewTraceRecorder(rings)
 	stats, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
-		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec, LinkCapacity: linkCap, Kernel: engine})
+		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec, LinkCapacity: linkCap,
+			Kernel: engine, Scheduler: sched, Workers: workers})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tomcatv forward: n=%d procs=%d block=%d tiles=%d msgs=%d elems=%d elapsed=%v\n",
-		n, stats.Procs, stats.Block, stats.Tiles, stats.Comm.Messages, stats.Comm.Elements, stats.Elapsed)
+	fmt.Printf("tomcatv forward: n=%d procs=%d block=%d sched=%v tiles=%d msgs=%d elems=%d elapsed=%v\n",
+		n, stats.Procs, stats.Block, sched, stats.Tiles, stats.Comm.Messages, stats.Comm.Elements, stats.Elapsed)
 	if linkCap > 0 {
 		fmt.Printf("link capacity %d: %d blocked sends, %v total backpressure wait\n",
 			linkCap, stats.Comm.BlockedSends, stats.Comm.BlockedSendTime)

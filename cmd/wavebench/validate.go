@@ -21,11 +21,33 @@ func parseEngine(s string) (wavefront.KernelEngine, error) {
 	return 0, fmt.Errorf("wavebench: unknown -kernel %q (want tape or closure)", s)
 }
 
-// runValidate pins the engines' bit-identity contract on the paper's three
-// workloads: the closure path run serially is the reference, and the tape
-// engine — serial and pipelined at p = 1, 2, 4 — must reproduce every array
-// bit for bit (as must the pipelined closure path). Any disagreement is a
-// check failure (exit 1).
+// valLeg is one pipelined cell of the validation matrix: a kernel engine
+// crossed with a tile scheduler (and, for the task DAG, a pool size).
+type valLeg struct {
+	name    string
+	engine  wavefront.KernelEngine
+	sched   wavefront.Scheduler
+	workers int
+}
+
+// valLegs is the full scheduler×engine validation matrix: both engines
+// under the static schedule, plus the task-DAG scheduler at 1, 2, and 4
+// workers (1 worker pins the degenerate pool; 2 and 4 exercise stealing).
+func valLegs() []valLeg {
+	return []valLeg{
+		{"tape", wavefront.KernelTape, wavefront.SchedStatic, 0},
+		{"closure", wavefront.KernelClosure, wavefront.SchedStatic, 0},
+		{"taskdag-w1", wavefront.KernelTape, wavefront.SchedTaskDAG, 1},
+		{"taskdag-w2", wavefront.KernelTape, wavefront.SchedTaskDAG, 2},
+		{"taskdag-w4", wavefront.KernelTape, wavefront.SchedTaskDAG, 4},
+	}
+}
+
+// runValidate pins the bit-identity contract on the paper's three
+// workloads: the closure path run serially is the reference, and every
+// (engine, scheduler) cell — serial tape plus the pipelined matrix at
+// p = 1, 2, 4 — must reproduce every array bit for bit. Any disagreement
+// is a check failure (exit 1).
 func runValidate(n, block int) error {
 	procs := []int{1, 2, 4}
 	mismatches := 0
@@ -53,11 +75,12 @@ func runValidate(n, block int) error {
 		}
 		compareArrays("tomcatv", "serial tape", ref.All, ref.Env.Arrays, tape.Env.Arrays, report)
 		for _, p := range procs {
-			for _, eng := range []wavefront.KernelEngine{wavefront.KernelTape, wavefront.KernelClosure} {
+			for _, leg := range valLegs() {
 				w, _ := workload.NewTomcatv(n, field.RowMajor)
 				blocks := w.Blocks()
 				sess, err := wavefront.NewSession(w.Env, blocks, wavefront.SessionConfig{
-					Procs: p, Domain: w.All, Block: block, Kernel: eng})
+					Procs: p, Domain: w.All, Block: block, Kernel: leg.engine,
+					Scheduler: leg.sched, Workers: leg.workers})
 				if err != nil {
 					return err
 				}
@@ -74,7 +97,7 @@ func runValidate(n, block int) error {
 				if err != nil {
 					return err
 				}
-				compareArrays("tomcatv", fmt.Sprintf("p=%d %s", p, engName(eng)), ref.All, ref.Env.Arrays, w.Env.Arrays, report)
+				compareArrays("tomcatv", fmt.Sprintf("p=%d %s", p, leg.name), ref.All, ref.Env.Arrays, w.Env.Arrays, report)
 			}
 		}
 	}
@@ -98,11 +121,12 @@ func runValidate(n, block int) error {
 		}
 		compareArrays("simple", "serial tape", ref.All, ref.Env.Arrays, tape.Env.Arrays, report)
 		for _, p := range procs {
-			for _, eng := range []wavefront.KernelEngine{wavefront.KernelTape, wavefront.KernelClosure} {
+			for _, leg := range valLegs() {
 				w, _ := workload.NewSimple(sn, field.RowMajor)
 				blocks := w.Blocks()
 				sess, err := wavefront.NewSession(w.Env, blocks, wavefront.SessionConfig{
-					Procs: p, Domain: w.All, Block: 5, Kernel: eng})
+					Procs: p, Domain: w.All, Block: 5, Kernel: leg.engine,
+					Scheduler: leg.sched, Workers: leg.workers})
 				if err != nil {
 					return err
 				}
@@ -119,7 +143,7 @@ func runValidate(n, block int) error {
 				if err != nil {
 					return err
 				}
-				compareArrays("simple", fmt.Sprintf("p=%d %s", p, engName(eng)), ref.All, ref.Env.Arrays, w.Env.Arrays, report)
+				compareArrays("simple", fmt.Sprintf("p=%d %s", p, leg.name), ref.All, ref.Env.Arrays, w.Env.Arrays, report)
 			}
 		}
 	}
@@ -143,14 +167,15 @@ func runValidate(n, block int) error {
 		}
 		compareArrays("sweep3d", "serial tape", ref.Inner, ref.Env.Arrays, tape.Env.Arrays, report)
 		for _, p := range procs {
-			for _, eng := range []wavefront.KernelEngine{wavefront.KernelTape, wavefront.KernelClosure} {
+			for _, leg := range valLegs() {
 				w, _ := workload.NewSweep(sn, 3, field.RowMajor)
 				var blocks []*wavefront.Block
 				for _, dirs := range w.Octants() {
 					blocks = append(blocks, w.OctantBlock(dirs))
 				}
 				sess, err := wavefront.NewSession(w.Env, blocks, wavefront.SessionConfig{
-					Procs: p, Domain: w.Inner, Block: 3, Kernel: eng})
+					Procs: p, Domain: w.Inner, Block: 3, Kernel: leg.engine,
+					Scheduler: leg.sched, Workers: leg.workers})
 				if err != nil {
 					return err
 				}
@@ -165,23 +190,16 @@ func runValidate(n, block int) error {
 				if err != nil {
 					return err
 				}
-				compareArrays("sweep3d", fmt.Sprintf("p=%d %s", p, engName(eng)), ref.Inner, ref.Env.Arrays, w.Env.Arrays, report)
+				compareArrays("sweep3d", fmt.Sprintf("p=%d %s", p, leg.name), ref.Inner, ref.Env.Arrays, w.Env.Arrays, report)
 			}
 		}
 	}
 
 	if mismatches > 0 {
-		return fmt.Errorf("%w: %d engine disagreement(s)", errCheckFailed, mismatches)
+		return fmt.Errorf("%w: %d disagreement(s) across the engine/scheduler matrix", errCheckFailed, mismatches)
 	}
-	fmt.Println("validate: tape and closure engines bit-identical on tomcatv, simple, sweep3d (serial and p=1/2/4)")
+	fmt.Println("validate: every engine/scheduler cell bit-identical on tomcatv, simple, sweep3d (serial and p=1/2/4; static and taskdag w=1/2/4)")
 	return nil
-}
-
-func engName(e wavefront.KernelEngine) string {
-	if e == wavefront.KernelClosure {
-		return "closure"
-	}
-	return "tape"
 }
 
 func tomcatvSerial(t *workload.Tomcatv, iters int, eng scan.Engine) error {

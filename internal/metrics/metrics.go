@@ -92,6 +92,13 @@ const (
 	PoolDiscards  = "pool_discards_total"
 	PoolHitRatio  = "pool_hit_ratio"
 	AllocsPerWave = "allocs_per_wave" // heap objects allocated per wave epoch
+
+	// task-DAG scheduler (per-rank counters; the rank's worker pool flushes
+	// its per-worker totals here after every DAG run).
+	TaskTiles   = "taskdag_tiles_total"
+	TaskSteals  = "taskdag_steals_total"
+	TaskParks   = "taskdag_parks_total"
+	TaskUnparks = "taskdag_unparks_total"
 )
 
 // padCell is one cache-line-padded atomic counter cell. 64 bytes of

@@ -74,6 +74,31 @@ func TestDifferentialCorpus(t *testing.T) {
 									seed, p, b, name, diff, blk)
 							}
 						}
+						// Scheduler leg: the same cell under the task-DAG
+						// work-stealing scheduler, swept across pool sizes,
+						// must stay bit-identical to the serial oracle and
+						// pass the dynamic-schedule validator. The recorder
+						// carries p*(1+w) rings so every DAG worker records.
+						for _, w := range []int{1, 2, 4, 8} {
+							dagEnv := genEnv(seed)
+							dagTrace := trace.New(p*(1+w), 1024)
+							dcfg := Config{Procs: p, Block: b, WavefrontDim: d.w, TileDim: d.t,
+								Scheduler: scan.SchedTaskDAG, Workers: w, Trace: dagTrace}
+							if _, err := Run(blk, dagEnv, dcfg); err != nil {
+								t.Fatalf("seed %d p=%d b=%d workers=%d: taskdag run failed where static passed: %v\n%s",
+									seed, p, b, w, err, blk)
+							}
+							for _, name := range genNames {
+								if diff := dagEnv.Arrays[name].MaxAbsDiff(bounds, serialEnv.Arrays[name]); diff != 0 {
+									t.Errorf("seed %d p=%d b=%d workers=%d: taskdag array %q differs from serial by %g\n%s",
+										seed, p, b, w, name, diff, blk)
+								}
+							}
+							if err := trace.ValidateRecorder(dagTrace); err != nil {
+								t.Errorf("seed %d p=%d b=%d workers=%d: taskdag schedule validation failed: %v",
+									seed, p, b, w, err)
+							}
+						}
 						// Engine leg: the default runs above use the span
 						// tape; the same cell forced onto the per-point
 						// closure reference path must stay bit-identical.

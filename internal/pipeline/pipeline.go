@@ -74,6 +74,20 @@ type Config struct {
 	// tape by default, or scan.EngineClosure to force the per-point
 	// compiled-closure reference path (the A/B leg for validation).
 	Kernel scan.Engine
+	// Scheduler selects how each rank executes its portion: the static
+	// tile-by-tile pipeline schedule (scan.SchedStatic, the default) or a
+	// work-stealing task DAG over dependency-counted tiles on real
+	// goroutines (scan.SchedTaskDAG; see internal/taskdag). Under the task
+	// DAG a rank receives all upstream boundary messages, runs its portion
+	// as a tile DAG across Workers goroutines, then forwards all boundary
+	// messages — the message sequence is identical to the static schedule,
+	// so results stay bit-identical and mixed-scheduler pipelines
+	// interoperate.
+	Scheduler scan.Scheduler
+	// Workers is each rank's task-DAG pool size, including the rank's own
+	// goroutine; <= 0 selects runtime.GOMAXPROCS(0). Ignored under
+	// SchedStatic.
+	Workers int
 	// AutoTune, when true and Metrics is non-nil, consults the drift
 	// monitor before planning: when the α/β/τ estimates rest on enough
 	// observations and predict that Block is mistuned by more than ~5%,
@@ -157,6 +171,13 @@ type plan struct {
 	// scratch, when non-nil, backs the tape engine's register leases (one
 	// shard per rank); released when the rank retires.
 	scratch *bufpool.Pool
+	// sched selects each rank's portion schedule (static pipeline tiles or
+	// the work-stealing task DAG); workers is the resolved DAG pool size.
+	sched   scan.Scheduler
+	workers int
+	// metrics carries the registry through to the task-DAG pools (per-rank
+	// tile/steal/park counters).
+	metrics *metrics.Registry
 }
 
 type haloSpec struct {
@@ -307,7 +328,8 @@ func makePlan(b *scan.Block, env expr.Env, cfg Config) (*plan, error) {
 	for _, wDim := range candidates {
 		pl := &plan{an: an, region: b.Region, p: cfg.Procs, block: cfg.Block, wDim: wDim,
 			pipeArrays: map[string]int{}, written: map[string]bool{},
-			engine: cfg.Kernel, scratch: cfg.Pool}
+			engine: cfg.Kernel, scratch: cfg.Pool,
+			sched: cfg.Scheduler, workers: resolveWorkers(cfg.Workers), metrics: cfg.Metrics}
 		pl.tDim = cfg.TileDim
 		if pl.tDim < 0 {
 			for _, d := range an.Class.ParallelDims() {

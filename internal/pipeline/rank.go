@@ -115,34 +115,92 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 	if pm != nil {
 		pm.waves.Add(rank, 1) // one wave sweep over this rank's slab
 	}
+	if pl.sched == scan.SchedTaskDAG {
+		if err := runRankTaskDAG(b, lenv, pl, e, ep, L, rank, tr, pm); err != nil {
+			return err
+		}
+	} else if err := runRankStatic(pl, e, ep, kern, rank, tr, pm); err != nil {
+		return err
+	}
+
+	// Gather: write the slab's results back to the global fields. Slabs are
+	// disjoint, so concurrent ranks touch disjoint elements.
+	gatherT0 := tr.Now()
+	for name := range pl.written {
+		genv.Array(name).CopyRegion(L, locals[name])
+	}
+	if tr != nil {
+		tr.Record(trace.Ev(trace.KindGather, rank, gatherT0, tr.Now()))
+	}
+	return nil
+}
+
+// recvBoundary receives upstream boundary message recvd and unpacks it
+// into the halo regions the schedule prescribes.
+func recvBoundary(e *comm.Endpoint, ep *execPlan, rank, recvd int, tr *trace.Recorder) error {
+	waveT0 := tr.Now()
+	buf, err := e.Recv(rank-1, recvd)
+	if err != nil {
+		return err
+	}
+	if len(buf) < ep.recvTotal[recvd] {
+		return fmt.Errorf("pipeline: rank %d: message %d too short: need %d elements, have %d",
+			rank, recvd, ep.recvTotal[recvd], len(buf))
+	}
+	off := 0
+	for i, f := range ep.fields {
+		sz := ep.recvSizes[recvd][i]
+		if _, err := f.UnpackFrom(ep.recvRegs[recvd][i], buf[off:off+sz]); err != nil {
+			return err
+		}
+		off += sz
+	}
+	e.ReleaseTo(rank-1, buf)
+	if tr != nil {
+		ev := trace.Ev(trace.KindWaveRecv, rank, waveT0, tr.Now())
+		ev.Peer, ev.Seq, ev.Wave, ev.Elems = rank-1, recvd, 0, len(buf)
+		tr.Record(ev)
+	}
+	return nil
+}
+
+// sendBoundary packs and sends tile t's boundary rows downstream.
+func sendBoundary(e *comm.Endpoint, ep *execPlan, rank, t int, tr *trace.Recorder, pm *pipeMetrics) error {
+	waveT0 := tr.Now()
+	buf := e.Lease(ep.sendTotal[t])
+	off := 0
+	for i, f := range ep.fields {
+		n, err := f.PackInto(ep.sendRegs[t][i], buf[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	if err := e.Send(rank+1, t, buf); err != nil {
+		return err
+	}
+	if pm != nil {
+		pm.waveSend(rank, len(buf))
+	}
+	if tr != nil {
+		ev := trace.Ev(trace.KindWaveSend, rank, waveT0, tr.Now())
+		ev.Peer, ev.Seq, ev.Wave, ev.Elems = rank+1, t, 0, len(buf)
+		tr.Record(ev)
+	}
+	return nil
+}
+
+// runRankStatic is the paper's pipeline loop: receive the boundary
+// messages a tile needs, compute it, forward its boundary downstream.
+func runRankStatic(pl *plan, e *comm.Endpoint, ep *execPlan, kern *scan.Kernel, rank int, tr *trace.Recorder, pm *pipeMetrics) error {
 	T := len(ep.tiles)
 	recvd := 0
 	for t := 0; t < T; t++ {
 		need := ep.needUp[t]
-		if hasUp {
+		if ep.hasUp {
 			for ; recvd <= need; recvd++ {
-				waveT0 := tr.Now()
-				buf, err := e.Recv(rank-1, recvd)
-				if err != nil {
+				if err := recvBoundary(e, ep, rank, recvd, tr); err != nil {
 					return err
-				}
-				if len(buf) < ep.recvTotal[recvd] {
-					return fmt.Errorf("pipeline: rank %d: message %d too short: need %d elements, have %d",
-						rank, recvd, ep.recvTotal[recvd], len(buf))
-				}
-				off := 0
-				for i, f := range ep.fields {
-					sz := ep.recvSizes[recvd][i]
-					if _, err := f.UnpackFrom(ep.recvRegs[recvd][i], buf[off:off+sz]); err != nil {
-						return err
-					}
-					off += sz
-				}
-				e.ReleaseTo(rank-1, buf)
-				if tr != nil {
-					ev := trace.Ev(trace.KindWaveRecv, rank, waveT0, tr.Now())
-					ev.Peer, ev.Seq, ev.Wave, ev.Elems = rank-1, recvd, 0, len(buf)
-					tr.Record(ev)
 				}
 			}
 		}
@@ -159,44 +217,66 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 		if tr != nil {
 			ev := trace.Ev(trace.KindCompute, rank, computeT0, tr.Now())
 			ev.Tile, ev.Wave, ev.Elems = t, 0, tile.Size()
-			if hasUp {
+			if ep.hasUp {
 				ev.Peer, ev.Need = rank-1, need
 			}
 			tr.Record(ev)
 		}
-		if hasDown {
-			waveT0 := tr.Now()
-			buf := e.Lease(ep.sendTotal[t])
-			off := 0
-			for i, f := range ep.fields {
-				n, err := f.PackInto(ep.sendRegs[t][i], buf[off:])
-				if err != nil {
-					return err
-				}
-				off += n
-			}
-			if err := e.Send(rank+1, t, buf); err != nil {
+		if ep.hasDown {
+			if err := sendBoundary(e, ep, rank, t, tr, pm); err != nil {
 				return err
-			}
-			if pm != nil {
-				pm.waveSend(rank, len(buf))
-			}
-			if tr != nil {
-				ev := trace.Ev(trace.KindWaveSend, rank, waveT0, tr.Now())
-				ev.Peer, ev.Seq, ev.Wave, ev.Elems = rank+1, t, 0, len(buf)
-				tr.Record(ev)
 			}
 		}
 	}
+	return nil
+}
 
-	// Gather: write the slab's results back to the global fields. Slabs are
-	// disjoint, so concurrent ranks touch disjoint elements.
-	gatherT0 := tr.Now()
-	for name := range pl.written {
-		genv.Array(name).CopyRegion(L, locals[name])
+// runRankTaskDAG executes the rank's portion under the work-stealing task
+// DAG: receive every upstream boundary message, run the portion as a tile
+// DAG on the worker pool, then forward every boundary message downstream.
+// The message sequence — counts, tags, contents — is identical to the
+// static schedule's (the payload values are final once the whole portion
+// has computed), so results are bit-identical and a taskdag rank
+// interoperates with static neighbours; the price is pipeline overlap
+// across ranks, which the in-rank parallelism replaces.
+func runRankTaskDAG(b *scan.Block, lenv *forwardEnv, pl *plan, e *comm.Endpoint, ep *execPlan, L grid.Region, rank int, tr *trace.Recorder, pm *pipeMetrics) error {
+	T := len(ep.tiles)
+	if ep.hasUp {
+		for recvd := 0; recvd < T; recvd++ {
+			if err := recvBoundary(e, ep, rank, recvd, tr); err != nil {
+				return err
+			}
+		}
+	}
+	pd, err := newPortionDAG(b, lenv, pl.an, L, pl.engine, pl.scratch, rank, pl.workers,
+		tr, taskTraceBase(pl.p, rank, pl.workers), pl.metrics)
+	if err != nil {
+		return err
+	}
+	defer pd.close()
+	computeT0 := tr.Now()
+	var mTile0 int64
+	if pm != nil {
+		mTile0 = pm.now()
+	}
+	pd.run()
+	if pm != nil {
+		pm.tile(rank, L.Size(), mTile0, pm.now())
 	}
 	if tr != nil {
-		tr.Record(trace.Ev(trace.KindGather, rank, gatherT0, tr.Now()))
+		ev := trace.Ev(trace.KindCompute, rank, computeT0, tr.Now())
+		ev.Tile, ev.Wave, ev.Elems = 0, 0, L.Size()
+		if ep.hasUp {
+			ev.Peer, ev.Need = rank-1, T-1
+		}
+		tr.Record(ev)
+	}
+	if ep.hasDown {
+		for t := 0; t < T; t++ {
+			if err := sendBoundary(e, ep, rank, t, tr, pm); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -116,6 +116,21 @@ type SessionConfig struct {
 	// tape by default, or scan.EngineClosure to force the per-point
 	// compiled-closure reference path (the A/B leg for validation).
 	Kernel scan.Engine
+	// Scheduler selects how each rank executes its portion of a block: the
+	// static tile-by-tile pipeline schedule (scan.SchedStatic, default) or
+	// a work-stealing task DAG over dependency-counted tiles on real
+	// goroutines (scan.SchedTaskDAG; see internal/taskdag). The task-DAG
+	// rank receives all upstream boundary messages, runs its portion as a
+	// DAG, then forwards all boundary messages; the message sequence is
+	// identical to the static schedule's, so results stay bit-identical.
+	// When tracing, DAG workers record into rings Procs + rank*Workers
+	// onward — size the recorder for Procs*(1+Workers) rings or worker
+	// tracing is disabled.
+	Scheduler scan.Scheduler
+	// Workers is each rank's task-DAG pool size, including the rank's own
+	// goroutine; <= 0 selects runtime.GOMAXPROCS(0). Ignored under
+	// SchedStatic.
+	Workers int
 }
 
 // SessionStats summarizes a finished Run.
@@ -249,6 +264,7 @@ func (s *Session) register(b *scan.Block) error {
 	pl := &plan{
 		an: an, region: b.Region, p: s.cfg.Procs, block: s.cfg.Block, wDim: s.cfg.WavefrontDim,
 		pipeArrays: map[string]int{}, written: map[string]bool{},
+		sched: s.cfg.Scheduler, workers: resolveWorkers(s.cfg.Workers), metrics: s.cfg.Metrics,
 	}
 	pl.tDim = -1
 	for _, d := range an.Class.ParallelDims() {
@@ -479,6 +495,11 @@ type Rank struct {
 	// eplans caches the materialized schedule per wavefront block; an
 	// entry built for a different width than curBlock is rebuilt.
 	eplans map[*scan.Block]*execPlan
+	// dags caches each block's task-DAG executor (tile graph + per-worker
+	// kernels) when the session scheduler is SchedTaskDAG; built on first
+	// Exec and reused so steady-state DAG waves allocate nothing. Closed by
+	// releaseScratch when the Run retires.
+	dags map[*scan.Block]*portionDAG
 	// portions caches each block's share of this rank (portion builds two
 	// slices per call; slab and block regions never change).
 	portions map[*scan.Block]grid.Region
@@ -512,6 +533,7 @@ func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
 		recvSeq:  make([]int, s.cfg.Procs),
 		curBlock: s.cfg.Block,
 		eplans:   map[*scan.Block]*execPlan{},
+		dags:     map[*scan.Block]*portionDAG{},
 		portions: map[*scan.Block]grid.Region{},
 		needs:    make([]string, 0, len(s.names)),
 	}
@@ -729,12 +751,23 @@ func (r *Rank) Exec(b *scan.Block) error {
 			// Fully parallel (or anti-dependences only): compute the portion.
 			tr := r.tr()
 			pm := r.pm()
+			var pd *portionDAG
+			if pl.sched == scan.SchedTaskDAG {
+				var err error
+				if pd, err = r.portionDAGFor(b, pl, L); err != nil {
+					return err
+				}
+			}
 			computeT0 := tr.Now()
 			var mT0 int64
 			if pm != nil {
 				mT0 = pm.now()
 			}
-			kern.Run(L, pl.an.Loop)
+			if pd != nil {
+				pd.run()
+			} else {
+				kern.Run(L, pl.an.Loop)
+			}
 			if pm != nil {
 				pm.tile(r.id, L.Size(), mT0, pm.now())
 			}
@@ -804,33 +837,17 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 	if pm != nil {
 		pm.waves.Add(r.id, 1)
 	}
+	if pl.sched == scan.SchedTaskDAG {
+		return r.execWavefrontDAG(b, pl, ep, L, wave)
+	}
 	T := len(ep.tiles)
 	recvd := 0
 	for t := 0; t < T; t++ {
 		need := ep.needUp[t]
 		if ep.hasUp {
 			for ; recvd <= need; recvd++ {
-				waveT0 := tr.Now()
-				buf, err := r.recvNext(ep.upstream)
-				if err != nil {
+				if err := r.recvWave(ep, recvd, wave); err != nil {
 					return err
-				}
-				if len(buf) < ep.recvTotal[recvd] {
-					return fmt.Errorf("pipeline: rank %d: wavefront message %d too short", r.id, recvd)
-				}
-				off := 0
-				for i, f := range ep.fields {
-					sz := ep.recvSizes[recvd][i]
-					if _, err := f.UnpackFrom(ep.recvRegs[recvd][i], buf[off:off+sz]); err != nil {
-						return err
-					}
-					off += sz
-				}
-				r.e.ReleaseTo(ep.upstream, buf)
-				if tr != nil {
-					ev := trace.Ev(trace.KindWaveRecv, r.id, waveT0, tr.Now())
-					ev.Peer, ev.Seq, ev.Wave, ev.Elems = ep.upstream, recvd, wave, len(buf)
-					tr.Record(ev)
 				}
 			}
 		}
@@ -853,26 +870,129 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 			tr.Record(ev)
 		}
 		if ep.hasDown {
-			waveT0 := tr.Now()
-			buf := r.e.Lease(ep.sendTotal[t])
-			off := 0
-			for i, f := range ep.fields {
-				n, err := f.PackInto(ep.sendRegs[t][i], buf[off:])
-				if err != nil {
-					return err
-				}
-				off += n
-			}
-			if err := r.sendNext(ep.downstream, buf); err != nil {
+			if err := r.sendWave(ep, t, wave); err != nil {
 				return err
 			}
-			if pm != nil {
-				pm.waveSend(r.id, len(buf))
+		}
+	}
+	return nil
+}
+
+// recvWave receives boundary message recvd of one wavefront sweep and
+// unpacks it into the schedule's halo regions.
+func (r *Rank) recvWave(ep *execPlan, recvd, wave int) error {
+	tr := r.tr()
+	waveT0 := tr.Now()
+	buf, err := r.recvNext(ep.upstream)
+	if err != nil {
+		return err
+	}
+	if len(buf) < ep.recvTotal[recvd] {
+		return fmt.Errorf("pipeline: rank %d: wavefront message %d too short", r.id, recvd)
+	}
+	off := 0
+	for i, f := range ep.fields {
+		sz := ep.recvSizes[recvd][i]
+		if _, err := f.UnpackFrom(ep.recvRegs[recvd][i], buf[off:off+sz]); err != nil {
+			return err
+		}
+		off += sz
+	}
+	r.e.ReleaseTo(ep.upstream, buf)
+	if tr != nil {
+		ev := trace.Ev(trace.KindWaveRecv, r.id, waveT0, tr.Now())
+		ev.Peer, ev.Seq, ev.Wave, ev.Elems = ep.upstream, recvd, wave, len(buf)
+		tr.Record(ev)
+	}
+	return nil
+}
+
+// sendWave packs and forwards tile t's boundary rows downstream.
+func (r *Rank) sendWave(ep *execPlan, t, wave int) error {
+	tr := r.tr()
+	pm := r.pm()
+	waveT0 := tr.Now()
+	buf := r.e.Lease(ep.sendTotal[t])
+	off := 0
+	for i, f := range ep.fields {
+		n, err := f.PackInto(ep.sendRegs[t][i], buf[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	if err := r.sendNext(ep.downstream, buf); err != nil {
+		return err
+	}
+	if pm != nil {
+		pm.waveSend(r.id, len(buf))
+	}
+	if tr != nil {
+		ev := trace.Ev(trace.KindWaveSend, r.id, waveT0, tr.Now())
+		ev.Peer, ev.Seq, ev.Wave, ev.Elems = ep.downstream, t, wave, len(buf)
+		tr.Record(ev)
+	}
+	return nil
+}
+
+// portionDAGFor returns the rank's cached task-DAG executor for b over L,
+// building graph and per-worker kernels on first use.
+func (r *Rank) portionDAGFor(b *scan.Block, pl *plan, L grid.Region) (*portionDAG, error) {
+	if pd, ok := r.dags[b]; ok {
+		return pd, nil
+	}
+	s := r.sess
+	pd, err := newPortionDAG(b, r.lenv, pl.an, L, s.cfg.Kernel, s.cfg.Pool, r.id, pl.workers,
+		s.cfg.Trace, taskTraceBase(s.cfg.Procs, r.id, pl.workers), s.cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	r.dags[b] = pd
+	return pd, nil
+}
+
+// execWavefrontDAG runs one wavefront sweep under the task-DAG scheduler:
+// receive every upstream boundary message, execute the portion as a tile
+// DAG on the worker pool, forward every boundary message. Counts, tags,
+// and payloads match the static schedule exactly (boundary values are
+// final once the portion has computed), so downstream ranks — static or
+// taskdag — cannot tell the difference and results stay bit-identical.
+func (r *Rank) execWavefrontDAG(b *scan.Block, pl *plan, ep *execPlan, L grid.Region, wave int) error {
+	tr := r.tr()
+	pm := r.pm()
+	T := len(ep.tiles)
+	if ep.hasUp {
+		for recvd := 0; recvd < T; recvd++ {
+			if err := r.recvWave(ep, recvd, wave); err != nil {
+				return err
 			}
-			if tr != nil {
-				ev := trace.Ev(trace.KindWaveSend, r.id, waveT0, tr.Now())
-				ev.Peer, ev.Seq, ev.Wave, ev.Elems = ep.downstream, t, wave, len(buf)
-				tr.Record(ev)
+		}
+	}
+	pd, err := r.portionDAGFor(b, pl, L)
+	if err != nil {
+		return err
+	}
+	computeT0 := tr.Now()
+	var mT0 int64
+	if pm != nil {
+		mT0 = pm.now()
+	}
+	pd.run()
+	if pm != nil {
+		pm.tile(r.id, L.Size(), mT0, pm.now())
+	}
+	if tr != nil {
+		ev := trace.Ev(trace.KindCompute, r.id, computeT0, tr.Now())
+		ev.Tile, ev.Wave, ev.Elems = 0, wave, L.Size()
+		if ep.hasUp {
+			ev.Peer, ev.Need = ep.upstream, T-1
+		}
+		tr.Record(ev)
+	}
+	if ep.hasDown {
+		for t := 0; t < T; t++ {
+			if err := r.sendWave(ep, t, wave); err != nil {
+				return err
 			}
 		}
 	}
@@ -1036,10 +1156,16 @@ func dedup(sorted []string) []string {
 }
 
 // gather writes every written array's slab back to the global fields.
-// releaseScratch returns every cached kernel's pool-leased tape registers.
+// releaseScratch retires the rank's execution resources when its Run ends:
+// cached kernels return pool-leased tape registers, and cached task-DAG
+// executors stop their worker pools (which also returns their kernels'
+// registers).
 func (r *Rank) releaseScratch() {
 	for _, kern := range r.kernels {
 		kern.ReleaseScratch()
+	}
+	for _, pd := range r.dags {
+		pd.close()
 	}
 }
 

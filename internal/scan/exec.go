@@ -28,6 +28,13 @@ type ExecOptions struct {
 	// Engine selects the kernel execution strategy (tape by default, with
 	// EngineClosure forcing the per-point reference path).
 	Engine Engine
+	// Scheduler selects how the iteration space executes: the derived
+	// serial loop nest (SchedStatic, default) or the work-stealing tile
+	// DAG on real goroutines (SchedTaskDAG).
+	Scheduler Scheduler
+	// Workers is the task-DAG pool size including the caller; <= 0 selects
+	// runtime.GOMAXPROCS(0). Ignored under SchedStatic.
+	Workers int
 }
 
 // SpanPreference returns a loop-derivation preference that biases each
@@ -133,6 +140,9 @@ func checkBounds(b *Block, env expr.Env) error {
 // the analysis's loop structure, reading and writing fields in place. The
 // analysis's UDVs feed the kernel build so the dependence walk runs once.
 func execFused(b *Block, env expr.Env, an *Analysis, opt ExecOptions) error {
+	if opt.Scheduler == SchedTaskDAG {
+		return execTaskDAG(b, env, an, opt)
+	}
 	k, err := NewKernelDeps(b, env, an.UDVs)
 	if err != nil {
 		return err

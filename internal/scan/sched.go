@@ -1,0 +1,99 @@
+package scan
+
+import (
+	"fmt"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/grid"
+	"wavefront/internal/taskdag"
+	"wavefront/internal/trace"
+)
+
+// Scheduler selects how a block's iteration space is executed.
+type Scheduler int
+
+const (
+	// SchedStatic is the default: the derived serial loop nest (and, under
+	// the parallel runtime, the static pipeline schedule).
+	SchedStatic Scheduler = iota
+	// SchedTaskDAG decomposes the region into tiles with atomic dependency
+	// counters and executes ready tiles on a work-stealing goroutine pool
+	// (see internal/taskdag).
+	SchedTaskDAG
+)
+
+// String names the scheduler as the -sched flag spells it.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedStatic:
+		return "static"
+	case SchedTaskDAG:
+		return "taskdag"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// ParseScheduler parses a -sched flag value.
+func ParseScheduler(s string) (Scheduler, error) {
+	switch s {
+	case "static", "":
+		return SchedStatic, nil
+	case "taskdag":
+		return SchedTaskDAG, nil
+	}
+	return SchedStatic, fmt.Errorf("scan: unknown scheduler %q (want static or taskdag)", s)
+}
+
+// Test hooks: taskdagStealSeed seeds the steal-order perturbation of every
+// graph built by execTaskDAG, and taskdagHook observes each graph after
+// construction (the intentional-break battery corrupts counters through
+// it). Both are read at graph-build time by same-package tests only.
+var (
+	taskdagStealSeed int64
+	taskdagHook      func(*taskdag.Graph)
+)
+
+// execTaskDAG runs a fused block under the task-DAG scheduler: one graph
+// over the region, one kernel per worker (the tape program carries mutable
+// scratch registers, so kernels cannot be shared across goroutines), tiles
+// executed by the work-stealing pool. The graph's edges come from the same
+// UDVs as the serial loop derivation, so the dynamic schedule satisfies
+// exactly the dependences the in-place loop order does.
+func execTaskDAG(b *Block, env expr.Env, an *Analysis, opt ExecOptions) error {
+	g, err := taskdag.New(b.Region, an.Loop, an.UDVs, taskdag.Options{
+		Workers:   opt.Workers,
+		Trace:     opt.Trace,
+		TraceBase: opt.TraceRank,
+		StealSeed: taskdagStealSeed,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Stop()
+	kernels := make([]*Kernel, g.Workers())
+	for i := range kernels {
+		k, err := NewKernelDeps(b, env, an.UDVs)
+		if err != nil {
+			return err
+		}
+		k.SetEngine(opt.Engine)
+		kernels[i] = k
+	}
+	g.SetRunner(func(worker int, tile grid.Region) {
+		kernels[worker].Run(tile, an.Loop)
+	})
+	if taskdagHook != nil {
+		taskdagHook(g)
+	}
+	var t0 int64
+	if opt.Trace != nil {
+		t0 = opt.Trace.Now()
+	}
+	g.Run()
+	if opt.Trace != nil {
+		ev := trace.Ev(trace.KindKernel, opt.TraceRank, t0, opt.Trace.Now())
+		ev.Elems = b.Region.Size() * len(b.Stmts)
+		opt.Trace.Record(ev)
+	}
+	return nil
+}

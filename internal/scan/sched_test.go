@@ -1,0 +1,164 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/trace"
+)
+
+// schedTestBlock is a two-axis forward wavefront: every point reads its
+// primed north and west neighbours, so the task DAG carries dependences
+// along both dimensions.
+func schedTestBlock(n int) *Block {
+	return NewScan(grid.Square(2, 1, n),
+		Stmt{LHS: expr.Ref("a"), RHS: expr.AddN(
+			expr.Const(0.1),
+			expr.MulN(expr.Const(0.3), expr.Ref("a").At(grid.Direction{-1, 0}).Prime()),
+			expr.MulN(expr.Const(0.3), expr.Ref("a").At(grid.Direction{0, -1}).Prime()),
+		)},
+	)
+}
+
+func schedTestEnv(n int) *expr.MapEnv {
+	env := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
+	f := field.MustNew("a", grid.Square(2, 0, n), field.RowMajor)
+	r := rand.New(rand.NewSource(17))
+	f.FillFunc(f.Bounds(), func(grid.Point) float64 { return 0.5 + r.Float64() })
+	env.Arrays["a"] = f
+	return env
+}
+
+// TestParseScheduler pins the flag spelling both ways.
+func TestParseScheduler(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Scheduler
+		ok   bool
+	}{
+		{"static", SchedStatic, true},
+		{"", SchedStatic, true},
+		{"taskdag", SchedTaskDAG, true},
+		{"dynamic", SchedStatic, false},
+	} {
+		got, err := ParseScheduler(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseScheduler(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if SchedStatic.String() != "static" || SchedTaskDAG.String() != "taskdag" {
+		t.Errorf("scheduler names %q/%q; want static/taskdag", SchedStatic, SchedTaskDAG)
+	}
+}
+
+// TestExecTaskDAGBitIdentical runs the same block serially and under the
+// task-DAG scheduler at several pool sizes; every cell must match exactly.
+func TestExecTaskDAGBitIdentical(t *testing.T) {
+	n := 48
+	blk := schedTestBlock(n)
+	oracle := schedTestEnv(n)
+	if err := Exec(blk, oracle, ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	bounds := grid.Square(2, 0, n)
+	for _, w := range []int{1, 2, 4, 8} {
+		env := schedTestEnv(n)
+		if err := Exec(blk, env, ExecOptions{Scheduler: SchedTaskDAG, Workers: w}); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if diff := env.Arrays["a"].MaxAbsDiff(bounds, oracle.Arrays["a"]); diff != 0 {
+			t.Errorf("workers=%d: taskdag exec differs from serial by %g", w, diff)
+		}
+	}
+}
+
+// TestExecTaskDAGTraceValidates records a task-DAG Exec and feeds the
+// dynamic schedule through the wavefront-safety validator.
+func TestExecTaskDAGTraceValidates(t *testing.T) {
+	n, workers := 48, 4
+	blk := schedTestBlock(n)
+	env := schedTestEnv(n)
+	rec := trace.New(workers, 1024)
+	if err := Exec(blk, env, ExecOptions{Scheduler: SchedTaskDAG, Workers: workers,
+		Trace: rec, TraceRank: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateRecorder(rec); err != nil {
+		t.Errorf("dynamic schedule failed validation: %v", err)
+	}
+	tiles := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindTaskTile {
+			tiles++
+		}
+	}
+	if tiles == 0 {
+		t.Error("traced taskdag Exec recorded no task-tile events")
+	}
+}
+
+// TestExecTaskDAGClosureEngine forces the per-point closure reference
+// engine under the DAG scheduler; both engines must agree bit-for-bit.
+func TestExecTaskDAGClosureEngine(t *testing.T) {
+	n := 32
+	blk := schedTestBlock(n)
+	oracle := schedTestEnv(n)
+	if err := Exec(blk, oracle, ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	env := schedTestEnv(n)
+	if err := Exec(blk, env, ExecOptions{Scheduler: SchedTaskDAG, Workers: 4,
+		Engine: EngineClosure}); err != nil {
+		t.Fatal(err)
+	}
+	if diff := env.Arrays["a"].MaxAbsDiff(grid.Square(2, 0, n), oracle.Arrays["a"]); diff != 0 {
+		t.Errorf("closure-engine taskdag exec differs from serial by %g", diff)
+	}
+}
+
+// TestExecTaskDAGStealSeedSweep perturbs the steal order through the
+// package hook; every perturbed schedule must still produce the exact
+// serial answer.
+func TestExecTaskDAGStealSeedSweep(t *testing.T) {
+	defer func() { taskdagStealSeed = 0 }()
+	n := 32
+	blk := schedTestBlock(n)
+	oracle := schedTestEnv(n)
+	if err := Exec(blk, oracle, ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	bounds := grid.Square(2, 0, n)
+	for seed := int64(1); seed <= 8; seed++ {
+		taskdagStealSeed = seed * 7919
+		env := schedTestEnv(n)
+		if err := Exec(blk, env, ExecOptions{Scheduler: SchedTaskDAG, Workers: 4}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if diff := env.Arrays["a"].MaxAbsDiff(bounds, oracle.Arrays["a"]); diff != 0 {
+			t.Errorf("seed %d: perturbed steal order changed the answer by %g", seed, diff)
+		}
+	}
+}
+
+// TestExecTaskDAGRejectsPlainBlock: the DAG scheduler only applies to scan
+// blocks' fused loops; a plain block must still execute correctly (the
+// scheduler is ignored on the non-fused path).
+func TestExecTaskDAGPlainBlockUnaffected(t *testing.T) {
+	n := 16
+	reg := grid.Square(2, 1, n)
+	blk := NewPlain(reg, Stmt{LHS: expr.Ref("a"), RHS: expr.MulN(expr.Const(2), expr.Ref("a"))})
+	oracle := schedTestEnv(n)
+	if err := Exec(blk, oracle, ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	env := schedTestEnv(n)
+	if err := Exec(blk, env, ExecOptions{Scheduler: SchedTaskDAG, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if diff := env.Arrays["a"].MaxAbsDiff(grid.Square(2, 0, n), oracle.Arrays["a"]); diff != 0 {
+		t.Errorf("plain block under taskdag option differs by %g", diff)
+	}
+}

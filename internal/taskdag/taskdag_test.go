@@ -1,0 +1,407 @@
+package taskdag
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/grid"
+	"wavefront/internal/metrics"
+	"wavefront/internal/trace"
+)
+
+// forward2 is the classic wavefront dependence pair: each point needs its
+// west and north neighbours.
+func forward2() []dep.UDV {
+	return []dep.UDV{
+		{Dist: grid.Direction{1, 0}, Kind: dep.True},
+		{Dist: grid.Direction{0, 1}, Kind: dep.True},
+	}
+}
+
+func loop2() dep.LoopSpec {
+	return dep.LoopSpec{Perm: []int{0, 1}, Dirs: []grid.LoopDir{grid.LowToHigh, grid.LowToHigh}}
+}
+
+func TestTileOffsetsCrossProduct(t *testing.T) {
+	g, err := New(grid.Square(2, 0, 63), loop2(), forward2(), Options{Workers: 2, TileW: []int{16, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	if got := g.Shape(); got[0] != 4 || got[1] != 4 {
+		t.Fatalf("shape = %v, want [4 4]", got)
+	}
+	// Axis-aligned dependences induce only axis-aligned tile edges; the
+	// diagonal is covered transitively.
+	want := map[string]bool{"[1 0]": true, "[0 1]": true}
+	offs := g.Offsets()
+	if len(offs) != len(want) {
+		t.Fatalf("offsets = %v, want exactly %v", offs, want)
+	}
+	for _, e := range offs {
+		if !want[fmt.Sprint(e)] {
+			t.Errorf("unexpected offset %v", e)
+		}
+	}
+	// Corner tile has no predecessors; interior tiles have two.
+	if got := len(g.Preds(0)); got != 0 {
+		t.Errorf("tile 0 has %d preds, want 0", got)
+	}
+	interior := 1*4 + 1
+	if got := len(g.Preds(interior)); got != 2 {
+		t.Errorf("interior tile has %d preds, want 2", got)
+	}
+}
+
+func TestDiagonalUDVExpandsCrossProduct(t *testing.T) {
+	// A dependence with two nonzero components can cross a tile corner, so
+	// the offset set must include both axis projections and the diagonal.
+	udvs := []dep.UDV{{Dist: grid.Direction{1, -2}, Kind: dep.True}}
+	g, err := New(grid.Square(2, 0, 63), loop2(), udvs, Options{Workers: 2, TileW: []int{8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	want := map[string]bool{"[1 0]": true, "[0 -1]": true, "[1 -1]": true}
+	offs := g.Offsets()
+	if len(offs) != len(want) {
+		t.Fatalf("offsets = %v, want exactly %v", offs, want)
+	}
+	for _, e := range offs {
+		if !want[fmt.Sprint(e)] {
+			t.Errorf("unexpected offset %v", e)
+		}
+	}
+	runDAGAndCheckOrder(t, g)
+}
+
+func TestTilesPartitionRegion(t *testing.T) {
+	region := grid.MustRegion(grid.NewRange(1, 53), grid.NewRange(-3, 17))
+	g, err := New(region, loop2(), forward2(), Options{Workers: 3, TileW: []int{9, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	seen := map[string]int{}
+	for i := 0; i < g.Tiles(); i++ {
+		g.TileRegion(i).Each(nil, func(p grid.Point) {
+			seen[fmt.Sprint(p)]++
+		})
+	}
+	if len(seen) != region.Size() {
+		t.Fatalf("tiles cover %d points, region has %d", len(seen), region.Size())
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("point %s covered %d times", k, n)
+		}
+	}
+}
+
+func TestReachWidensTiles(t *testing.T) {
+	// A dependence reaching 24 points along dim 0 must force tiles at
+	// least that wide, whatever width was requested.
+	udvs := []dep.UDV{{Dist: grid.Direction{24, 0}, Kind: dep.True}}
+	g, err := New(grid.Square(2, 0, 95), loop2(), udvs, Options{Workers: 2, TileW: []int{8, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	if g.tileW[0] < 24 {
+		t.Fatalf("tile width %d along dim 0 is below the dependence reach 24", g.tileW[0])
+	}
+}
+
+func TestCollapseOnConflictingOffsets(t *testing.T) {
+	// Both signs along dim 0 admit no tile-space loop nest; the dimension
+	// must collapse to a single tile rather than build a cyclic DAG.
+	udvs := []dep.UDV{
+		{Dist: grid.Direction{2, 0}, Kind: dep.True},
+		{Dist: grid.Direction{-2, 1}, Kind: dep.Anti},
+	}
+	g, err := New(grid.Square(2, 0, 63), loop2(), udvs, Options{Workers: 2, TileW: []int{8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	if g.Shape()[0] != 1 {
+		t.Fatalf("shape = %v, want dim 0 collapsed to 1", g.Shape())
+	}
+	runDAGAndCheckOrder(t, g)
+}
+
+func TestRunRespectsDAGOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			g, err := New(grid.Square(2, 0, 63), loop2(), forward2(), Options{Workers: workers, TileW: []int{8, 8}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Stop()
+			for run := 0; run < 3; run++ {
+				runDAGAndCheckOrder(t, g)
+			}
+		})
+	}
+}
+
+// runDAGAndCheckOrder runs the graph once with a runner that stamps each
+// tile's completion sequence and fails the test if any tile ran before one
+// of its predecessors or ran a wrong number of times.
+func runDAGAndCheckOrder(t *testing.T, g *Graph) {
+	t.Helper()
+	var seq atomic.Int64
+	order := make([]int64, g.Tiles())
+	ran := make([]atomic.Int32, g.Tiles())
+	g.SetRunner(func(worker int, tile grid.Region) {
+		// Identify the tile by its region (the runner API deliberately
+		// passes regions, not indices).
+		for i := 0; i < g.Tiles(); i++ {
+			if fmt.Sprint(g.TileRegion(i)) == fmt.Sprint(tile) {
+				ran[i].Add(1)
+				order[i] = seq.Add(1)
+				return
+			}
+		}
+		t.Errorf("runner got unknown tile %v", tile)
+	})
+	g.Run()
+	for i := 0; i < g.Tiles(); i++ {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("tile %d ran %d times, want 1", i, n)
+		}
+		for _, p := range g.Preds(i) {
+			if order[p] > order[i] {
+				t.Fatalf("tile %d (seq %d) ran before predecessor %d (seq %d)",
+					i, order[i], p, order[p])
+			}
+		}
+	}
+}
+
+func TestEmptyRegionIsNoOp(t *testing.T) {
+	region := grid.MustRegion(grid.NewRange(5, 4), grid.NewRange(0, 9))
+	g, err := New(region, loop2(), forward2(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	if g.Tiles() != 0 {
+		t.Fatalf("empty region produced %d tiles", g.Tiles())
+	}
+	g.SetRunner(func(int, grid.Region) { t.Error("runner called for empty region") })
+	g.Run()
+}
+
+func TestTraceValidatesDynamicSchedule(t *testing.T) {
+	workers := 4
+	tr := trace.New(workers, 0)
+	g, err := New(grid.Square(2, 0, 63), loop2(), forward2(),
+		Options{Workers: workers, TileW: []int{8, 8}, Trace: tr, TraceBase: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	g.SetRunner(func(int, grid.Region) { time.Sleep(20 * time.Microsecond) })
+	g.Run()
+	g.Run()
+	if err := trace.ValidateRecorder(tr); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	var tiles int
+	for _, ev := range tr.Events() {
+		if ev.Kind == trace.KindTaskTile {
+			tiles++
+		}
+	}
+	if want := 2 * g.Tiles(); tiles != want {
+		t.Fatalf("trace has %d task-tile events, want %d", tiles, want)
+	}
+}
+
+func TestTraceDisabledWhenRecorderTooSmall(t *testing.T) {
+	tr := trace.New(2, 0) // 4 workers need 4 rings
+	g, err := New(grid.Square(2, 0, 31), loop2(), forward2(),
+		Options{Workers: 4, TileW: []int{8, 8}, Trace: tr, TraceBase: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	g.SetRunner(func(int, grid.Region) {})
+	g.Run()
+	if n := tr.Len(); n != 0 {
+		t.Fatalf("undersized recorder got %d events, want tracing disabled", n)
+	}
+}
+
+func TestCorruptCounterCaughtByValidator(t *testing.T) {
+	workers := 4
+	tr := trace.New(workers, 0)
+	g, err := New(grid.Square(2, 0, 63), loop2(), forward2(),
+		Options{Workers: workers, TileW: []int{8, 8}, Trace: tr, TraceBase: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	// Corrupt the last tile's counter: it runs with one predecessor
+	// outstanding. Slowing every other tile guarantees the corrupted tile
+	// starts while a predecessor is still executing, so the trace check
+	// (predecessor End <= dependent Start) must fire.
+	victim := g.Tiles() - 1
+	if len(g.Preds(victim)) == 0 {
+		t.Fatal("victim tile has no predecessors")
+	}
+	if err := g.CorruptCounter(victim); err != nil {
+		t.Fatal(err)
+	}
+	victimRegion := fmt.Sprint(g.TileRegion(victim))
+	g.SetRunner(func(worker int, tile grid.Region) {
+		if fmt.Sprint(tile) != victimRegion {
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	g.Run()
+	if err := trace.ValidateRecorder(tr); err == nil {
+		t.Fatal("validator accepted a schedule with a corrupted dependency counter")
+	} else {
+		t.Logf("validator caught the corruption: %v", err)
+	}
+}
+
+func TestCorruptCounterOutOfRange(t *testing.T) {
+	g, err := New(grid.Square(2, 0, 31), loop2(), forward2(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	if err := g.CorruptCounter(g.Tiles()); err == nil {
+		t.Fatal("out-of-range corruption accepted")
+	}
+}
+
+func TestWorkerStatsAndMetricsFlush(t *testing.T) {
+	workers := 4
+	reg := metrics.New(2)
+	g, err := New(grid.Square(2, 0, 127), loop2(), forward2(),
+		Options{Workers: workers, TileW: []int{8, 8}, Metrics: reg, MetricsRank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	g.SetRunner(func(int, grid.Region) { time.Sleep(50 * time.Microsecond) })
+	// Steals and parks are schedule-dependent; with one seed tile and a
+	// slow runner they are overwhelmingly likely, but retry a few runs
+	// rather than assert a single nondeterministic outcome.
+	var stats []WorkerStats
+	runs := 0
+	for attempt := 0; attempt < 20; attempt++ {
+		g.Run()
+		runs++
+		stats = g.WorkerStats()
+		var steals, parks int64
+		for _, s := range stats {
+			steals += s.Steals
+			parks += s.Parks
+		}
+		if steals > 0 && parks > 0 {
+			break
+		}
+	}
+	var tiles, steals, parks, unparks int64
+	for _, s := range stats {
+		tiles += s.Tiles
+		steals += s.Steals
+		parks += s.Parks
+		unparks += s.Unparks
+	}
+	if want := int64(runs * g.Tiles()); tiles != want {
+		t.Fatalf("workers executed %d tiles, want %d", tiles, want)
+	}
+	if steals == 0 {
+		t.Error("no steals across 20 runs of a single-seed DAG on 4 workers")
+	}
+	if parks == 0 {
+		t.Error("no parks across 20 runs")
+	}
+	if parks != unparks {
+		t.Errorf("parks %d != unparks %d after quiescence", parks, unparks)
+	}
+	if got := reg.Counter(metrics.TaskTiles).Rank(1); got != tiles {
+		t.Errorf("metrics shard has %d tiles, stats say %d", got, tiles)
+	}
+	if got := reg.Counter(metrics.TaskSteals).Rank(1); got != steals {
+		t.Errorf("metrics shard has %d steals, stats say %d", got, steals)
+	}
+}
+
+func TestStealSeedPerturbsButStaysSafe(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g, err := New(grid.Square(2, 0, 63), loop2(), forward2(),
+			Options{Workers: 4, TileW: []int{8, 8}, StealSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runDAGAndCheckOrder(t, g)
+		g.Stop()
+	}
+}
+
+func TestConcurrentTileBodiesSeePredecessorWrites(t *testing.T) {
+	// The memory-model contract: a tile's body observes every write made
+	// by its (transitive) predecessors. Sum a counter along the diagonal:
+	// each tile adds its predecessor count read from shared cells.
+	g, err := New(grid.Square(2, 0, 63), loop2(), forward2(), Options{Workers: 8, TileW: []int{8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	cells := make([]int64, g.Tiles()) // written without atomics: the DAG must order them
+	index := map[string]int{}
+	for i := 0; i < g.Tiles(); i++ {
+		index[fmt.Sprint(g.TileRegion(i))] = i
+	}
+	g.SetRunner(func(worker int, tile grid.Region) {
+		i := index[fmt.Sprint(tile)]
+		var sum int64 = 1
+		for _, p := range g.Preds(i) {
+			sum += cells[p]
+		}
+		cells[i] = sum
+	})
+	for run := 0; run < 5; run++ {
+		for i := range cells {
+			cells[i] = 0
+		}
+		g.Run()
+		// Tile values follow the Delannoy-style recurrence; spot-check the
+		// origin row/column which must be strictly increasing path counts.
+		if cells[0] != 1 {
+			t.Fatalf("run %d: origin tile = %d, want 1", run, cells[0])
+		}
+		for i := 1; i < g.Shape()[1]; i++ {
+			if cells[i] <= cells[i-1] {
+				t.Fatalf("run %d: first-row prefix sums not increasing: %v", run, cells[:g.Shape()[1]])
+			}
+		}
+	}
+}
+
+func TestStopIdempotentAndRacesNothing(t *testing.T) {
+	g, err := New(grid.Square(2, 0, 31), loop2(), forward2(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetRunner(func(int, grid.Region) {})
+	g.Run()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); g.Stop() }()
+	}
+	wg.Wait()
+	g.Stop()
+}

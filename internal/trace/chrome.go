@@ -84,6 +84,14 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			ce.Args["action_code"] = ev.Seq
 		case KindCancel:
 			ce.Args["tag"] = ev.Tag
+		case KindTaskTile:
+			ce.Args["tile"] = ev.Tile
+			ce.Args["wave"] = ev.Wave
+			ce.Args["elems"] = ev.Elems
+		case KindTaskDep:
+			ce.Args["tile"] = ev.Tile
+			ce.Args["wave"] = ev.Wave
+			ce.Args["pred"] = ev.Seq
 		}
 		if len(ce.Args) == 0 {
 			ce.Args = nil
@@ -98,7 +106,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 // compute vs communication vs runtime phases.
 func category(k Kind) string {
 	switch k {
-	case KindCompute, KindKernel:
+	case KindCompute, KindKernel, KindTaskTile:
 		return "compute"
 	case KindSend, KindRecv, KindWaveSend, KindWaveRecv, KindBlockedSend:
 		return "comm"

@@ -80,7 +80,7 @@ func (r *Recorder) Summarize() *Summary {
 			}
 			d := time.Duration(ev.End - ev.Start)
 			switch ev.Kind {
-			case KindCompute:
+			case KindCompute, KindTaskTile:
 				hasCompute = true
 				rs.Busy += d
 				computes = append(computes, span{ev.Start, ev.End})

@@ -65,13 +65,23 @@ const (
 	// KindCancel marks an operation aborted by topology cancellation
 	// (including watchdog-diagnosed deadlocks).
 	KindCancel
+	// KindTaskTile is one tile's execution under the task-DAG scheduler;
+	// Wave identifies the DAG run, Tile the tile index. End is taken
+	// before any successor tile is released, so the validator may require
+	// predecessor End <= successor Start.
+	KindTaskTile
+	// KindTaskDep records, at a task-DAG tile's start, one dependence edge
+	// the scheduler claims was satisfied: Seq holds the predecessor tile
+	// index, Tile/Wave the depending tile. Start == End == the tile's
+	// start instant.
+	KindTaskDep
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"compute", "kernel", "send", "recv", "wave-send", "wave-recv",
 	"scatter", "gather", "barrier", "exchange", "reduce",
-	"blocked-send", "fault", "cancel",
+	"blocked-send", "fault", "cancel", "task-tile", "task-dep",
 }
 
 // String names the kind for humans and for the Chrome export.

@@ -20,13 +20,19 @@ import (
 //     dependence (Need >= 0, Peer >= 0) must begin only after boundary
 //     messages 0..Need from that upstream rank in the same wave run have
 //     all been received.
+//  4. Dynamic-schedule safety: under the task-DAG scheduler each tile
+//     executes exactly once per DAG run (at most one KindTaskTile per
+//     (wave, tile)), and every dependence edge the scheduler recorded
+//     (KindTaskDep) points at a predecessor tile whose execution span
+//     ended no later than the depending tile started. Together these pin
+//     the nondeterministic work-stealing order inside the wavefront.
 //
 // Disrupted traces — those containing KindFault or KindCancel events —
 // relax the pairing checks (1) and (2): injected drops, duplicates, and
 // cancellations legitimately break count equality, so only the ordering of
-// uniquely paired messages is checked. The wavefront-safety check (3) is
-// never relaxed: even a canceled run must not have computed a tile before
-// its upstream boundary messages arrived.
+// uniquely paired messages is checked. The wavefront-safety checks (3) and
+// (4) are never relaxed: even a canceled run must not have computed a tile
+// before its dependencies were satisfied.
 //
 // Validate returns nil for a safe schedule, or an error listing up to
 // maxViolations violations. Traces that dropped events cannot be checked;
@@ -49,6 +55,9 @@ func Validate(events []Event) error {
 	waveSends := map[waveKey][]Event{}
 	waveRecvs := map[waveKey][]Event{}
 	var computes []Event
+	type taskKey struct{ wave, tile int }
+	taskTiles := map[taskKey][]Event{}
+	var taskDeps []Event
 
 	for _, ev := range events {
 		switch ev.Kind {
@@ -66,6 +75,11 @@ func Validate(events []Event) error {
 			waveRecvs[k] = append(waveRecvs[k], ev)
 		case KindCompute:
 			computes = append(computes, ev)
+		case KindTaskTile:
+			k := taskKey{ev.Wave, ev.Tile}
+			taskTiles[k] = append(taskTiles[k], ev)
+		case KindTaskDep:
+			taskDeps = append(taskDeps, ev)
 		}
 	}
 
@@ -152,6 +166,32 @@ func Validate(events []Event) error {
 			if r.End > c.Start {
 				v.addf("rank %d tile %d (wave %d): compute started at %dns before boundary message %d from rank %d completed at %dns",
 					c.Rank, c.Tile, c.Wave, c.Start, seq, c.Peer, r.End)
+			}
+		}
+	}
+
+	// 4. Dynamic-schedule safety: a tile runs once per DAG run, and each
+	// recorded dependence edge orders predecessor completion before the
+	// depending tile's start. Never relaxed — a fault-disrupted run may
+	// lose messages, but a tile that ran before its predecessor finished
+	// is a scheduler bug regardless.
+	for k, ts := range taskTiles {
+		if len(ts) > 1 {
+			v.addf("task tile %d (wave %d): executed %d times; want exactly once",
+				k.tile, k.wave, len(ts))
+		}
+	}
+	for _, d := range taskDeps {
+		ps := taskTiles[taskKey{d.Wave, d.Seq}]
+		if len(ps) == 0 {
+			v.addf("task tile %d (wave %d): started with no execution record for predecessor tile %d",
+				d.Tile, d.Wave, d.Seq)
+			continue
+		}
+		for _, p := range ps {
+			if p.End > d.Start {
+				v.addf("task tile %d (wave %d): started at %dns before predecessor tile %d completed at %dns",
+					d.Tile, d.Wave, d.Start, d.Seq, p.End)
 			}
 		}
 	}
