@@ -341,6 +341,37 @@ func BenchmarkPipelineFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineCheckpoint prices wave-boundary checkpointing: the same
+// pipelined Tomcatv forward sweep with snapshots off vs. cut every other
+// wave into the in-memory store. The on/off ratio is the overhead a user
+// pays for crash recoverability at that interval; BENCH_pr7.json snapshots
+// both so the guard catches regressions in the snapshot path itself.
+func BenchmarkPipelineCheckpoint(b *testing.B) {
+	for _, ckpt := range []bool{false, true} {
+		name := "off"
+		if ckpt {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			t, err := workload.NewTomcatv(128, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blk := t.ForwardBlock()
+			cfg := pipeline.DefaultConfig(4, 16)
+			if ckpt {
+				cfg.Checkpoint = &pipeline.CheckpointConfig{Every: 2}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(blk, t.Env, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPipelineSteadyAllocs measures the steady-state wave with buffer
 // pooling off vs on: one op is a full 4-rank sweep of the Tomcatv forward
 // wavefront through a persistent session (kernels, plans, and — pooled —

@@ -7,19 +7,21 @@ import (
 
 	"wavefront"
 	"wavefront/internal/field"
+	"wavefront/internal/metrics"
 	"wavefront/internal/workload"
 )
 
 // chaosModes are the -chaos scenarios, in run order for "all".
-var chaosModes = []string{"drop", "corrupt", "stall", "crash", "delay", "backpressure"}
+var chaosModes = []string{"drop", "corrupt", "stall", "crash", "delay", "backpressure", "recover", "recover-multi"}
 
 // runChaos demonstrates the fault-tolerant runtime on the Tomcatv forward
 // wavefront: it injects one seeded fault scenario (or all of them),
 // verifies the run ends the way the scenario predicts — a structured
 // deadlock diagnosis for starvation, an oracle-visible perturbation for
-// corruption, a clean bit-identical run for delay and backpressure — and
-// prints the injector accounting and diagnostics.
-func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int) error {
+// corruption, a clean bit-identical run for delay and backpressure, a
+// checkpoint-restart recovery to a bit-identical result for the recover
+// scenarios — and prints the injector accounting and diagnostics.
+func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int, tcfg wavefront.TransportConfig, ckptEvery int) error {
 	modes := []string{mode}
 	if mode == "all" {
 		modes = chaosModes
@@ -36,7 +38,14 @@ func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavef
 
 	failed := false
 	for _, m := range modes {
-		if err := runChaosMode(m, procs, block, n, linkCap, seed, sched, workers, oracle); err != nil {
+		if m == "backpressure" && tcfg.Kind != wavefront.TransportChan {
+			// Bounded links live in the channel transport's queues; socket
+			// transports get their backpressure from the kernel and reject
+			// LinkCapacity outright.
+			fmt.Printf("chaos %s: skipped under the %v transport (no bounded links)\n\n", m, tcfg.Kind)
+			continue
+		}
+		if err := runChaosMode(m, procs, block, n, linkCap, seed, sched, workers, tcfg, ckptEvery, oracle); err != nil {
 			fmt.Printf("chaos %s: FAILED: %v\n\n", m, err)
 			failed = true
 		}
@@ -47,7 +56,7 @@ func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavef
 	return nil
 }
 
-func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int, oracle *workload.Tomcatv) error {
+func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int, tcfg wavefront.TransportConfig, ckptEvery int, oracle *workload.Tomcatv) error {
 	// Pipeline boundary messages flow rank r → r+1 (the forward wavefront
 	// travels north to south) with tags equal to tile indices, so rules
 	// pinned to the 0→1 link deterministically hit boundary traffic.
@@ -73,9 +82,40 @@ func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched w
 		if linkCap == 0 {
 			linkCap = 1
 		}
+	case "recover":
+		// Crash one rank at a pinned point and demand checkpoint-restart
+		// recovery. The static schedule registers wave numbers, so the crash
+		// pins to a wave; the task-DAG schedule runs its whole portion as
+		// wave 1, so occurrence counting pins it instead.
+		if sched == wavefront.SchedTaskDAG {
+			rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 1, Peer: 2,
+				Tag: wavefront.FaultAny, After: 2, Wave: 1, Action: wavefront.FaultCrash}}
+		} else {
+			rules = []wavefront.FaultRule{{Op: wavefront.FaultOnRecv, Rank: 1, Peer: 0,
+				Tag: wavefront.FaultAny, Wave: 2, Action: wavefront.FaultCrash}}
+		}
+	case "recover-multi":
+		// Two ranks crash at different points; each restarts from its own
+		// snapshot and the run still completes bit-identical.
+		if sched == wavefront.SchedTaskDAG {
+			rules = []wavefront.FaultRule{
+				{Op: wavefront.FaultOnSend, Rank: 1, Peer: 2,
+					Tag: wavefront.FaultAny, After: 2, Wave: 1, Action: wavefront.FaultCrash},
+				{Op: wavefront.FaultOnSend, Rank: 2, Peer: 3,
+					Tag: wavefront.FaultAny, After: 3, Wave: 1, Action: wavefront.FaultCrash},
+			}
+		} else {
+			rules = []wavefront.FaultRule{
+				{Op: wavefront.FaultOnRecv, Rank: 1, Peer: 0,
+					Tag: wavefront.FaultAny, Wave: 2, Action: wavefront.FaultCrash},
+				{Op: wavefront.FaultOnRecv, Rank: 2, Peer: 1,
+					Tag: wavefront.FaultAny, Wave: 3, Action: wavefront.FaultCrash},
+			}
+		}
 	default:
 		return fmt.Errorf("unknown -chaos mode %q (want one of %v or 'all')", mode, chaosModes)
 	}
+	recovery := mode == "recover" || mode == "recover-multi"
 
 	var inj *wavefront.FaultInjector
 	if len(rules) > 0 {
@@ -89,9 +129,15 @@ func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched w
 	if err != nil {
 		return err
 	}
-	_, err = wavefront.RunPipelined(t.ForwardBlock(), t.Env,
-		wavefront.Pipeline{Procs: procs, Block: block, Faults: inj, LinkCapacity: linkCap,
-			Scheduler: sched, Workers: workers})
+	cfg := wavefront.Pipeline{Procs: procs, Block: block, Faults: inj, LinkCapacity: linkCap,
+		Scheduler: sched, Workers: workers, Transport: tcfg}
+	var reg *wavefront.Metrics
+	if recovery {
+		reg = wavefront.NewMetrics(procs)
+		cfg.Metrics = reg
+		cfg.Checkpoint = &wavefront.Checkpoint{Every: ckptEvery}
+	}
+	_, err = wavefront.RunPipelined(t.ForwardBlock(), t.Env, cfg)
 
 	diff := maxDiff(t, oracle)
 	switch mode {
@@ -122,6 +168,24 @@ func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched w
 			return fmt.Errorf("result diverged from the serial oracle by %g", diff)
 		}
 		fmt.Printf("chaos %s: bit-identical to the serial oracle\n", mode)
+	case "recover", "recover-multi":
+		if err != nil {
+			return fmt.Errorf("crashed rank(s) must recover from snapshots, got: %v", err)
+		}
+		if inj.Fired() == 0 {
+			return errors.New("the crash rule never fired; the run proves nothing")
+		}
+		if diff != 0 {
+			return fmt.Errorf("recovered run diverged from the serial oracle by %g", diff)
+		}
+		snaps := reg.Counter(metrics.CkptSnapshots).Value()
+		restores := reg.Counter(metrics.CkptRestores).Value()
+		replayed := reg.Counter(metrics.CkptReplayed).Value()
+		if restores == 0 {
+			return errors.New("the run completed without a restart; the crash was not exercised")
+		}
+		fmt.Printf("chaos %s: recovered bit-identical to the serial oracle (%d snapshots, %d restores, %d msgs replayed)\n",
+			mode, snaps, restores, replayed)
 	}
 	if inj != nil {
 		fmt.Printf("  %s\n", inj)

@@ -18,10 +18,15 @@
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 //
 // The -chaos mode exercises the fault-tolerant runtime: it injects a seeded
-// fault scenario (drop, corrupt, stall, crash, delay, backpressure, or all)
-// into the same workload and verifies the run ends with the predicted
-// diagnosis instead of hanging. -link-cap bounds every comm link so senders
-// feel backpressure (0 = unbounded); it applies to -trace and -chaos runs.
+// fault scenario (drop, corrupt, stall, crash, delay, backpressure,
+// recover, recover-multi, or all) into the same workload and verifies the
+// run ends with the predicted diagnosis instead of hanging. The recovery
+// scenarios crash ranks at pinned waves with checkpointing on (-ckpt-every)
+// and demand the restarted run complete bit-identical to the serial oracle.
+// -link-cap bounds every comm link so senders feel backpressure (0 =
+// unbounded); it applies to -trace and -chaos runs. -transport selects how
+// messages travel between ranks (in-process channels, loopback TCP, or unix
+// sockets) for the -chaos scenarios.
 package main
 
 import (
@@ -53,9 +58,11 @@ func main() {
 		procs     = flag.Int("procs", 4, "ranks for -trace, -chaos, and -serve")
 		blockSize = flag.Int("block", 16, "tile width for -trace, -chaos, and -serve (0 = naive)")
 		n         = flag.Int("n", 128, "problem size for -trace, -chaos, and -serve")
-		chaos     = flag.String("chaos", "", "inject a fault scenario (drop|corrupt|stall|crash|delay|backpressure|all)")
+		chaos     = flag.String("chaos", "", "inject a fault scenario (drop|corrupt|stall|crash|delay|backpressure|recover|recover-multi|all)")
 		linkCap   = flag.Int("link-cap", 0, "bound every comm link to this many queued messages (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "fault-plan seed for -chaos")
+		transp    = flag.String("transport", "chan", "message transport: chan (in-process), tcp, or unix (loopback sockets)")
+		ckptEvery = flag.Int("ckpt-every", 2, "snapshot interval in waves for the -chaos recovery scenarios")
 		serve     = flag.String("serve", "", "serve live metrics at this address (e.g. :8080) while looping the workload")
 		watch     = flag.Bool("watch", false, "print a periodic one-line live summary while looping the workload")
 		duration  = flag.Duration("duration", 0, "stop the -serve/-watch workload loop after this long (0 = until interrupted)")
@@ -92,6 +99,9 @@ func main() {
 	exitOn(err)
 	sched, err := wavefront.ParseScheduler(*schedSel)
 	exitOn(err)
+	tkind, err := wavefront.ParseTransport(*transp)
+	exitOn(err)
+	tcfg := wavefront.TransportConfig{Kind: tkind}
 
 	if *validate {
 		exitOn(runValidate(*n, *blockSize))
@@ -109,7 +119,7 @@ func main() {
 	}
 
 	if *chaos != "" {
-		exitOn(runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed, sched, *workers))
+		exitOn(runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed, sched, *workers, tcfg, *ckptEvery))
 		return
 	}
 

@@ -1,0 +1,224 @@
+// Package ckpt holds the checkpoint/restart state machine's data layer: a
+// per-rank Snapshot of everything a wavefront rank needs to resume from a
+// wave boundary, a checksum sealing it, and two Store implementations — an
+// in-memory store with pooled per-rank slots (the default: restart is an
+// in-process affair) and a file-backed store layered on the same encoding
+// (crash-stop durability, used by tests and the CLI's file mode).
+//
+// Wave boundaries are the only safe cut points: mid-wave, a rank's portion
+// mixes elements from two waves and the inbound halo cursor does not
+// correspond to any prefix of the send sequence, so no consistent global
+// state exists to restore. At a boundary, the portion fields plus the link
+// cursors plus the scalar environment are the complete rank state — the
+// proof is the restart path itself, which resumes bit-identically.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// FieldSnap is one portion field captured at a wave boundary.
+type FieldSnap struct {
+	// Name is the array's program name.
+	Name string
+	// Layout is the field's memory layout code (field.Layout, kept as an
+	// int so ckpt does not import the field package).
+	Layout int
+	// Dims is the field's bounds as lo,hi pairs, flattened.
+	Dims []int
+	// Data is the raw element storage.
+	Data []float64
+}
+
+// Snapshot is one rank's complete resumable state at a wave boundary.
+// Stores deep-copy on Save, so a caller may reuse its snapshot scratch
+// across waves — the "pooled" half of the contract.
+type Snapshot struct {
+	// Rank owns the snapshot; Wave is the 1-based wave the rank is about to
+	// run (everything before it is captured); Seq orders snapshots per rank.
+	Rank, Wave int
+	Seq        int64
+	// RecvCursor[p] is the consumed count on the p→rank link at the
+	// boundary; SendCursor[p] the enqueued count on rank→p. These key the
+	// comm layer's replay and suppression on restart.
+	RecvCursor, SendCursor []int64
+	// Ints is scheduler-specific integer state (op counters, tile cursors).
+	Ints []int64
+	// Names and Vals are scheduler-specific named float state (scalar
+	// environments, reduction logs), parallel slices.
+	Names []string
+	Vals  []float64
+	// Fields are the portion arrays.
+	Fields []FieldSnap
+	// Checksum seals everything above (FNV-1a over the canonical encoding).
+	// Save computes it; Latest verifies it.
+	Checksum uint64
+}
+
+// Store persists per-rank snapshots. Implementations must be safe for
+// concurrent use by rank goroutines (each rank touches only its own slot,
+// but trimming and restore cross ranks).
+type Store interface {
+	// Save persists a deep copy of s as rank s.Rank's latest snapshot,
+	// stamping s.Seq and s.Checksum. The caller keeps ownership of s and
+	// may mutate it afterwards.
+	Save(s *Snapshot) error
+	// Latest returns rank's most recent snapshot, (nil, nil) when none has
+	// been saved. The returned snapshot is valid until the rank's next
+	// Save; callers must not mutate it.
+	Latest(rank int) (*Snapshot, error)
+	// Close releases the store's resources.
+	Close() error
+}
+
+// ErrChecksum reports a snapshot whose seal does not match its contents.
+var ErrChecksum = errors.New("ckpt: snapshot checksum mismatch")
+
+// fnv1a64 over the snapshot's canonical encoding. Stable across processes
+// (no map iteration, no pointers), cheap enough to run per checkpoint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type hasher uint64
+
+func newHasher() hasher { return fnvOffset }
+
+func (h *hasher) byte(b byte) { *h = (*h ^ hasher(b)) * fnvPrime }
+
+func (h *hasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *hasher) i64(v int64) { h.u64(uint64(v)) }
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+func (h *hasher) f64s(vs []float64) {
+	h.u64(uint64(len(vs)))
+	for _, v := range vs {
+		h.u64(floatBits(v))
+	}
+}
+
+// checksum computes the snapshot's seal over every field except Checksum.
+func checksum(s *Snapshot) uint64 {
+	h := newHasher()
+	h.i64(int64(s.Rank))
+	h.i64(int64(s.Wave))
+	h.i64(s.Seq)
+	h.u64(uint64(len(s.RecvCursor)))
+	for _, c := range s.RecvCursor {
+		h.i64(c)
+	}
+	h.u64(uint64(len(s.SendCursor)))
+	for _, c := range s.SendCursor {
+		h.i64(c)
+	}
+	h.u64(uint64(len(s.Ints)))
+	for _, v := range s.Ints {
+		h.i64(v)
+	}
+	h.u64(uint64(len(s.Names)))
+	for _, n := range s.Names {
+		h.str(n)
+	}
+	h.f64s(s.Vals)
+	h.u64(uint64(len(s.Fields)))
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		h.str(f.Name)
+		h.i64(int64(f.Layout))
+		h.u64(uint64(len(f.Dims)))
+		for _, d := range f.Dims {
+			h.i64(int64(d))
+		}
+		h.f64s(f.Data)
+	}
+	return uint64(h)
+}
+
+// copyInto deep-copies src into dst, reusing dst's backing storage where
+// capacities allow — the per-rank slot reuse that keeps steady-state
+// checkpointing allocation-free once slot capacities stabilize.
+func copyInto(dst, src *Snapshot) {
+	dst.Rank, dst.Wave, dst.Seq = src.Rank, src.Wave, src.Seq
+	dst.RecvCursor = append(dst.RecvCursor[:0], src.RecvCursor...)
+	dst.SendCursor = append(dst.SendCursor[:0], src.SendCursor...)
+	dst.Ints = append(dst.Ints[:0], src.Ints...)
+	dst.Names = append(dst.Names[:0], src.Names...)
+	dst.Vals = append(dst.Vals[:0], src.Vals...)
+	if cap(dst.Fields) < len(src.Fields) {
+		dst.Fields = make([]FieldSnap, len(src.Fields))
+	}
+	dst.Fields = dst.Fields[:len(src.Fields)]
+	for i := range src.Fields {
+		sf, df := &src.Fields[i], &dst.Fields[i]
+		df.Name, df.Layout = sf.Name, sf.Layout
+		df.Dims = append(df.Dims[:0], sf.Dims...)
+		df.Data = append(df.Data[:0], sf.Data...)
+	}
+	dst.Checksum = src.Checksum
+}
+
+// MemStore keeps each rank's latest snapshot in a reusable in-memory slot.
+type MemStore struct {
+	mu    sync.Mutex
+	slots []*Snapshot
+	seqs  []int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+func (m *MemStore) grow(rank int) {
+	for rank >= len(m.slots) {
+		m.slots = append(m.slots, nil)
+		m.seqs = append(m.seqs, 0)
+	}
+}
+
+// Save seals s and deep-copies it into rank s.Rank's slot.
+func (m *MemStore) Save(s *Snapshot) error {
+	if s.Rank < 0 {
+		return fmt.Errorf("ckpt: snapshot with invalid rank %d", s.Rank)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.grow(s.Rank)
+	m.seqs[s.Rank]++
+	s.Seq = m.seqs[s.Rank]
+	s.Checksum = checksum(s)
+	if m.slots[s.Rank] == nil {
+		m.slots[s.Rank] = &Snapshot{}
+	}
+	copyInto(m.slots[s.Rank], s)
+	return nil
+}
+
+// Latest returns rank's snapshot after re-verifying its seal.
+func (m *MemStore) Latest(rank int) (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rank < 0 || rank >= len(m.slots) || m.slots[rank] == nil {
+		return nil, nil
+	}
+	s := m.slots[rank]
+	if checksum(s) != s.Checksum {
+		return nil, fmt.Errorf("%w (rank %d seq %d)", ErrChecksum, rank, s.Seq)
+	}
+	return s, nil
+}
+
+// Close is a no-op for the in-memory store.
+func (m *MemStore) Close() error { return nil }

@@ -1,0 +1,204 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sample builds a fully-populated snapshot so every encoded section and
+// every checksum branch is exercised.
+func sample(rank int) *Snapshot {
+	return &Snapshot{
+		Rank: rank, Wave: 7,
+		RecvCursor: []int64{0, 3, 5},
+		SendCursor: []int64{0, 4, 2},
+		Ints:       []int64{7, 2, 1},
+		Names:      []string{"s:abs", "r:resid"},
+		Vals:       []float64{1.5, -2.25},
+		Fields: []FieldSnap{
+			{Name: "x", Layout: 1, Dims: []int{0, 4, 0, 4}, Data: []float64{1, 2, 3, 4}},
+			{Name: "y", Layout: 0, Dims: []int{1, 3}, Data: []float64{-0.5, 0.5}},
+		},
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	st := NewMemStore()
+	defer st.Close()
+	s := sample(1)
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq != 1 {
+		t.Errorf("Seq after first Save = %d, want 1", s.Seq)
+	}
+	want := sample(1)
+	want.Seq, want.Checksum = s.Seq, s.Checksum
+
+	// The caller keeps ownership: scribbling over the scratch snapshot must
+	// not reach the stored copy.
+	s.Fields[0].Data[0] = 999
+	s.Vals[0] = 999
+
+	got, err := st.Latest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("Latest returned nil after Save")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A second Save overwrites the slot and bumps the sequence.
+	s2 := sample(1)
+	s2.Wave = 9
+	if err := st.Save(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Seq != 2 {
+		t.Errorf("Seq after second Save = %d, want 2", s2.Seq)
+	}
+	got, err = st.Latest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Wave != 9 || got.Seq != 2 {
+		t.Errorf("Latest after overwrite = wave %d seq %d, want wave 9 seq 2", got.Wave, got.Seq)
+	}
+}
+
+func TestMemStoreEmptyAndInvalid(t *testing.T) {
+	st := NewMemStore()
+	if s, err := st.Latest(3); s != nil || err != nil {
+		t.Errorf("Latest on empty store = %v, %v, want nil, nil", s, err)
+	}
+	if err := st.Save(&Snapshot{Rank: -1}); err == nil {
+		t.Error("Save with negative rank succeeded")
+	}
+}
+
+func TestMemStoreChecksumDetectsCorruption(t *testing.T) {
+	st := NewMemStore()
+	if err := st.Save(sample(0)); err != nil {
+		t.Fatal(err)
+	}
+	held, err := st.Latest(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violate the no-mutation contract on purpose: bit-flip one stored
+	// element. The next Latest must refuse the snapshot, not hand back
+	// silently wrong state.
+	held.Fields[1].Data[0] = -held.Fields[1].Data[0]
+	if _, err := st.Latest(0); !errors.Is(err, ErrChecksum) {
+		t.Errorf("Latest after corruption = %v, want ErrChecksum", err)
+	}
+}
+
+func TestFileStoreColdDecode(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sample(2)
+	if err := a.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	want := sample(2)
+	want.Seq, want.Checksum = s.Seq, s.Checksum
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store on the same directory simulates a new process recovering
+	// a previous run's state: the cache is cold, so Latest must decode the
+	// file and re-verify the seal.
+	b, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, err := b.Latest(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("cold Latest returned nil for a saved rank")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cold decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The decoded sequence seeds the counter, so a later Save keeps
+	// monotonic ordering across processes.
+	s2 := sample(2)
+	if err := b.Save(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Seq != want.Seq+1 {
+		t.Errorf("Seq after cold reopen = %d, want %d", s2.Seq, want.Seq+1)
+	}
+	if s, err := b.Latest(5); s != nil || err != nil {
+		t.Errorf("Latest for an unsaved rank = %v, %v, want nil, nil", s, err)
+	}
+}
+
+func TestFileStoreCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(sample(0)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	path := filepath.Join(dir, "rank-0.ckpt")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(t *testing.T, mutate func([]byte)) error {
+		t.Helper()
+		cp := append([]byte(nil), buf...)
+		mutate(cp)
+		if err := os.WriteFile(path, cp, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fresh.Close()
+		_, err = fresh.Latest(0)
+		return err
+	}
+
+	// A flipped payload byte past the header decodes fine but fails the seal.
+	if err := corrupt(t, func(b []byte) { b[len(b)/2] ^= 0x40 }); !errors.Is(err, ErrChecksum) {
+		t.Errorf("payload bit-flip: Latest = %v, want ErrChecksum", err)
+	}
+	// A damaged magic number is not a snapshot file at all.
+	if err := corrupt(t, func(b []byte) { b[0] ^= 0xff }); err == nil || errors.Is(err, ErrChecksum) {
+		t.Errorf("bad magic: Latest = %v, want a decode error", err)
+	}
+	// A truncated file must error, not decode garbage.
+	cp := append([]byte(nil), buf[:len(buf)-9]...)
+	if err := os.WriteFile(path, cp, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if _, err := fresh.Latest(0); err == nil {
+		t.Error("truncated file: Latest succeeded")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"wavefront/internal/fault"
 )
@@ -143,6 +144,16 @@ func (t *Topology) cancel(rank int, cause error) {
 	}
 	t.mu.Lock()
 	if t.canceled.Load() {
+		// First cause wins — with one exception. The watchdog fires on the
+		// all-blocked state an explicit cancellation itself creates, so a
+		// concurrent DeadlockError can land first and masquerade as the
+		// outcome when cancellation (or a real rank failure) was the true
+		// cause. A real cause therefore overwrites a recorded deadlock
+		// diagnosis; a deadlock diagnosis never overwrites anything.
+		var have, incoming *DeadlockError
+		if errors.As(t.cause, &have) && !errors.As(cause, &incoming) {
+			t.cause, t.causeRank = cause, rank
+		}
 		t.mu.Unlock()
 		return
 	}
@@ -157,6 +168,9 @@ func (t *Topology) cancel(rank int, cause error) {
 		l.cond.Broadcast()
 		l.mu.Unlock()
 	}
+	// Socket transports additionally sever their connections so reads and
+	// writes blocked in the kernel unwind too.
+	t.tp.Cancel()
 }
 
 // cancelError builds the error a poisoned operation returns.
@@ -257,6 +271,15 @@ func (t *Topology) checkDeadlock(suspects []suspect, entries []WaitEntry) {
 	}
 	t.mu.Unlock()
 
+	// Over a socket transport a frame can be in flight — written by the
+	// sender but not yet demuxed into its link queue — so an all-blocked
+	// state with empty queues is not yet a deadlock. Delivery is imminent;
+	// re-arm the check instead of confirming.
+	if f, ok := t.tp.(interface{ InFlight() int64 }); ok && f.InFlight() > 0 {
+		time.AfterFunc(time.Millisecond, t.pokeWatchdog)
+		return
+	}
+
 	entries = entries[:0]
 	for _, s := range suspects {
 		qlen := s.w.queueLen
@@ -288,6 +311,18 @@ func (t *Topology) checkDeadlock(suspects []suspect, entries []WaitEntry) {
 		return // a rank progressed while we looked; any new all-blocked state re-triggers
 	}
 	t.cancel(-1, &DeadlockError{Waits: append([]WaitEntry(nil), entries...)})
+}
+
+// pokeWatchdog re-triggers the deadlock check if a Run is still active.
+func (t *Topology) pokeWatchdog() {
+	t.mu.Lock()
+	if t.wake != nil && !t.canceled.Load() {
+		select {
+		case t.wake <- struct{}{}:
+		default:
+		}
+	}
+	t.mu.Unlock()
 }
 
 // stall implements the injector's ActStall: the rank parks — visible to the

@@ -45,6 +45,9 @@ type link struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []Message
+	// consumed counts messages dequeued over the link's lifetime — the
+	// receiver-side cursor checkpoint/restart keys replay on (recovery.go).
+	consumed int64
 	// accounting
 	messages     int64
 	elements     int64
@@ -77,6 +80,28 @@ type Topology struct {
 	// pool, when non-nil, recycles payload buffers: Lease draws from it and
 	// Release/ReleaseTo return to it. Set before Run; read-only after.
 	pool *bufpool.Pool
+	// tp delivers messages (transport.go). Always non-nil: NewTopology
+	// installs the in-process channel transport. Set before Run; read-only
+	// after.
+	tp Transport
+	// rec, when non-nil, enables restart-from-checkpoint recovery of failed
+	// ranks (recovery.go). Set before Run; read-only after.
+	rec *Recovery
+	// retain holds per-link send retention for halo replay, indexed like
+	// links; nil unless recovery is enabled. Each entry is guarded by its
+	// link's mu.
+	retain []retainLog
+	// suppress counts sends each link must swallow after a restart because
+	// the pre-crash run already delivered them (armed under link locks,
+	// drained atomically on the send path).
+	suppress []atomic.Int64
+	// sent counts each link's logical sends at the sender, indexed like
+	// links; nil unless recovery is enabled. Snapshot send cursors and
+	// restart suppression read it instead of the link's enqueue count:
+	// over a socket transport a frame can be written but not yet demuxed
+	// into its queue, and an in-flight send missing from the cursor would
+	// under-arm suppression and deliver a duplicate after restart.
+	sent []atomic.Int64
 
 	// Cancellation and deadlock-watchdog state (see cancel.go). canceled is
 	// the fast-path flag; done closes when the topology is poisoned; mu
@@ -112,6 +137,7 @@ func NewTopology(p int) (*Topology, error) {
 	for i := range t.links {
 		t.links[i] = newLink()
 	}
+	t.tp = chanTransport{t}
 	return t, nil
 }
 
@@ -213,6 +239,11 @@ func (t *Topology) SetLinkCapacity(n int) error {
 	if n < 0 {
 		return fmt.Errorf("comm: link capacity must be >= 0, got %d", n)
 	}
+	if n > 0 {
+		if _, sock := t.tp.(*sockTransport); sock {
+			return errors.New("comm: bounded links are incompatible with socket transports; backpressure needs the in-process transport")
+		}
+	}
 	t.capacity = n
 	return nil
 }
@@ -268,10 +299,11 @@ func (t *Topology) PendingMessages() int {
 	return n
 }
 
-// sendOn enqueues m on the from→to link, blocking while the link is at
-// capacity. It reports the time spent blocked and fails if the topology is
-// canceled while waiting.
-func (t *Topology) sendOn(from, to int, m Message) (time.Duration, error) {
+// enqueue appends m to the from→to link queue, blocking while the link is
+// at capacity. It reports the time spent blocked and fails if the topology
+// is canceled while waiting. Every transport's delivery terminates here, so
+// link accounting, backpressure, and send retention are transport-agnostic.
+func (t *Topology) enqueue(from, to int, m Message) (time.Duration, error) {
 	l := t.link(from, to)
 	l.mu.Lock()
 	var blocked time.Duration
@@ -296,15 +328,18 @@ func (t *Topology) sendOn(from, to int, m Message) (time.Duration, error) {
 	l.queue = append(l.queue, m)
 	l.messages++
 	l.elements += int64(len(m.Data))
+	if t.retain != nil {
+		t.retainLocked(t.linkIndex(from, to), from, m)
+	}
 	l.mu.Unlock()
 	l.cond.Broadcast()
 	return blocked, nil
 }
 
-// recvOn dequeues the next message on the from→to link, blocking while the
+// dequeue pops the next message on the from→to link, blocking while the
 // link is empty. It reports the time spent blocked and fails on a tag
 // mismatch or if the topology is canceled while waiting.
-func (t *Topology) recvOn(from, to, tag int) (Message, time.Duration, error) {
+func (t *Topology) dequeue(from, to, tag int) (Message, time.Duration, error) {
 	l := t.link(from, to)
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -333,6 +368,7 @@ func (t *Topology) recvOn(from, to, tag int) (Message, time.Duration, error) {
 	}
 	copy(l.queue, l.queue[1:])
 	l.queue = l.queue[:len(l.queue)-1]
+	l.consumed++
 	if t.capacity > 0 {
 		l.cond.Broadcast() // space freed: wake blocked senders
 	}
@@ -413,6 +449,19 @@ func (e *Endpoint) Send(to, tag int, data []float64) error {
 	if t.canceled.Load() {
 		return t.cancelError()
 	}
+	if t.suppress != nil {
+		// A restarted rank replays its wave loop from the last snapshot; the
+		// sends it re-issues up to the pre-crash cursor were already
+		// delivered (and possibly consumed) before the crash, so they are
+		// swallowed here — before the injector, so fault rules don't re-fire,
+		// and before link accounting, so Stats match a fault-free run.
+		if s := &t.suppress[t.linkIndex(e.rank, to)]; s.Load() > 0 && s.Add(-1) >= 0 {
+			if t.pool != nil {
+				t.pool.Put(e.rank, data)
+			}
+			return nil
+		}
+	}
 	dup := false
 	if out, fired := t.inj.OnSend(e.rank, to, tag, data); fired {
 		t.recordFault(e.rank, to, tag, len(data), out)
@@ -440,7 +489,12 @@ func (e *Endpoint) Send(to, tag int, data []float64) error {
 	if cm != nil {
 		m0 = time.Now()
 	}
-	blocked, err := t.sendOn(e.rank, to, Message{Tag: tag, Data: data})
+	if t.sent != nil {
+		// Counted before the transport write so an in-flight frame is
+		// already covered by any cursor or suppression arithmetic.
+		t.sent[t.linkIndex(e.rank, to)].Add(1)
+	}
+	blocked, err := t.tp.Send(e.rank, to, Message{Tag: tag, Data: data})
 	if err != nil {
 		t.recordCancel(e.rank, to, tag, t0)
 		return err
@@ -465,7 +519,10 @@ func (e *Endpoint) Send(to, tag int, data []float64) error {
 		cm.msgCost.Observe(e.rank, float64(len(data)), float64(time.Since(m0)-blocked))
 	}
 	if dup {
-		if _, err := t.sendOn(e.rank, to, Message{Tag: tag, Data: data}); err != nil {
+		if t.sent != nil {
+			t.sent[t.linkIndex(e.rank, to)].Add(1)
+		}
+		if _, err := t.tp.Send(e.rank, to, Message{Tag: tag, Data: data}); err != nil {
 			return err
 		}
 		if cm != nil {
@@ -511,7 +568,7 @@ func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
 	if cm != nil {
 		m0 = time.Now()
 	}
-	m, blocked, err := t.recvOn(from, e.rank, tag)
+	m, blocked, err := t.tp.Recv(from, e.rank, tag)
 	if err != nil {
 		if errors.Is(err, ErrCanceled) {
 			t.recordCancel(e.rank, from, tag, t0)
@@ -560,7 +617,15 @@ func (t *Topology) Run(body func(e *Endpoint) error) error {
 	for r := 0; r < t.p; r++ {
 		go func(r int) {
 			defer wg.Done()
-			err := body(t.Endpoint(r))
+			ep := t.Endpoint(r)
+			err := body(ep)
+			// Recovery: a recoverable failure restarts the body in this same
+			// goroutine — the rank never retires, so the watchdog keeps
+			// counting it live and peers blocked on its messages are simply
+			// waiting, not deadlocked.
+			for attempt := 1; err != nil && t.tryRestart(r, attempt, err); attempt++ {
+				err = body(ep)
+			}
 			errs[r] = err
 			if err != nil && !errors.Is(err, ErrCanceled) {
 				// Cancel before retiring so the watchdog can never diagnose

@@ -101,6 +101,13 @@ type Rule struct {
 	// Times bounds how many matches fire after the After window: 0 means
 	// once, n > 0 means n times, -1 means every subsequent match.
 	Times int
+	// Wave restricts the rule to one wave of the computation: a 1-based
+	// wave number matched against the value the runtime registers with
+	// SetWave, 0 matching every wave (the default). Combined with Rank,
+	// this is the deterministic "crash rank R at wave N" knob the recovery
+	// tests are built on — occurrence counting (After) alone cannot pin a
+	// fault to a wave when earlier waves' message counts vary.
+	Wave int
 	// Action is the injected fault.
 	Action Action
 	// Delay is the injected latency for ActDelay.
@@ -111,8 +118,12 @@ type Rule struct {
 }
 
 func (r Rule) String() string {
-	return fmt.Sprintf("%s %s rank=%s peer=%s tag=%s after=%d times=%d",
+	s := fmt.Sprintf("%s %s rank=%s peer=%s tag=%s after=%d times=%d",
 		r.Action, r.Op, wild(r.Rank), wild(r.Peer), wild(r.Tag), r.After, r.Times)
+	if r.Wave != 0 {
+		s += fmt.Sprintf(" wave=%d", r.Wave)
+	}
+	return s
 }
 
 func wild(v int) string {
@@ -175,6 +186,9 @@ type Injector struct {
 	mu    sync.Mutex
 	rules []ruleState
 	fired int64
+	// waves[r] is rank r's current wave as registered by SetWave (1-based;
+	// 0 while unregistered), grown lazily.
+	waves []int
 }
 
 // New validates and compiles a plan. Message faults (drop, duplicate,
@@ -202,6 +216,9 @@ func New(p Plan) (*Injector, error) {
 		if r.Times < -1 {
 			return nil, fmt.Errorf("fault: rule %d: Times must be >= -1", i)
 		}
+		if r.Wave < 0 {
+			return nil, fmt.Errorf("fault: rule %d: Wave must be >= 0 (1-based; 0 matches every wave)", i)
+		}
 		st := ruleState{Rule: r, delta: r.Corrupt}
 		if r.Action == ActCorrupt && st.delta == 0 {
 			// Large enough that any downstream read of a corrupted element
@@ -225,6 +242,22 @@ func MustNew(p Plan) *Injector {
 
 // Enabled reports whether the injector can fire (false for nil).
 func (in *Injector) Enabled() bool { return in != nil }
+
+// SetWave registers rank's current wave (1-based) for Wave-pinned rules.
+// Schedulers call it as each rank enters a wave; a nil injector ignores it.
+// Operations performed before any SetWave carry wave 0 and only match
+// rules with Wave == 0 (the any-wave wildcard).
+func (in *Injector) SetWave(rank, wave int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	for rank >= len(in.waves) {
+		in.waves = append(in.waves, 0)
+	}
+	in.waves[rank] = wave
+	in.mu.Unlock()
+}
 
 // OnSend consults the plan for a send from rank to peer under tag carrying
 // data. It reports the fired outcome, or ok=false for a clean send.
@@ -252,6 +285,17 @@ func (in *Injector) onOp(op Op, rank, peer, tag int, data []float64) (Outcome, b
 			(r.Peer != Any && r.Peer != peer) ||
 			(r.Tag != Any && r.Tag != tag) {
 			continue
+		}
+		if r.Wave != 0 {
+			// A wave pin is part of the match, not the firing condition:
+			// operations outside the wave don't advance the After counter.
+			wave := 0
+			if rank < len(in.waves) {
+				wave = in.waves[rank]
+			}
+			if wave != r.Wave {
+				continue
+			}
 		}
 		r.seen++
 		if fired || r.seen <= r.After {

@@ -99,6 +99,12 @@ const (
 	TaskSteals  = "taskdag_steals_total"
 	TaskParks   = "taskdag_parks_total"
 	TaskUnparks = "taskdag_unparks_total"
+
+	// checkpoint/restart (per-rank counters; see internal/ckpt and the
+	// pipeline's Checkpoint wiring).
+	CkptSnapshots = "ckpt_snapshots_total"
+	CkptRestores  = "ckpt_restores_total"
+	CkptReplayed  = "ckpt_replayed_msgs_total"
 )
 
 // padCell is one cache-line-padded atomic counter cell. 64 bytes of

@@ -1,0 +1,213 @@
+package pipeline
+
+// Wave-boundary checkpoint/restart for the pipelined runtime. The comm
+// layer owns message replay and send suppression (comm/recovery.go); this
+// file owns the state half: cutting a rank's portion fields, link cursors,
+// and scheduler counters into a ckpt.Snapshot at wave boundaries, and
+// rebuilding a restarted rank's locals from its latest snapshot.
+//
+// Wave boundaries are the only safe cut points. Mid-tile, the portion
+// mixes updated and stale elements along the wavefront dimension (the UDV
+// dependence reach spans the whole tile) and the halo does not correspond
+// to any received-message prefix; at a boundary — before tile t's receives
+// — the portion state is exactly "tiles < t computed, recvd messages
+// consumed", which the link cursors pin down completely.
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"wavefront/internal/ckpt"
+	"wavefront/internal/comm"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/trace"
+)
+
+// CheckpointConfig enables wave-boundary checkpointing and crash recovery.
+type CheckpointConfig struct {
+	// Every is the snapshot interval in waves (tiles): a snapshot before
+	// tile 0 (the mandatory anchor — restart is impossible without one) and
+	// before every Every-th tile after it. <= 0 defaults to 1.
+	Every int
+	// Store persists the snapshots; nil selects a fresh in-memory store.
+	Store ckpt.Store
+	// MaxRestarts bounds total rank restarts per run (default 3).
+	MaxRestarts int
+}
+
+func (c *CheckpointConfig) every() int {
+	if c.Every <= 0 {
+		return 1
+	}
+	return c.Every
+}
+
+// ckptRuntime is one run's resolved checkpoint state.
+type ckptRuntime struct {
+	store   ckpt.Store
+	every   int
+	p       int
+	pending []atomic.Bool   // pending[r]: rank r's next body invocation is a restart
+	scratch []ckpt.Snapshot // per-rank reusable snapshot (Save deep-copies)
+	pm      *pipeMetrics
+}
+
+func newCkptRuntime(cfg *CheckpointConfig, p int, pm *pipeMetrics) *ckptRuntime {
+	st := cfg.Store
+	if st == nil {
+		st = ckpt.NewMemStore()
+	}
+	return &ckptRuntime{
+		store:   st,
+		every:   cfg.every(),
+		p:       p,
+		pending: make([]atomic.Bool, p),
+		scratch: make([]ckpt.Snapshot, p),
+		pm:      pm,
+	}
+}
+
+// recovery builds the comm-layer bridge: cursors come from the rank's
+// latest snapshot, and a granted restart marks the rank pending so its
+// next body invocation restores instead of re-scattering.
+func (ck *ckptRuntime) recovery(maxRestarts int) *comm.Recovery {
+	return &comm.Recovery{
+		MaxRestarts: maxRestarts,
+		Cursors: func(rank int) (recv, send []int64, ok bool) {
+			s, err := ck.store.Latest(rank)
+			if err != nil || s == nil {
+				return nil, nil, false
+			}
+			return s.RecvCursor, s.SendCursor, true
+		},
+		OnRestart: func(rank, attempt, replayed int) {
+			ck.pending[rank].Store(true)
+			if ck.pm != nil {
+				ck.pm.ckptReplayed.Add(rank, int64(replayed))
+			}
+		},
+	}
+}
+
+// shouldSnap reports whether a snapshot is due before tile t. Tile 0 is
+// mandatory (the restore anchor: by the time a crash can occur, upstream
+// gathers may already have overwritten the globals this rank scattered
+// from, so re-scattering is never sound).
+func (ck *ckptRuntime) shouldSnap(t int) bool {
+	return t == 0 || t%ck.every == 0
+}
+
+// snapshot cuts rank's state before tile wave and saves it, then trims the
+// comm layer's retention below the snapshot's receive cursors. recvd is
+// the count of upstream boundary messages consumed so far. Skipped while
+// post-restart send suppression is draining (see Endpoint.RecoveryQuiescent).
+func (ck *ckptRuntime) snapshot(e *comm.Endpoint, rank, wave, recvd int,
+	locals map[string]*field.Field, tr *trace.Recorder) error {
+	if !e.RecoveryQuiescent() {
+		return nil
+	}
+	t0 := tr.Now()
+	s := &ck.scratch[rank]
+	s.Rank, s.Wave = rank, wave
+	if cap(s.RecvCursor) < ck.p {
+		s.RecvCursor = make([]int64, ck.p)
+		s.SendCursor = make([]int64, ck.p)
+	}
+	s.RecvCursor, s.SendCursor = s.RecvCursor[:ck.p], s.SendCursor[:ck.p]
+	e.Cursors(s.RecvCursor, s.SendCursor)
+	s.Ints = append(s.Ints[:0], int64(recvd))
+	s.Names, s.Vals = s.Names[:0], s.Vals[:0]
+
+	if cap(s.Fields) < len(locals) {
+		s.Fields = make([]ckpt.FieldSnap, 0, len(locals))
+	}
+	s.Fields = s.Fields[:0]
+	names := make([]string, 0, len(locals))
+	for name := range locals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	elems := 0
+	for _, name := range names {
+		f := locals[name]
+		s.Fields = append(s.Fields, ckpt.FieldSnap{})
+		fs := &s.Fields[len(s.Fields)-1]
+		fs.Name = name
+		fs.Layout = int(f.Layout())
+		fs.Dims = fs.Dims[:0]
+		for _, r := range f.Bounds().Dims() {
+			fs.Dims = append(fs.Dims, r.Lo, r.Hi)
+		}
+		fs.Data = append(fs.Data[:0], f.Data()...)
+		elems += len(fs.Data)
+	}
+	if err := ck.store.Save(s); err != nil {
+		return fmt.Errorf("pipeline: rank %d: checkpoint at wave %d: %w", rank, wave, err)
+	}
+	e.TrimRetained(s.RecvCursor)
+	if ck.pm != nil {
+		ck.pm.ckptSnaps.Add(rank, 1)
+	}
+	if tr != nil {
+		ev := trace.Ev(trace.KindCkpt, rank, t0, tr.Now())
+		ev.Wave, ev.Elems = wave, elems
+		tr.Record(ev)
+	}
+	return nil
+}
+
+// restore rebuilds rank's locals and scheduler counters from its latest
+// snapshot. Returns the snapshot for the caller to resume from.
+func (ck *ckptRuntime) restore(rank int, tr *trace.Recorder) (*ckpt.Snapshot, map[string]*field.Field, error) {
+	t0 := tr.Now()
+	snap, err := ck.store.Latest(rank)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap == nil {
+		return nil, nil, fmt.Errorf("pipeline: rank %d restarted without a snapshot", rank)
+	}
+	locals, err := localsFromSnapshot(snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ck.pm != nil {
+		ck.pm.ckptRestores.Add(rank, 1)
+	}
+	if tr != nil {
+		ev := trace.Ev(trace.KindRestore, rank, t0, tr.Now())
+		ev.Wave, ev.Seq = snap.Wave, int(snap.Seq)
+		tr.Record(ev)
+	}
+	return snap, locals, nil
+}
+
+// localsFromSnapshot reconstructs the rank's local fields byte-for-byte
+// from the snapshot's field captures.
+func localsFromSnapshot(snap *ckpt.Snapshot) (map[string]*field.Field, error) {
+	locals := make(map[string]*field.Field, len(snap.Fields))
+	for i := range snap.Fields {
+		fs := &snap.Fields[i]
+		dims := make([]grid.Range, len(fs.Dims)/2)
+		for d := range dims {
+			dims[d] = grid.NewRange(fs.Dims[2*d], fs.Dims[2*d+1])
+		}
+		bounds, err := grid.NewRegion(dims...)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: snapshot field %q: %w", fs.Name, err)
+		}
+		f, err := field.New(fs.Name, bounds, field.Layout(fs.Layout))
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: snapshot field %q: %w", fs.Name, err)
+		}
+		if len(fs.Data) != len(f.Data()) {
+			return nil, fmt.Errorf("pipeline: snapshot field %q holds %d elements, bounds need %d",
+				fs.Name, len(fs.Data), len(f.Data()))
+		}
+		copy(f.Data(), fs.Data)
+		locals[fs.Name] = f
+	}
+	return locals, nil
+}

@@ -88,6 +88,18 @@ type Config struct {
 	// goroutine; <= 0 selects runtime.GOMAXPROCS(0). Ignored under
 	// SchedStatic.
 	Workers int
+	// Transport selects how boundary messages physically travel between
+	// ranks: the in-process channel transport (the zero value and zero-alloc
+	// default) or a loopback TCP/unix-socket transport (see comm.Transport).
+	// Socket transports are incompatible with LinkCapacity.
+	Transport comm.TransportConfig
+	// Checkpoint, when non-nil, snapshots every rank's portion state at
+	// wave boundaries and restarts a crashed rank from its latest snapshot,
+	// replaying the halo messages it had consumed — the run then completes
+	// bit-identical to a fault-free run instead of canceling. Nil — the
+	// default — keeps the fail-fast cancellation behavior and the
+	// zero-alloc steady state.
+	Checkpoint *CheckpointConfig
 	// AutoTune, when true and Metrics is non-nil, consults the drift
 	// monitor before planning: when the α/β/τ estimates rest on enough
 	// observations and predict that Block is mistuned by more than ~5%,
@@ -178,6 +190,9 @@ type plan struct {
 	// metrics carries the registry through to the task-DAG pools (per-rank
 	// tile/steal/park counters).
 	metrics *metrics.Registry
+	// inj mirrors Config.Faults so schedulers can register wave numbers
+	// for Wave-pinned fault rules (nil-safe).
+	inj *fault.Injector
 }
 
 type haloSpec struct {
@@ -215,7 +230,18 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	if err := topo.SetMetrics(cfg.Metrics); err != nil {
 		return nil, err
 	}
+	if err := topo.SetTransport(cfg.Transport); err != nil {
+		return nil, err
+	}
+	defer topo.Close()
 	pm := newPipeMetrics(cfg.Metrics, pl.p)
+	var ck *ckptRuntime
+	if cfg.Checkpoint != nil {
+		ck = newCkptRuntime(cfg.Checkpoint, pl.p, pm)
+		if err := topo.SetRecovery(ck.recovery(cfg.Checkpoint.MaxRestarts)); err != nil {
+			return nil, err
+		}
+	}
 	// Phase barriers around the parallel section: a rank must not gather
 	// into the global arrays while another is still scattering from them
 	// (and vice versa). Without pipeline messages nothing else orders the
@@ -227,7 +253,7 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	}
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
-		return runRank(b, env, pl, e, phase, cfg.Trace, pm)
+		return runRank(b, env, pl, e, phase, cfg.Trace, pm, ck)
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -329,7 +355,8 @@ func makePlan(b *scan.Block, env expr.Env, cfg Config) (*plan, error) {
 		pl := &plan{an: an, region: b.Region, p: cfg.Procs, block: cfg.Block, wDim: wDim,
 			pipeArrays: map[string]int{}, written: map[string]bool{},
 			engine: cfg.Kernel, scratch: cfg.Pool,
-			sched: cfg.Scheduler, workers: resolveWorkers(cfg.Workers), metrics: cfg.Metrics}
+			sched: cfg.Scheduler, workers: resolveWorkers(cfg.Workers), metrics: cfg.Metrics,
+			inj: cfg.Faults}
 		pl.tDim = cfg.TileDim
 		if pl.tDim < 0 {
 			for _, d := range an.Class.ParallelDims() {

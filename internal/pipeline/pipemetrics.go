@@ -18,6 +18,8 @@ type pipeMetrics struct {
 	busyNs, waitNs                  *metrics.Counter
 	waveMsgs, waveElems             *metrics.Counter
 	exchanges, reductions, barriers *metrics.Counter
+	ckptSnaps, ckptRestores         *metrics.Counter
+	ckptReplayed                    *metrics.Counter
 	tileNs                          *metrics.Histogram
 	compCost                        *metrics.Fit
 	// first/last bound each rank's compute activity in ns since the
@@ -31,21 +33,24 @@ func newPipeMetrics(reg *metrics.Registry, p int) *pipeMetrics {
 		return nil
 	}
 	pm := &pipeMetrics{
-		reg:        reg,
-		tiles:      reg.Counter(metrics.PipeTiles),
-		waves:      reg.Counter(metrics.PipeWaves),
-		points:     reg.Counter(metrics.PipePoints),
-		busyNs:     reg.Counter(metrics.PipeBusyNs),
-		waitNs:     reg.Counter(metrics.PipeWaitNs),
-		waveMsgs:   reg.Counter(metrics.PipeWaveMsgs),
-		waveElems:  reg.Counter(metrics.PipeWaveElems),
-		exchanges:  reg.Counter(metrics.SessExchanges),
-		reductions: reg.Counter(metrics.SessReductions),
-		barriers:   reg.Counter(metrics.SessBarriers),
-		tileNs:     reg.Histogram(metrics.PipeTileNs),
-		compCost:   reg.Fit(metrics.ModelCompFit),
-		first:      make([]int64, p),
-		last:       make([]int64, p),
+		reg:          reg,
+		tiles:        reg.Counter(metrics.PipeTiles),
+		waves:        reg.Counter(metrics.PipeWaves),
+		points:       reg.Counter(metrics.PipePoints),
+		busyNs:       reg.Counter(metrics.PipeBusyNs),
+		waitNs:       reg.Counter(metrics.PipeWaitNs),
+		waveMsgs:     reg.Counter(metrics.PipeWaveMsgs),
+		waveElems:    reg.Counter(metrics.PipeWaveElems),
+		exchanges:    reg.Counter(metrics.SessExchanges),
+		reductions:   reg.Counter(metrics.SessReductions),
+		barriers:     reg.Counter(metrics.SessBarriers),
+		ckptSnaps:    reg.Counter(metrics.CkptSnapshots),
+		ckptRestores: reg.Counter(metrics.CkptRestores),
+		ckptReplayed: reg.Counter(metrics.CkptReplayed),
+		tileNs:       reg.Histogram(metrics.PipeTileNs),
+		compCost:     reg.Fit(metrics.ModelCompFit),
+		first:        make([]int64, p),
+		last:         make([]int64, p),
 	}
 	for i := range pm.first {
 		pm.first[i] = -1

@@ -31,67 +31,87 @@ func (f *forwardEnv) Scalar(name string) (float64, bool) {
 
 // runRank is the SPMD body: scatter, pipeline loop, gather. The phase
 // barrier separates global-array reads (scatter) from global-array writes
-// (gather) across ranks.
-func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *comm.SyncBarrier, tr *trace.Recorder, pm *pipeMetrics) error {
+// (gather) across ranks. A restarted rank (ck marked it pending) skips
+// both scatter and barrier — its previous incarnation already passed the
+// barrier, and by now upstream gathers may have overwritten the globals —
+// and instead restores its locals from its latest snapshot, resuming the
+// tile loop at the snapshot's wave.
+func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *comm.SyncBarrier, tr *trace.Recorder, pm *pipeMetrics, ck *ckptRuntime) error {
 	rank := e.Rank()
 	L := pl.slabs[rank]
 
-	// Scatter: allocate each referenced array locally over the slab plus
-	// its halo (clipped to the global storage box: clipped cells are
-	// corners no reference reads) and copy the global values in. The
-	// barrier is reached even on error so no sibling blocks forever.
-	locals := map[string]*field.Field{}
-	scatterT0 := tr.Now()
-	scatterErr := func() error {
-		for name, h := range pl.halo {
-			g := genv.Array(name)
-			if g == nil {
-				return fmt.Errorf("pipeline: rank %d: array %q unbound", rank, name)
-			}
-			dims := L.Dims()
-			for d := range dims {
-				lo := dims[d].Lo - h.neg[d]
-				hi := dims[d].Hi + h.pos[d]
-				gb := g.Bounds().Dim(d)
-				if lo < gb.Lo {
-					lo = gb.Lo
-				}
-				if hi > gb.Hi {
-					hi = gb.Hi
-				}
-				dims[d] = grid.NewRange(lo, hi)
-			}
-			bounds, err := grid.NewRegion(dims...)
-			if err != nil {
-				return err
-			}
-			lf, err := field.New(name, bounds, g.Layout())
-			if err != nil {
-				return err
-			}
-			lf.CopyRegion(bounds, g)
-			locals[name] = lf
+	var locals map[string]*field.Field
+	startTile, recvd0 := 0, 0
+	restored := false
+	if ck != nil && ck.pending[rank].Swap(false) {
+		snap, restoredLocals, err := ck.restore(rank, tr)
+		if err != nil {
+			return err
 		}
-		return nil
-	}()
+		locals = restoredLocals
+		startTile = snap.Wave
+		if len(snap.Ints) > 0 {
+			recvd0 = int(snap.Ints[0])
+		}
+		restored = true
+	} else {
+		// Scatter: allocate each referenced array locally over the slab plus
+		// its halo (clipped to the global storage box: clipped cells are
+		// corners no reference reads) and copy the global values in. The
+		// barrier is reached even on error so no sibling blocks forever.
+		locals = map[string]*field.Field{}
+		scatterT0 := tr.Now()
+		scatterErr := func() error {
+			for name, h := range pl.halo {
+				g := genv.Array(name)
+				if g == nil {
+					return fmt.Errorf("pipeline: rank %d: array %q unbound", rank, name)
+				}
+				dims := L.Dims()
+				for d := range dims {
+					lo := dims[d].Lo - h.neg[d]
+					hi := dims[d].Hi + h.pos[d]
+					gb := g.Bounds().Dim(d)
+					if lo < gb.Lo {
+						lo = gb.Lo
+					}
+					if hi > gb.Hi {
+						hi = gb.Hi
+					}
+					dims[d] = grid.NewRange(lo, hi)
+				}
+				bounds, err := grid.NewRegion(dims...)
+				if err != nil {
+					return err
+				}
+				lf, err := field.New(name, bounds, g.Layout())
+				if err != nil {
+					return err
+				}
+				lf.CopyRegion(bounds, g)
+				locals[name] = lf
+			}
+			return nil
+		}()
 
-	if tr != nil {
-		tr.Record(trace.Ev(trace.KindScatter, rank, scatterT0, tr.Now()))
-	}
-	barrierT0 := tr.Now()
-	var mBar0 int64
-	if pm != nil {
-		mBar0 = pm.now()
-	}
-	phase.Wait() // everyone has scattered; globals may now be overwritten
-	if tr != nil {
-		tr.Record(trace.Ev(trace.KindBarrier, rank, barrierT0, tr.Now()))
-	}
-	if pm != nil {
-		pm.waitNs.Add(rank, pm.now()-mBar0)
-	}
-	if scatterErr != nil {
-		return scatterErr
+		if tr != nil {
+			tr.Record(trace.Ev(trace.KindScatter, rank, scatterT0, tr.Now()))
+		}
+		barrierT0 := tr.Now()
+		var mBar0 int64
+		if pm != nil {
+			mBar0 = pm.now()
+		}
+		phase.Wait() // everyone has scattered; globals may now be overwritten
+		if tr != nil {
+			tr.Record(trace.Ev(trace.KindBarrier, rank, barrierT0, tr.Now()))
+		}
+		if pm != nil {
+			pm.waitNs.Add(rank, pm.now()-mBar0)
+		}
+		if scatterErr != nil {
+			return scatterErr
+		}
 	}
 
 	lenv := &forwardEnv{arrays: locals, parent: genv}
@@ -112,14 +132,14 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 		upPortion = pl.slabs[rank-1]
 	}
 	ep := buildExecPlan(pl, pl.block, locals, L, upPortion, hasUp, hasDown, rank-1, rank+1)
-	if pm != nil {
+	if pm != nil && !restored {
 		pm.waves.Add(rank, 1) // one wave sweep over this rank's slab
 	}
 	if pl.sched == scan.SchedTaskDAG {
-		if err := runRankTaskDAG(b, lenv, pl, e, ep, L, rank, tr, pm); err != nil {
+		if err := runRankTaskDAG(b, lenv, pl, e, ep, L, rank, tr, pm, ck, locals); err != nil {
 			return err
 		}
-	} else if err := runRankStatic(pl, e, ep, kern, rank, tr, pm); err != nil {
+	} else if err := runRankStatic(pl, e, ep, kern, rank, tr, pm, ck, locals, startTile, recvd0); err != nil {
 		return err
 	}
 
@@ -192,10 +212,19 @@ func sendBoundary(e *comm.Endpoint, ep *execPlan, rank, t int, tr *trace.Recorde
 
 // runRankStatic is the paper's pipeline loop: receive the boundary
 // messages a tile needs, compute it, forward its boundary downstream.
-func runRankStatic(pl *plan, e *comm.Endpoint, ep *execPlan, kern *scan.Kernel, rank int, tr *trace.Recorder, pm *pipeMetrics) error {
+// With checkpointing enabled it cuts a snapshot before tile 0 and before
+// every ck.every-th tile — always at the loop top, before the tile's
+// receives, so the snapshot state is a clean wave boundary.
+func runRankStatic(pl *plan, e *comm.Endpoint, ep *execPlan, kern *scan.Kernel, rank int, tr *trace.Recorder, pm *pipeMetrics, ck *ckptRuntime, locals map[string]*field.Field, startTile, recvd0 int) error {
 	T := len(ep.tiles)
-	recvd := 0
-	for t := 0; t < T; t++ {
+	recvd := recvd0
+	for t := startTile; t < T; t++ {
+		pl.inj.SetWave(rank, t+1)
+		if ck != nil && ck.shouldSnap(t) {
+			if err := ck.snapshot(e, rank, t, recvd, locals, tr); err != nil {
+				return err
+			}
+		}
 		need := ep.needUp[t]
 		if ep.hasUp {
 			for ; recvd <= need; recvd++ {
@@ -239,8 +268,18 @@ func runRankStatic(pl *plan, e *comm.Endpoint, ep *execPlan, kern *scan.Kernel, 
 // has computed), so results are bit-identical and a taskdag rank
 // interoperates with static neighbours; the price is pipeline overlap
 // across ranks, which the in-rank parallelism replaces.
-func runRankTaskDAG(b *scan.Block, lenv *forwardEnv, pl *plan, e *comm.Endpoint, ep *execPlan, L grid.Region, rank int, tr *trace.Recorder, pm *pipeMetrics) error {
+func runRankTaskDAG(b *scan.Block, lenv *forwardEnv, pl *plan, e *comm.Endpoint, ep *execPlan, L grid.Region, rank int, tr *trace.Recorder, pm *pipeMetrics, ck *ckptRuntime, locals map[string]*field.Field) error {
 	T := len(ep.tiles)
+	pl.inj.SetWave(rank, 1)
+	if ck != nil {
+		// The task DAG runs the whole portion as one wave, so the entry —
+		// before any receive — is its only wave boundary; a crash anywhere
+		// in the portion restarts from here with every consumed message
+		// replayed and every issued send suppressed.
+		if err := ck.snapshot(e, rank, 0, 0, locals, tr); err != nil {
+			return err
+		}
+	}
 	if ep.hasUp {
 		for recvd := 0; recvd < T; recvd++ {
 			if err := recvBoundary(e, ep, rank, recvd, tr); err != nil {

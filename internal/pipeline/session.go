@@ -55,6 +55,9 @@ type Session struct {
 	// metrics are disabled); msrv is the HTTP endpoint from MetricsAddr.
 	pm   *pipeMetrics
 	msrv *metrics.Server
+	// ck is the checkpoint runtime of the Run in flight (nil when
+	// SessionConfig.Checkpoint is nil).
+	ck *ckptRuntime
 }
 
 // SessionConfig fixes a session's decomposition.
@@ -80,6 +83,23 @@ type SessionConfig struct {
 	// messages; senders then block on a full link (backpressure). 0 (the
 	// default) keeps links unbounded.
 	LinkCapacity int
+	// Transport selects how messages physically travel between ranks: the
+	// in-process channel transport (the zero value and zero-alloc default)
+	// or a loopback TCP/unix-socket transport (see comm.Transport). Socket
+	// transports are incompatible with LinkCapacity.
+	Transport comm.TransportConfig
+	// Checkpoint, when non-nil, snapshots every rank's session state —
+	// local arrays, scalars, tag counters, reduce results — at operation
+	// boundaries and restarts a crashed rank from its latest snapshot: the
+	// restarted rank fast-forwards through the SPMD body's already-covered
+	// operations, replays the messages it had consumed, and the run
+	// completes bit-identical to a fault-free run instead of canceling.
+	// Every counts leaf operations (Exec, Reduce, Barrier) here, not
+	// waves. Because the body re-runs from the top on a restarted rank,
+	// side effects outside rank state (appending to a caller slice, say)
+	// repeat during fast-forward; keep such effects idempotent or keyed.
+	// Nil (the default) keeps fail-fast cancellation.
+	Checkpoint *CheckpointConfig
 	// Metrics, when non-nil, streams counters, latency histograms, and the
 	// online model-drift estimate into the registry; it may be scraped
 	// concurrently while ranks run. Nil (the default) disables collection —
@@ -386,10 +406,22 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	if err := topo.SetMetrics(s.cfg.Metrics); err != nil {
 		return err
 	}
+	if err := topo.SetTransport(s.cfg.Transport); err != nil {
+		return err
+	}
+	defer topo.Close()
 	pm := newPipeMetrics(s.cfg.Metrics, s.cfg.Procs)
+	var ck *ckptRuntime
+	if s.cfg.Checkpoint != nil {
+		ck = newCkptRuntime(s.cfg.Checkpoint, s.cfg.Procs, pm)
+		if err := topo.SetRecovery(ck.recovery(s.cfg.Checkpoint.MaxRestarts)); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	s.topo = topo
 	s.pm = pm
+	s.ck = ck
 	s.mu.Unlock()
 	tr := s.cfg.Trace
 	// All ranks must finish scattering (reading the global arrays) before
@@ -404,27 +436,41 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	}
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
-		rk, err := s.newRank(e)
+		// A restarted rank restores from its snapshot instead of
+		// re-scattering — by restart time other ranks may already have
+		// gathered into the globals — and must not re-enter the phase
+		// barrier its previous incarnation already passed.
+		restoring := ck != nil && ck.pending[e.Rank()].Swap(false)
+		rk, err := s.newRank(e, restoring)
 		if rk != nil {
 			// Pool-leased tape registers go back when the rank's sweep ends
 			// — error paths included — so post-run Outstanding() audits see
 			// a drained pool. Kernels persist and re-lease next Run.
 			defer rk.releaseScratch()
 		}
-		barrierT0 := tr.Now()
-		var mBar0 int64
-		if pm != nil {
-			mBar0 = pm.now()
-		}
-		phase.Wait()
-		if tr != nil {
-			tr.Record(trace.Ev(trace.KindBarrier, e.Rank(), barrierT0, tr.Now()))
-		}
-		if pm != nil {
-			pm.waitNs.Add(e.Rank(), pm.now()-mBar0)
-		}
-		if err != nil {
-			return err
+		if restoring {
+			if err != nil {
+				return err
+			}
+			if err := rk.restoreSession(ck); err != nil {
+				return err
+			}
+		} else {
+			barrierT0 := tr.Now()
+			var mBar0 int64
+			if pm != nil {
+				mBar0 = pm.now()
+			}
+			phase.Wait()
+			if tr != nil {
+				tr.Record(trace.Ev(trace.KindBarrier, e.Rank(), barrierT0, tr.Now()))
+			}
+			if pm != nil {
+				pm.waitNs.Add(e.Rank(), pm.now()-mBar0)
+			}
+			if err != nil {
+				return err
+			}
 		}
 		if err := body(rk); err != nil {
 			return err
@@ -508,6 +554,18 @@ type Rank struct {
 	xregs map[string]xchgRegs
 	// needs is the reusable scratch list of stale arrays (Exec, Reduce).
 	needs []string
+	// Checkpoint fast-forward state (all zero when checkpointing is off).
+	// ops counts leaf operations (Exec of a registered block, Reduce,
+	// Barrier) executed by the SPMD body; because every rank runs the same
+	// body, equal counts identify the same operation on every rank. A
+	// restarted rank re-runs the body from the top with ffUntil set to the
+	// snapshot's operation index: operations below it are skipped — their
+	// effects are already in the restored state — with Reduce results
+	// replayed from reduceLog instead of re-communicated. lastSnapOps is
+	// the operation index of the rank's latest snapshot.
+	ops, ffUntil, lastSnapOps int
+	reduceLog                 []float64
+	reduceIdx                 int
 }
 
 // xchgRegs is one array's halo-exchange geometry: the rows to send to and
@@ -518,7 +576,11 @@ type xchgRegs struct {
 	sendHi, recvHi grid.Region
 }
 
-func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
+// newRank builds one rank's local state. When restoring, the local fields
+// are allocated but left unfilled — restoreSession overwrites every
+// element from the snapshot, and reading the globals here would race the
+// gathers of ranks that already finished.
+func (s *Session) newRank(e *comm.Endpoint, restoring bool) (*Rank, error) {
 	scatterT0 := s.cfg.Trace.Now()
 	r := &Rank{
 		sess:     s,
@@ -563,7 +625,9 @@ func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
 		if err != nil {
 			return nil, err
 		}
-		lf.CopyRegion(bounds, g)
+		if !restoring {
+			lf.CopyRegion(bounds, g)
+		}
 		r.locals[name] = lf
 	}
 	// Precompute the halo-exchange geometry: for each array and each
@@ -606,7 +670,7 @@ func (s *Session) newRank(e *comm.Endpoint) (*Rank, error) {
 		r.xregs[name] = x
 	}
 	r.lenv = &forwardEnv{arrays: r.locals, parent: s.genv}
-	if tr := s.cfg.Trace; tr != nil {
+	if tr := s.cfg.Trace; tr != nil && !restoring {
 		tr.Record(trace.Ev(trace.KindScatter, r.id, scatterT0, tr.Now()))
 	}
 	return r, nil
@@ -646,6 +710,9 @@ func (r *Rank) P() int { return r.sess.cfg.Procs }
 
 // Barrier synchronizes all ranks.
 func (r *Rank) Barrier() error {
+	if skip, err := r.ckOp(); err != nil || skip {
+		return err
+	}
 	pm := r.pm()
 	if pm == nil {
 		return r.e.Barrier()
@@ -697,6 +764,9 @@ func (r *Rank) Exec(b *scan.Block) error {
 	pl, ok := r.sess.plans[b]
 	if !ok {
 		return fmt.Errorf("pipeline: block %p was not registered with the session", b)
+	}
+	if skip, err := r.ckOp(); err != nil || skip {
+		return err
 	}
 	// Refresh halos of dirty arrays this block reads across the slab
 	// boundary. Pipelined arrays also refresh: their upstream halo rows are
@@ -834,6 +904,7 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 	pm := r.pm()
 	wave := r.waveRuns
 	r.waveRuns++
+	r.sess.cfg.Faults.SetWave(r.id, wave+1)
 	if pm != nil {
 		pm.waves.Add(r.id, 1)
 	}
@@ -1104,6 +1175,19 @@ func (r *Rank) exchange(names []string) error {
 // fold over this rank's portion combined through an all-reduce, after
 // refreshing any stale halos the operand reads across the boundary.
 func (r *Rank) Reduce(op scan.ReduceOp, region grid.Region, node expr.Node) (float64, error) {
+	if skip, err := r.ckOp(); err != nil {
+		return 0, err
+	} else if skip {
+		// Fast-forwarding a restart: peers completed this reduction before
+		// the crash; replay the logged result instead of re-communicating.
+		if r.reduceIdx >= len(r.reduceLog) {
+			return 0, fmt.Errorf("pipeline: rank %d: restart replay exhausted the reduce log at op %d",
+				r.id, r.ops-1)
+		}
+		v := r.reduceLog[r.reduceIdx]
+		r.reduceIdx++
+		return v, nil
+	}
 	w := r.sess.cfg.WavefrontDim
 	needs := r.needs[:0]
 	for _, ref := range expr.Refs(node) {
@@ -1136,6 +1220,9 @@ func (r *Rank) Reduce(op scan.ReduceOp, region grid.Region, node expr.Node) (flo
 	tr := r.tr()
 	reduceT0 := tr.Now()
 	out, err := r.e.AllReduce(local, commOp)
+	if err == nil && r.sess.ck != nil {
+		r.reduceLog = append(r.reduceLog, out)
+	}
 	if pm := r.pm(); pm != nil {
 		pm.reductions.Add(r.id, 1)
 	}

@@ -75,6 +75,13 @@ const (
 	// index, Tile/Wave the depending tile. Start == End == the tile's
 	// start instant.
 	KindTaskDep
+	// KindCkpt marks a wave-boundary checkpoint snapshot; Wave is the wave
+	// about to run, Elems the snapshotted element count.
+	KindCkpt
+	// KindRestore marks a rank restored from its checkpoint after a crash;
+	// Wave is the wave the restart resumes at, Seq the restored snapshot's
+	// sequence number.
+	KindRestore
 	numKinds
 )
 
@@ -82,6 +89,7 @@ var kindNames = [numKinds]string{
 	"compute", "kernel", "send", "recv", "wave-send", "wave-recv",
 	"scatter", "gather", "barrier", "exchange", "reduce",
 	"blocked-send", "fault", "cancel", "task-tile", "task-dep",
+	"ckpt", "restore",
 }
 
 // String names the kind for humans and for the Chrome export.
