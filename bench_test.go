@@ -11,6 +11,7 @@ import (
 
 	"wavefront"
 	"wavefront/internal/cachesim"
+	"wavefront/internal/critpath"
 	"wavefront/internal/exp"
 	"wavefront/internal/field"
 	"wavefront/internal/machine"
@@ -288,6 +289,49 @@ func BenchmarkPipelineMetrics(b *testing.B) {
 			if enabled {
 				if got := cfg.Metrics.Counter(metrics.PipeTiles).Value(); got == 0 {
 					b.Fatal("metrics-on run recorded no tiles")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinePostmortem measures the cost of the armed-but-idle
+// flight recorder on the pipelined Tomcatv forward sweep: "off" is the
+// default nil-recorder path, "on" arms a memory-only recorder, which makes
+// every clean run record into the flight trace ring and stash its state
+// for CaptureNow. Nothing fails, so no bundle is encoded or written — the
+// measurement is the always-on recording overhead, which must stay under
+// 5% (EXPERIMENTS.md documents the measured delta).
+func BenchmarkPipelinePostmortem(b *testing.B) {
+	for _, armed := range []bool{false, true} {
+		name := "off"
+		if armed {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			t, err := workload.NewTomcatv(128, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blk := t.ForwardBlock()
+			cfg := pipeline.DefaultConfig(4, 16)
+			if armed {
+				// Memory-only (no dir): clean iterations never touch the
+				// filesystem; the cost is the flight-ring recording plus the
+				// end-of-run stash.
+				cfg.Postmortem = critpath.NewPostmortem("")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(blk, t.Env, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if armed {
+				// The stash must hold the last clean run.
+				if _, _, err := cfg.Postmortem.CaptureNow("bench"); err != nil {
+					b.Fatalf("armed recorder stashed nothing: %v", err)
 				}
 			}
 		})

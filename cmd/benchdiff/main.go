@@ -7,6 +7,12 @@
 // With -base, any benchmark whose ns/op regressed by more than -maxregress
 // percent against the baseline fails the run (exit 1). Benchmarks present
 // only on one side are reported but never fail the guard.
+//
+// -json switches stdout to a machine-readable comparison document (the
+// human table moves to stderr) so CI can annotate a failed guard with the
+// exact regressing benchmarks:
+//
+//	go test -run - -bench . | go run ./cmd/benchdiff -base BENCH_pr1.json -json > diff.json
 package main
 
 import (
@@ -27,6 +33,28 @@ type Snapshot struct {
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 }
 
+// Delta is one benchmark's comparison row.
+type Delta struct {
+	Name   string  `json:"name"`
+	BaseNs float64 `json:"base_ns,omitempty"`
+	CurNs  float64 `json:"cur_ns,omitempty"`
+	// DeltaPct is the ns/op change vs the baseline in percent (positive =
+	// slower). Omitted for NEW/GONE rows.
+	DeltaPct float64 `json:"delta_pct,omitempty"`
+	// Status is "ok", "FAIL" (regressed beyond tolerance), "NEW" (no
+	// baseline entry), or "GONE" (baseline only).
+	Status string `json:"status"`
+}
+
+// Comparison is the -json document: the tolerance applied, the verdict,
+// the regressing benchmark names, and every per-benchmark row.
+type Comparison struct {
+	TolerancePct float64  `json:"tolerance_pct"`
+	Failed       bool     `json:"failed"`
+	Regressions  []string `json:"regressions"`
+	Benchmarks   []Delta  `json:"benchmarks"`
+}
+
 func main() {
 	var (
 		out        = flag.String("out", "", "write the parsed snapshot JSON here")
@@ -34,6 +62,7 @@ func main() {
 		maxRegress = flag.Float64("maxregress", 20, "max allowed ns/op regression vs -base, percent")
 		tolerance  = flag.Float64("tolerance", 0, "alias for -maxregress (CI spelling); takes precedence when set")
 		in         = flag.String("in", "", "read benchmark output from this file instead of stdin")
+		asJSON     = flag.Bool("json", false, "emit a machine-readable comparison (or, without -base, the snapshot) on stdout; the human table goes to stderr")
 	)
 	flag.Parse()
 	if *tolerance > 0 {
@@ -57,16 +86,15 @@ func main() {
 		fatal(fmt.Errorf("benchdiff: no benchmark lines found in input"))
 	}
 	if *out != "" {
-		buf, err := json.MarshalIndent(snap, "", "  ")
-		if err != nil {
+		if err := os.WriteFile(*out, marshal(snap), 0o644); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(snap.NsPerOp), *out)
+		fmt.Fprintf(os.Stderr, "benchdiff: wrote %d benchmarks to %s\n", len(snap.NsPerOp), *out)
 	}
 	if *base == "" {
+		if *asJSON {
+			os.Stdout.Write(marshal(snap))
+		}
 		return
 	}
 	buf, err := os.ReadFile(*base)
@@ -77,9 +105,24 @@ func main() {
 	if err := json.Unmarshal(buf, &baseline); err != nil {
 		fatal(fmt.Errorf("benchdiff: bad baseline %s: %w", *base, err))
 	}
-	if failed := compare(os.Stdout, &baseline, snap, *maxRegress); failed {
+	cmp := diff(&baseline, snap, *maxRegress)
+	if *asJSON {
+		os.Stdout.Write(marshal(cmp))
+		render(os.Stderr, cmp)
+	} else {
+		render(os.Stdout, cmp)
+	}
+	if cmp.Failed {
 		os.Exit(1)
 	}
+}
+
+func marshal(v any) []byte {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	return append(buf, '\n')
 }
 
 // parse extracts "BenchmarkX-N  iters  ns/op" lines from go test output.
@@ -109,29 +152,31 @@ func parse(r io.Reader) (*Snapshot, error) {
 	return snap, sc.Err()
 }
 
-// compare prints a per-benchmark delta table and reports whether any
-// benchmark regressed beyond maxRegress percent.
-func compare(w io.Writer, base, cur *Snapshot, maxRegress float64) bool {
+// diff builds the per-benchmark comparison against the baseline.
+func diff(base, cur *Snapshot, maxRegress float64) *Comparison {
+	cmp := &Comparison{TolerancePct: maxRegress, Regressions: []string{}}
 	names := make([]string, 0, len(cur.NsPerOp))
 	for name := range cur.NsPerOp {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	failed := false
 	for _, name := range names {
 		curNs := cur.NsPerOp[name]
 		baseNs, ok := base.NsPerOp[name]
 		if !ok {
-			fmt.Fprintf(w, "NEW   %-50s %12.0f ns/op\n", name, curNs)
+			cmp.Benchmarks = append(cmp.Benchmarks, Delta{Name: name, CurNs: curNs, Status: "NEW"})
 			continue
 		}
 		delta := 100 * (curNs - baseNs) / baseNs
 		status := "ok"
 		if delta > maxRegress {
 			status = "FAIL"
-			failed = true
+			cmp.Failed = true
+			cmp.Regressions = append(cmp.Regressions, name)
 		}
-		fmt.Fprintf(w, "%-5s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, baseNs, curNs, delta)
+		cmp.Benchmarks = append(cmp.Benchmarks, Delta{
+			Name: name, BaseNs: baseNs, CurNs: curNs, DeltaPct: delta, Status: status,
+		})
 	}
 	gone := make([]string, 0)
 	for name := range base.NsPerOp {
@@ -141,12 +186,28 @@ func compare(w io.Writer, base, cur *Snapshot, maxRegress float64) bool {
 	}
 	sort.Strings(gone)
 	for _, name := range gone {
-		fmt.Fprintf(w, "GONE  %-50s\n", name)
+		cmp.Benchmarks = append(cmp.Benchmarks, Delta{Name: name, BaseNs: base.NsPerOp[name], Status: "GONE"})
 	}
-	if failed {
-		fmt.Fprintf(w, "benchdiff: regression beyond %.0f%% detected\n", maxRegress)
+	return cmp
+}
+
+// render prints the human-readable delta table.
+func render(w io.Writer, cmp *Comparison) {
+	for _, d := range cmp.Benchmarks {
+		switch d.Status {
+		case "NEW":
+			fmt.Fprintf(w, "NEW   %-50s %12.0f ns/op\n", d.Name, d.CurNs)
+		case "GONE":
+			fmt.Fprintf(w, "GONE  %-50s\n", d.Name)
+		default:
+			fmt.Fprintf(w, "%-5s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				d.Status, d.Name, d.BaseNs, d.CurNs, d.DeltaPct)
+		}
 	}
-	return failed
+	if cmp.Failed {
+		fmt.Fprintf(w, "benchdiff: regression beyond %.0f%% detected (%s)\n",
+			cmp.TolerancePct, strings.Join(cmp.Regressions, ", "))
+	}
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -38,48 +39,79 @@ func TestParseRejectsMalformedNsPerOp(t *testing.T) {
 	}
 }
 
-func TestCompareWithinTolerancePasses(t *testing.T) {
+func TestDiffWithinTolerancePasses(t *testing.T) {
 	base := &Snapshot{NsPerOp: map[string]float64{"A-8": 100, "B-8": 200}}
 	cur := &Snapshot{NsPerOp: map[string]float64{"A-8": 120, "B-8": 190}}
-	var sb strings.Builder
-	if failed := compare(&sb, base, cur, 25); failed {
-		t.Errorf("20%% regression failed a 25%% tolerance:\n%s", sb.String())
+	cmp := diff(base, cur, 25)
+	if cmp.Failed {
+		t.Errorf("20%% regression failed a 25%% tolerance: %+v", cmp)
 	}
+	var sb strings.Builder
+	render(&sb, cmp)
 	if !strings.Contains(sb.String(), "+20.0%") {
 		t.Errorf("delta not reported:\n%s", sb.String())
 	}
 }
 
-func TestCompareBeyondToleranceFails(t *testing.T) {
+func TestDiffBeyondToleranceFails(t *testing.T) {
 	base := &Snapshot{NsPerOp: map[string]float64{"A-8": 100}}
 	cur := &Snapshot{NsPerOp: map[string]float64{"A-8": 140}}
-	var sb strings.Builder
-	if failed := compare(&sb, base, cur, 25); !failed {
-		t.Errorf("40%% regression passed a 25%% tolerance:\n%s", sb.String())
+	cmp := diff(base, cur, 25)
+	if !cmp.Failed {
+		t.Errorf("40%% regression passed a 25%% tolerance: %+v", cmp)
 	}
+	if len(cmp.Regressions) != 1 || cmp.Regressions[0] != "A-8" {
+		t.Errorf("regression list = %v, want [A-8]", cmp.Regressions)
+	}
+	var sb strings.Builder
+	render(&sb, cmp)
 	if !strings.Contains(sb.String(), "FAIL") {
 		t.Errorf("failing row not marked:\n%s", sb.String())
 	}
 }
 
-func TestCompareNewAndGoneNeverFail(t *testing.T) {
+func TestDiffNewAndGoneNeverFail(t *testing.T) {
 	base := &Snapshot{NsPerOp: map[string]float64{"Old-8": 100}}
 	cur := &Snapshot{NsPerOp: map[string]float64{"New-8": 999999}}
-	var sb strings.Builder
-	if failed := compare(&sb, base, cur, 25); failed {
-		t.Errorf("presence-only differences failed the guard:\n%s", sb.String())
+	cmp := diff(base, cur, 25)
+	if cmp.Failed {
+		t.Errorf("presence-only differences failed the guard: %+v", cmp)
 	}
+	var sb strings.Builder
+	render(&sb, cmp)
 	out := sb.String()
 	if !strings.Contains(out, "NEW") || !strings.Contains(out, "GONE") {
 		t.Errorf("NEW/GONE rows missing:\n%s", out)
 	}
 }
 
-func TestCompareImprovementPasses(t *testing.T) {
+func TestDiffImprovementPasses(t *testing.T) {
 	base := &Snapshot{NsPerOp: map[string]float64{"A-8": 100}}
 	cur := &Snapshot{NsPerOp: map[string]float64{"A-8": 50}}
-	var sb strings.Builder
-	if failed := compare(&sb, base, cur, 5); failed {
-		t.Errorf("a 2× speedup failed the guard:\n%s", sb.String())
+	if cmp := diff(base, cur, 5); cmp.Failed {
+		t.Errorf("a 2× speedup failed the guard: %+v", cmp)
+	}
+}
+
+func TestDiffJSONDocument(t *testing.T) {
+	base := &Snapshot{NsPerOp: map[string]float64{"A-8": 100, "Old-8": 10}}
+	cur := &Snapshot{NsPerOp: map[string]float64{"A-8": 140, "New-8": 5}}
+	cmp := diff(base, cur, 25)
+	var decoded Comparison
+	if err := json.Unmarshal(marshal(cmp), &decoded); err != nil {
+		t.Fatalf("-json document does not round-trip: %v", err)
+	}
+	if !decoded.Failed || decoded.TolerancePct != 25 {
+		t.Errorf("verdict mangled: %+v", decoded)
+	}
+	if len(decoded.Benchmarks) != 3 {
+		t.Errorf("document has %d rows, want 3 (ok/FAIL + NEW + GONE): %+v", len(decoded.Benchmarks), decoded.Benchmarks)
+	}
+	statuses := map[string]string{}
+	for _, d := range decoded.Benchmarks {
+		statuses[d.Name] = d.Status
+	}
+	if statuses["A-8"] != "FAIL" || statuses["New-8"] != "NEW" || statuses["Old-8"] != "GONE" {
+		t.Errorf("row statuses = %v", statuses)
 	}
 }

@@ -4,15 +4,17 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 
 	"wavefront"
+	"wavefront/internal/chaosspec"
 	"wavefront/internal/field"
 	"wavefront/internal/metrics"
 	"wavefront/internal/workload"
 )
 
 // chaosModes are the -chaos scenarios, in run order for "all".
-var chaosModes = []string{"drop", "corrupt", "stall", "crash", "delay", "backpressure", "recover", "recover-multi"}
+var chaosModes = chaosspec.Modes
 
 // runChaos demonstrates the fault-tolerant runtime on the Tomcatv forward
 // wavefront: it injects one seeded fault scenario (or all of them),
@@ -21,7 +23,7 @@ var chaosModes = []string{"drop", "corrupt", "stall", "crash", "delay", "backpre
 // corruption, a clean bit-identical run for delay and backpressure, a
 // checkpoint-restart recovery to a bit-identical result for the recover
 // scenarios — and prints the injector accounting and diagnostics.
-func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int, tcfg wavefront.TransportConfig, ckptEvery int) error {
+func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int, tcfg wavefront.TransportConfig, ckptEvery int, pmDir string) error {
 	modes := []string{mode}
 	if mode == "all" {
 		modes = chaosModes
@@ -45,7 +47,7 @@ func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavef
 			fmt.Printf("chaos %s: skipped under the %v transport (no bounded links)\n\n", m, tcfg.Kind)
 			continue
 		}
-		if err := runChaosMode(m, procs, block, n, linkCap, seed, sched, workers, tcfg, ckptEvery, oracle); err != nil {
+		if err := runChaosMode(m, procs, block, n, linkCap, seed, sched, workers, tcfg, ckptEvery, oracle, pmDir); err != nil {
 			fmt.Printf("chaos %s: FAILED: %v\n\n", m, err)
 			failed = true
 		}
@@ -56,66 +58,18 @@ func runChaos(mode string, procs, block, n, linkCap int, seed int64, sched wavef
 	return nil
 }
 
-func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int, tcfg wavefront.TransportConfig, ckptEvery int, oracle *workload.Tomcatv) error {
-	// Pipeline boundary messages flow rank r → r+1 (the forward wavefront
-	// travels north to south) with tags equal to tile indices, so rules
-	// pinned to the 0→1 link deterministically hit boundary traffic.
-	var rules []wavefront.FaultRule
-	switch mode {
-	case "drop":
-		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 0, Peer: 1,
-			Tag: wavefront.FaultAny, After: 1, Times: -1, Action: wavefront.FaultDrop}}
-	case "corrupt":
-		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 0, Peer: 1,
-			Tag: wavefront.FaultAny, After: 1, Action: wavefront.FaultCorrupt}}
-	case "stall":
-		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnRecv, Rank: 1, Peer: 0,
-			Tag: wavefront.FaultAny, After: 1, Action: wavefront.FaultStall}}
-	case "crash":
-		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 0, Peer: 1,
-			Tag: wavefront.FaultAny, After: 2, Action: wavefront.FaultCrash}}
-	case "delay":
-		rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 0, Peer: 1,
-			Tag: wavefront.FaultAny, Times: 3, Action: wavefront.FaultDelay, Delay: 1e6}} // 1ms
-	case "backpressure":
-		// No faults: a bounded link must stay bit-identical to the oracle.
-		if linkCap == 0 {
-			linkCap = 1
-		}
-	case "recover":
-		// Crash one rank at a pinned point and demand checkpoint-restart
-		// recovery. The static schedule registers wave numbers, so the crash
-		// pins to a wave; the task-DAG schedule runs its whole portion as
-		// wave 1, so occurrence counting pins it instead.
-		if sched == wavefront.SchedTaskDAG {
-			rules = []wavefront.FaultRule{{Op: wavefront.FaultOnSend, Rank: 1, Peer: 2,
-				Tag: wavefront.FaultAny, After: 2, Wave: 1, Action: wavefront.FaultCrash}}
-		} else {
-			rules = []wavefront.FaultRule{{Op: wavefront.FaultOnRecv, Rank: 1, Peer: 0,
-				Tag: wavefront.FaultAny, Wave: 2, Action: wavefront.FaultCrash}}
-		}
-	case "recover-multi":
-		// Two ranks crash at different points; each restarts from its own
-		// snapshot and the run still completes bit-identical.
-		if sched == wavefront.SchedTaskDAG {
-			rules = []wavefront.FaultRule{
-				{Op: wavefront.FaultOnSend, Rank: 1, Peer: 2,
-					Tag: wavefront.FaultAny, After: 2, Wave: 1, Action: wavefront.FaultCrash},
-				{Op: wavefront.FaultOnSend, Rank: 2, Peer: 3,
-					Tag: wavefront.FaultAny, After: 3, Wave: 1, Action: wavefront.FaultCrash},
-			}
-		} else {
-			rules = []wavefront.FaultRule{
-				{Op: wavefront.FaultOnRecv, Rank: 1, Peer: 0,
-					Tag: wavefront.FaultAny, Wave: 2, Action: wavefront.FaultCrash},
-				{Op: wavefront.FaultOnRecv, Rank: 2, Peer: 1,
-					Tag: wavefront.FaultAny, Wave: 3, Action: wavefront.FaultCrash},
-			}
-		}
-	default:
-		return fmt.Errorf("unknown -chaos mode %q (want one of %v or 'all')", mode, chaosModes)
+func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched wavefront.Scheduler, workers int, tcfg wavefront.TransportConfig, ckptEvery int, oracle *workload.Tomcatv, pmDir string) error {
+	// The rule tables live in internal/chaosspec so this demonstration and
+	// the repo's failure-drill tests inject identical schedules.
+	rules, err := chaosspec.Rules(mode, sched)
+	if err != nil {
+		return err
 	}
-	recovery := mode == "recover" || mode == "recover-multi"
+	if mode == "backpressure" && linkCap == 0 {
+		// No faults: a bounded link must stay bit-identical to the oracle.
+		linkCap = 1
+	}
+	recovery := chaosspec.Recovery(mode)
 
 	var inj *wavefront.FaultInjector
 	if len(rules) > 0 {
@@ -131,6 +85,13 @@ func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched w
 	}
 	cfg := wavefront.Pipeline{Procs: procs, Block: block, Faults: inj, LinkCapacity: linkCap,
 		Scheduler: sched, Workers: workers, Transport: tcfg}
+	var pm *wavefront.FlightRecorder
+	if pmDir != "" {
+		// One subdirectory per scenario so a -chaos all sweep keeps its
+		// bundles apart.
+		pm = wavefront.NewFlightRecorder(filepath.Join(pmDir, mode))
+		cfg.Postmortem = pm
+	}
 	var reg *wavefront.Metrics
 	if recovery {
 		reg = wavefront.NewMetrics(procs)
@@ -187,10 +148,42 @@ func runChaosMode(mode string, procs, block, n, linkCap int, seed int64, sched w
 		fmt.Printf("chaos %s: recovered bit-identical to the serial oracle (%d snapshots, %d restores, %d msgs replayed)\n",
 			mode, snaps, restores, replayed)
 	}
+	if pm != nil {
+		if err := verifyBundle(pm, mode, recovery); err != nil {
+			return err
+		}
+	}
 	if inj != nil {
 		fmt.Printf("  %s\n", inj)
 	}
 	fmt.Println()
+	return nil
+}
+
+// verifyBundle closes the post-mortem loop on a chaos scenario: every
+// scenario must leave a bundle (the clean backpressure run captures on
+// demand from the stashed run state), the artifact must round-trip through
+// the decoder with its checksum verified, and recovery scenarios must carry
+// the checkpoint metadata a post-mortem of a restarted run needs.
+func verifyBundle(pm *wavefront.FlightRecorder, mode string, recovery bool) error {
+	_, path := pm.Last()
+	if path == "" {
+		// The scenario ended cleanly with nothing fired (backpressure): the
+		// run state is stashed, capture it explicitly.
+		var err error
+		if _, path, err = pm.CaptureNow("chaos-" + mode); err != nil {
+			return fmt.Errorf("post-mortem capture failed: %w", err)
+		}
+	}
+	b, err := wavefront.ReadPostmortemBundle(path)
+	if err != nil {
+		return fmt.Errorf("post-mortem bundle %s did not round-trip: %w", path, err)
+	}
+	if recovery && len(b.Ckpt) == 0 {
+		return fmt.Errorf("post-mortem bundle %s lacks checkpoint metadata for a recovery scenario", path)
+	}
+	fmt.Printf("  post-mortem bundle: %s (class=%s, %d trace rings, checksum ok)\n",
+		path, b.Class, len(b.TraceTail))
 	return nil
 }
 

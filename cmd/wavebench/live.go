@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"wavefront"
+	"wavefront/internal/critpath"
 	"wavefront/internal/metrics"
 )
 
@@ -15,7 +17,7 @@ import (
 // serving the registry over HTTP (-serve) and/or printing a periodic
 // one-line summary (-watch). The loop stops after -duration, or on
 // SIGINT/SIGTERM when the duration is 0.
-func runLive(addr string, watch bool, procs, block, n int, dur time.Duration, pooled, autotune bool, engine wavefront.KernelEngine, sched wavefront.Scheduler, workers int) error {
+func runLive(addr string, watch bool, procs, block, n int, dur time.Duration, pooled, autotune bool, engine wavefront.KernelEngine, sched wavefront.Scheduler, workers int, pmDir string) error {
 	t, err := prepTomcatv(n)
 	if err != nil {
 		return err
@@ -30,13 +32,36 @@ func runLive(addr string, watch bool, procs, block, n int, dur time.Duration, po
 		pool = wavefront.NewBufferPool(procs)
 	}
 
+	// When serving or flight-recording, each iteration runs traced on a
+	// flight ring (reset per run) so /debug/critpath always shows the last
+	// completed run's critical path and failure bundles carry a trace tail.
+	var rec *wavefront.TraceRecorder
+	wtr := 0
+	if addr != "" || pmDir != "" {
+		rings := procs
+		if sched == wavefront.SchedTaskDAG {
+			wtr = workers
+			if wtr <= 0 {
+				wtr = runtime.GOMAXPROCS(0)
+			}
+			rings = procs * (1 + wtr)
+		}
+		rec = wavefront.NewTraceRecorder(rings)
+	}
+	var pm *wavefront.FlightRecorder
+	if pmDir != "" {
+		pm = wavefront.NewFlightRecorder(pmDir)
+	}
+	holder := &wavefront.CritPathHolder{}
 	if addr != "" {
-		srv, err := wavefront.ServeMetrics(addr, reg)
+		srv, err := wavefront.ServeMetrics(addr, reg,
+			wavefront.MetricsEndpoint{Path: "/debug/critpath", Handler: holder},
+			wavefront.MetricsEndpoint{Path: "/debug/bundle", Handler: pm})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("serving metrics on http://%s  (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("serving metrics on http://%s  (/metrics, /debug/vars, /debug/pprof/, /debug/critpath, /debug/bundle)\n", srv.Addr())
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -79,11 +104,27 @@ func runLive(addr string, watch bool, procs, block, n int, dur time.Duration, po
 				rate, util, snap.Gauges[metrics.ModelDrift], snap.Gauges[metrics.ModelOptBlock], runs)
 			lastTiles, lastBusy, lastAt = tiles, busy, now
 		default:
+			if rec != nil {
+				rec.Reset()
+			}
 			if _, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
 				wavefront.Pipeline{Procs: procs, Block: block, Metrics: reg,
 					Pool: pool, AutoTune: autotune, Kernel: engine,
-					Scheduler: sched, Workers: workers}); err != nil {
+					Scheduler: sched, Workers: workers, Trace: rec,
+					Postmortem: pm}); err != nil {
+				if pm != nil {
+					if _, bp := pm.Last(); bp != "" {
+						fmt.Printf("post-mortem bundle: %s\n", bp)
+					}
+				}
 				return err
+			}
+			if rec != nil {
+				if rep, err := critpath.Analyze(rec.Events(), critpath.Options{
+					Procs: procs, Workers: wtr, Dropped: rec.Dropped(),
+					Tolerant: true, Metrics: reg}); err == nil {
+					holder.Set(rep)
+				}
 			}
 			runs++
 		}

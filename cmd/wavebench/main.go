@@ -27,6 +27,14 @@
 // unbounded); it applies to -trace and -chaos runs. -transport selects how
 // messages travel between ranks (in-process channels, loopback TCP, or unix
 // sockets) for the -chaos scenarios.
+//
+// -critpath adds the cross-rank critical-path decomposition to a -trace
+// run: the longest causal chain through the recorded events, its
+// compute/comm/wait split, and where it crosses ranks. -postmortem DIR arms
+// the flight recorder for -trace, -chaos, and -serve runs: structured
+// failures (and, for -trace, the completed run) capture a checksummed JSON
+// bundle — trace tail, metrics, wait-for graph, checkpoint metadata, run
+// config, critical path — into DIR.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"strings"
 
 	"wavefront"
+	"wavefront/internal/critpath"
 	"wavefront/internal/exp"
 	"wavefront/internal/field"
 	"wavefront/internal/workload"
@@ -71,6 +80,8 @@ func main() {
 		kernelSel = flag.String("kernel", "tape", "kernel execution engine: tape (span-level instruction tapes) or closure (per-point reference path)")
 		schedSel  = flag.String("sched", "static", "tile scheduler: static (pipeline schedule) or taskdag (work-stealing tile DAG)")
 		workers   = flag.Int("workers", 0, "task-DAG pool size per rank for -sched=taskdag (0 = GOMAXPROCS)")
+		critPathF = flag.Bool("critpath", false, "print the cross-rank critical-path decomposition after a -trace run")
+		postmort  = flag.String("postmortem", "", "arm the flight recorder: write post-mortem bundles into this directory (with -trace, -chaos, or -serve)")
 		validate  = flag.Bool("validate", false, "run Tomcatv/SIMPLE/Sweep3D under both engines and both schedulers, serial and pipelined, and exit nonzero on any bit-level disagreement")
 		speedup   = flag.Bool("speedup", false, "time the Tomcatv forward wavefront under -sched=taskdag at 1 worker vs -workers workers and report the wall-clock ratio")
 	)
@@ -114,17 +125,17 @@ func main() {
 	}
 
 	if *serve != "" || *watch {
-		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration, *pool, *autotune, engine, sched, *workers))
+		exitOn(runLive(*serve, *watch, *procs, *blockSize, *n, *duration, *pool, *autotune, engine, sched, *workers, *postmort))
 		return
 	}
 
 	if *chaos != "" {
-		exitOn(runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed, sched, *workers, tcfg, *ckptEvery))
+		exitOn(runChaos(*chaos, *procs, *blockSize, *n, *linkCap, *seed, sched, *workers, tcfg, *ckptEvery, *postmort))
 		return
 	}
 
 	if *traceOut != "" {
-		exitOn(runTraced(*traceOut, *procs, *blockSize, *n, *linkCap, engine, sched, *workers))
+		exitOn(runTraced(*traceOut, *procs, *blockSize, *n, *linkCap, engine, sched, *workers, *critPathF, *postmort))
 		return
 	}
 
@@ -158,23 +169,33 @@ func main() {
 // Chrome trace. Under -sched=taskdag the recorder carries procs*(1+workers)
 // rings so every DAG worker's tile spans land in the trace and the
 // validator replays the dynamic schedule too.
-func runTraced(path string, procs, block, n, linkCap int, engine wavefront.KernelEngine, sched wavefront.Scheduler, workers int) error {
+func runTraced(path string, procs, block, n, linkCap int, engine wavefront.KernelEngine, sched wavefront.Scheduler, workers int, doCritPath bool, pmDir string) error {
 	t, err := workload.NewTomcatv(n, field.RowMajor)
 	if err != nil {
 		return err
 	}
-	rings := procs
+	rings, wtr := procs, 0
 	if sched == wavefront.SchedTaskDAG {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
+		wtr = workers
 		rings = procs * (1 + workers)
 	}
 	rec := wavefront.NewTraceRecorder(rings)
+	var pm *wavefront.FlightRecorder
+	if pmDir != "" {
+		pm = wavefront.NewFlightRecorder(pmDir)
+	}
 	stats, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
 		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec, LinkCapacity: linkCap,
-			Kernel: engine, Scheduler: sched, Workers: workers})
+			Kernel: engine, Scheduler: sched, Workers: workers, Postmortem: pm})
 	if err != nil {
+		if pm != nil {
+			if _, bp := pm.Last(); bp != "" {
+				fmt.Printf("post-mortem bundle: %s\n", bp)
+			}
+		}
 		return err
 	}
 	fmt.Printf("tomcatv forward: n=%d procs=%d block=%d sched=%v tiles=%d msgs=%d elems=%d elapsed=%v\n",
@@ -184,7 +205,23 @@ func runTraced(path string, procs, block, n, linkCap int, engine wavefront.Kerne
 			linkCap, stats.Comm.BlockedSends, stats.Comm.BlockedSendTime)
 	}
 	fmt.Println(stats.Summary.String())
+	if doCritPath {
+		rep, cerr := critpath.Analyze(rec.Events(), critpath.Options{
+			Procs: procs, Workers: wtr, Dropped: rec.Dropped(), Tolerant: true})
+		if cerr != nil {
+			return fmt.Errorf("critical-path analysis FAILED (%w): %v", errCheckFailed, cerr)
+		}
+		fmt.Println(rep.String())
+	}
+	if pm != nil {
+		_, bp, cerr := pm.CaptureNow("traced-run")
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("post-mortem bundle: %s\n", bp)
+	}
 	if d := rec.Dropped(); d > 0 {
+		fmt.Printf("WARNING: trace ring overflow — %d events dropped; the summary, Chrome export, and validation below describe a truncated trace (raise the recorder capacity)\n", d)
 		return fmt.Errorf("%w: recorder dropped %d events; raise the capacity", errCheckFailed, d)
 	}
 	if err := wavefront.ValidateTrace(rec); err != nil {

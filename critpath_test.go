@@ -1,0 +1,179 @@
+package wavefront_test
+
+// Critical-path analyzer acceptance tests on a real traced Tomcatv run:
+// the analyzer's whole-run totals and phase envelope must reconcile with
+// the trace summary it shares classification rules with, and an
+// intentionally falsified send→recv edge in the recorded stream must be
+// caught as a causality violation rather than silently absorbed into the
+// path.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wavefront"
+	"wavefront/internal/critpath"
+	"wavefront/internal/trace"
+)
+
+// tracedTomcatv runs the Tomcatv forward sweep pipelined with a trace
+// recorder attached and returns the recorder.
+func tracedTomcatv(t *testing.T, procs, block, n int) *wavefront.TraceRecorder {
+	t.Helper()
+	tc, _ := tomcatvOracle(t, n)
+	rec := wavefront.NewTraceRecorder(procs)
+	if _, err := wavefront.RunPipelined(tc.ForwardBlock(), tc.Env,
+		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec}); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// within1pct reports whether got is within 1% of want (absolute slop of
+// one timer tick for tiny quantities).
+func within1pct(got, want int64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if d <= 1 {
+		return true
+	}
+	w := want
+	if w < 0 {
+		w = -w
+	}
+	return float64(d) <= 0.01*float64(w)
+}
+
+func TestCritPathReconcilesWithTraceSummary(t *testing.T) {
+	const n, procs, block = 64, 4, 8
+	rec := tracedTomcatv(t, procs, block, n)
+
+	rep, err := wavefront.AnalyzeCritPath(rec, nil)
+	if err != nil {
+		t.Fatalf("AnalyzeCritPath: %v", err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean traced run produced violations: %+v", rep.Violations)
+	}
+	sum := rec.Summarize()
+
+	// Whole-run totals: the analyzer classifies every span with the same
+	// rules as trace.Summarize, so the totals must reconcile within 1%.
+	var busy, comm, wait time.Duration
+	for _, rs := range sum.Ranks {
+		busy += rs.Busy
+		comm += rs.Comm
+		wait += rs.Wait
+	}
+	checks := []struct {
+		name      string
+		got, want int64
+	}{
+		{"busy", rep.TotalBusyNs, int64(busy)},
+		{"comm", rep.TotalCommNs, int64(comm)},
+		{"wait", rep.TotalWaitNs, int64(wait)},
+		{"wall", rep.WallNs, int64(sum.Wall)},
+		{"fill", rep.FillNs, int64(sum.Fill)},
+		{"drain", rep.DrainNs, int64(sum.Drain)},
+	}
+	for _, c := range checks {
+		if !within1pct(c.got, c.want) {
+			t.Errorf("%s: critpath %dns vs summary %dns — off by more than 1%%", c.name, c.got, c.want)
+		}
+	}
+
+	// The attribution invariant: every instant of the path interval is
+	// charged to exactly one class, and the phase split partitions the
+	// same interval.
+	span := rep.PathEndNs - rep.PathStartNs
+	if got := rep.PathComputeNs + rep.PathCommNs + rep.PathWaitNs + rep.PathOtherNs; got != span {
+		t.Errorf("attribution %dns != path interval %dns", got, span)
+	}
+	if got := rep.PathFillNs + rep.PathSteadyNs + rep.PathDrainNs; got != span {
+		t.Errorf("phase split %dns != path interval %dns", got, span)
+	}
+	// The path must be a real cross-rank walk: it covers most of the wall
+	// clock (the backward walk may stop after the initial scatter, so it
+	// need not reach the very first timestamp) and crosses at least one
+	// message edge on a 4-rank pipeline.
+	if rep.Coverage < 0.75 {
+		t.Errorf("path covers %.2f of the wall clock, want most of it", rep.Coverage)
+	}
+	crossed := 0
+	for _, s := range rep.Steps {
+		if s.Edge == "msg" {
+			crossed++
+		}
+	}
+	if crossed == 0 {
+		t.Error("critical path never crossed a send→recv edge on a 4-rank pipeline")
+	}
+	// ByRing lists only rings the path visits; a msg crossing means at
+	// least two.
+	if len(rep.ByRing) < 2 {
+		t.Errorf("ByRing has %d entries, want >= 2", len(rep.ByRing))
+	}
+	if rep.String() == "" {
+		t.Error("Report.String is empty")
+	}
+}
+
+// TestCritPathCatchesFalsifiedEdge intentionally breaks one recorded
+// send→recv edge of a real Tomcatv trace — the receive is rewritten to
+// complete before its matching send began — and demands the analyzer
+// refuse the trace with a causality violation.
+func TestCritPathCatchesFalsifiedEdge(t *testing.T) {
+	const n, procs, block = 64, 4, 8
+	rec := tracedTomcatv(t, procs, block, n)
+	events := rec.Events()
+
+	// Find a boundary send from rank 0 to rank 1 and its matched receive
+	// (same wave and sequence number, FIFO per link — the first occurrence
+	// of each matches).
+	si := -1
+	for i, ev := range events {
+		if ev.Kind == trace.KindWaveSend && ev.Rank == 0 && ev.Peer == 1 {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		t.Fatal("trace has no rank 0 → 1 boundary send")
+	}
+	send := events[si]
+	ri := -1
+	for i, ev := range events {
+		if ev.Kind == trace.KindWaveRecv && ev.Rank == 1 && ev.Peer == 0 &&
+			ev.Wave == send.Wave && ev.Seq == send.Seq {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		t.Fatal("boundary send has no matching receive in the trace")
+	}
+	// Falsify: the receive now ends strictly before the send starts.
+	events[ri].End = send.Start - 1
+	events[ri].Start = send.Start - 2
+	events[ri].Blocked = 0
+
+	rep, err := critpath.Analyze(events, critpath.Options{Procs: procs})
+	if err == nil {
+		t.Fatal("analyzer accepted a receive that completed before its send began")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "causality" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no causality violation recorded: %+v", rep.Violations)
+	}
+	if !strings.Contains(rep.String(), "VIOLATION") {
+		t.Error("Report.String does not surface the violation")
+	}
+}

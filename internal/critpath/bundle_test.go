@@ -1,0 +1,262 @@
+package critpath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wavefront/internal/ckpt"
+	"wavefront/internal/comm"
+	"wavefront/internal/fault"
+	"wavefront/internal/metrics"
+	"wavefront/internal/trace"
+)
+
+// recordedTrace builds a recorder holding the synthetic two-rank pipeline.
+func recordedTrace(t *testing.T) *trace.Recorder {
+	t.Helper()
+	rec := trace.New(2, 64)
+	for _, ev := range twoRankPipeline() {
+		rec.Record(ev)
+	}
+	return rec
+}
+
+func TestBundleEncodeDecodeRoundTrip(t *testing.T) {
+	b := &Bundle{
+		Version: BundleVersion,
+		Seq:     3,
+		Class:   "deadlock",
+		Reason:  "all ranks blocked",
+		Config:  RunConfig{Procs: 4, Block: 16, Scheduler: "static"},
+		WaitFor: []WaitEdge{{Rank: 1, Op: "recv", Peer: 0, Tag: 2, QueueLen: 0}},
+	}
+	data, err := EncodeBundle(b)
+	if err != nil {
+		t.Fatalf("EncodeBundle: %v", err)
+	}
+	if b.Checksum == 0 {
+		t.Fatal("EncodeBundle left the checksum zero")
+	}
+	got, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	if got.Class != b.Class || got.Seq != b.Seq || len(got.WaitFor) != 1 {
+		t.Fatalf("round trip mangled the bundle: %+v", got)
+	}
+}
+
+func TestBundleTamperDetected(t *testing.T) {
+	b := &Bundle{Version: BundleVersion, Seq: 1, Class: "fault", Config: RunConfig{Procs: 2}}
+	data, err := EncodeBundle(b)
+	if err != nil {
+		t.Fatalf("EncodeBundle: %v", err)
+	}
+	tampered := []byte(strings.Replace(string(data), `"class":"fault"`, `"class":"clean"`, 1))
+	if string(tampered) == string(data) {
+		t.Fatal("tamper replacement did not apply")
+	}
+	got, err := DecodeBundle(tampered)
+	if !errors.Is(err, ErrBundleChecksum) {
+		t.Fatalf("tampered bundle decoded without ErrBundleChecksum: %v", err)
+	}
+	if got == nil || got.Class != "clean" {
+		t.Fatalf("tampered decode should still return the parsed bundle, got %+v", got)
+	}
+}
+
+func TestBundleVersionRejected(t *testing.T) {
+	b := &Bundle{Version: BundleVersion + 1}
+	data, err := EncodeBundle(b)
+	if err != nil {
+		t.Fatalf("EncodeBundle: %v", err)
+	}
+	if _, err := DecodeBundle(data); err == nil {
+		t.Fatal("unknown bundle version decoded without error")
+	}
+}
+
+func TestPostmortemTriggeredCapture(t *testing.T) {
+	dir := t.TempDir()
+	pm := NewPostmortem(dir)
+	rec := recordedTrace(t)
+	dl := &comm.DeadlockError{Waits: []comm.WaitEntry{{Rank: 1, Op: "recv", Peer: 0, Tag: 2}}}
+	b, path, err := pm.RunEnded(CaptureInput{
+		Err:    dl,
+		Config: RunConfig{Procs: 2, Block: 8},
+		Trace:  rec,
+		Procs:  2,
+	})
+	if err != nil {
+		t.Fatalf("RunEnded: %v", err)
+	}
+	if b == nil || path == "" {
+		t.Fatalf("structured failure did not capture: b=%v path=%q", b, path)
+	}
+	if b.Class != "deadlock" {
+		t.Fatalf("class = %q, want deadlock", b.Class)
+	}
+	if len(b.WaitFor) != 1 || b.WaitFor[0].Rank != 1 {
+		t.Fatalf("wait-for graph missing: %+v", b.WaitFor)
+	}
+	if len(b.TraceTail) != 2 {
+		t.Fatalf("trace tail has %d rings, want 2", len(b.TraceTail))
+	}
+	if b.CritPath == nil || b.CritPath.PathLen == 0 {
+		t.Fatal("bundle lacks the critical-path report")
+	}
+	got, err := ReadBundle(path)
+	if err != nil {
+		t.Fatalf("ReadBundle(%s): %v", path, err)
+	}
+	if got.Class != "deadlock" || got.Checksum != b.Checksum {
+		t.Fatalf("file round trip mangled the bundle: %+v", got)
+	}
+	if base := filepath.Base(path); base != fmt.Sprintf("postmortem-%03d-deadlock.json", b.Seq) {
+		t.Fatalf("unexpected bundle name %q", base)
+	}
+	// No temp droppings from the atomic write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("atomic write left %s behind", e.Name())
+		}
+	}
+}
+
+func TestPostmortemStashAndCaptureNow(t *testing.T) {
+	pm := NewPostmortem("") // memory-only
+	rec := recordedTrace(t)
+	b, path, err := pm.RunEnded(CaptureInput{Config: RunConfig{Procs: 2}, Trace: rec, Procs: 2})
+	if err != nil {
+		t.Fatalf("RunEnded: %v", err)
+	}
+	if b != nil || path != "" {
+		t.Fatal("clean run captured automatically; it must only stash")
+	}
+	if last, _ := pm.Last(); last != nil {
+		t.Fatal("Last returned a bundle before any capture")
+	}
+	b, path, err = pm.CaptureNow("operator request")
+	if err != nil {
+		t.Fatalf("CaptureNow: %v", err)
+	}
+	if b == nil || b.Class != "manual" || b.Reason != "operator request" {
+		t.Fatalf("manual capture mangled: %+v", b)
+	}
+	if path != "" {
+		t.Fatalf("memory-only recorder wrote a file: %q", path)
+	}
+	// The stash is consumed: a second CaptureNow fails until another run.
+	if _, _, err := pm.CaptureNow("again"); err == nil {
+		t.Fatal("CaptureNow succeeded with no completed run stashed")
+	}
+}
+
+func TestPostmortemClassification(t *testing.T) {
+	cases := []struct {
+		in   CaptureInput
+		want string
+	}{
+		{CaptureInput{Err: &comm.DeadlockError{}}, "deadlock"},
+		{CaptureInput{Err: fmt.Errorf("wrap: %w", ckpt.ErrChecksum)}, "ckpt-checksum"},
+		{CaptureInput{Err: fmt.Errorf("wrap: %w", fault.ErrInjected)}, "fault"},
+		{CaptureInput{Err: &comm.CancelError{Cause: errors.New("peer died")}}, "cancel"},
+		{CaptureInput{Err: errors.New("anything else")}, "error"},
+		{CaptureInput{Restarts: 2}, "recovery-restart"},
+		{CaptureInput{FaultsFired: 1}, "fault"},
+		{CaptureInput{}, "manual"},
+	}
+	for _, c := range cases {
+		if got := classify(c.in); got != c.want {
+			t.Errorf("classify(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPostmortemCkptMetadata(t *testing.T) {
+	store := ckpt.NewMemStore()
+	snap := &ckpt.Snapshot{Rank: 0, Wave: 3, RecvCursor: []int64{1, 2}, SendCursor: []int64{3, 4},
+		Fields: []ckpt.FieldSnap{{Name: "a", Data: []float64{1, 2, 3}}}}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	pm := NewPostmortem(t.TempDir())
+	b, _, err := pm.RunEnded(CaptureInput{
+		Err:       errors.New("boom"),
+		Config:    RunConfig{Procs: 2},
+		CkptStore: store,
+		Procs:     2,
+		Restarts:  1,
+	})
+	if err != nil {
+		t.Fatalf("RunEnded: %v", err)
+	}
+	if len(b.Ckpt) != 1 {
+		t.Fatalf("ckpt metadata has %d entries, want 1 (rank 1 has no snapshot): %+v", len(b.Ckpt), b.Ckpt)
+	}
+	m := b.Ckpt[0]
+	if m.Rank != 0 || m.Wave != 3 || m.Fields != 1 || m.Elems != 3 {
+		t.Fatalf("ckpt metadata mangled: %+v", m)
+	}
+}
+
+func TestPostmortemSanitizesNonFiniteGauges(t *testing.T) {
+	reg := metrics.New(2)
+	reg.Gauge("finite").Set(1.5)
+	snap := reg.Snapshot()
+	snap.Gauges["evil-nan"] = math.NaN()
+	snap.Gauges["evil-inf"] = math.Inf(1)
+	got := sanitizeSnapshot(snap)
+	if got.Gauges["evil-nan"] != 0 || got.Gauges["evil-inf"] != 0 {
+		t.Fatalf("non-finite gauges survived: %v", got.Gauges)
+	}
+	if got.Gauges["finite"] != 1.5 {
+		t.Fatalf("finite gauge clobbered: %v", got.Gauges["finite"])
+	}
+}
+
+func TestPostmortemNilSafe(t *testing.T) {
+	var pm *Postmortem
+	if pm.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if b, path, err := pm.RunEnded(CaptureInput{Err: errors.New("x")}); b != nil || path != "" || err != nil {
+		t.Fatal("nil RunEnded did something")
+	}
+	if _, _, err := pm.CaptureNow("x"); err == nil {
+		t.Fatal("nil CaptureNow succeeded")
+	}
+	if b, path := pm.Last(); b != nil || path != "" {
+		t.Fatal("nil Last returned data")
+	}
+	pm.SetTailEvents(7) // must not panic
+}
+
+func TestBundleTailTruncation(t *testing.T) {
+	rec := trace.New(1, 2048)
+	for i := 0; i < 100; i++ {
+		rec.Record(compute(0, 1, i, int64(i*10), int64(i*10+5)))
+	}
+	pm := NewPostmortem("")
+	pm.SetTailEvents(16)
+	b, _, err := pm.RunEnded(CaptureInput{Err: errors.New("x"), Trace: rec, Procs: 1})
+	if err != nil {
+		t.Fatalf("RunEnded: %v", err)
+	}
+	if len(b.TraceTail) != 1 || len(b.TraceTail[0]) != 16 {
+		t.Fatalf("tail not truncated: %d rings, %d events", len(b.TraceTail), len(b.TraceTail[0]))
+	}
+	// The kept events are the most recent ones.
+	if got := b.TraceTail[0][0].Tile; got != 84 {
+		t.Fatalf("tail keeps tiles from %d, want 84", got)
+	}
+}

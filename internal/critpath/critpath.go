@@ -1,0 +1,656 @@
+// Package critpath reconstructs the cross-rank causal event graph of a
+// traced wavefront run and answers the question the drift monitor cannot:
+// *which* chain of tiles, messages, and waits actually determined the
+// wall-clock time, and where the slack went.
+//
+// The graph has three edge families, all recovered from the trace rings
+// alone (no extra runtime instrumentation):
+//
+//   - ring edges: events on one ring are recorded at span end by a single
+//     goroutine, so record order is end-time order — each event's
+//     predecessor on its own ring happened-before it;
+//   - message edges: a KindWaveRecv pairs with the KindWaveSend carrying
+//     the same (src, dst, wave, seq) identity, and a KindRecv pairs with
+//     its KindSend FIFO per (src, dst, tag) — the receive cannot end
+//     before the matched send began;
+//   - dependence edges: a KindTaskTile's KindTaskDep markers name the
+//     predecessor tiles the work-stealing scheduler claims were complete,
+//     keyed (rank, wave, tile).
+//
+// The critical path is the longest chain under those constraints, found
+// by walking backward from the last event to finish: at each node the
+// binding predecessor is the candidate (ring, message, or dependence)
+// with the latest end time. A forward sweep over the path then attributes
+// every nanosecond between the path's first start and last end to exactly
+// one of compute / comm / wait / other, using a moving cursor so nested
+// spans (a KindWaveRecv wrapping the KindRecv recorded just before it)
+// are never double-counted.
+//
+// Analyze also recomputes the run-level envelope (fill / steady / drain
+// and per-ring busy / comm / wait) with the same classification rules as
+// trace.Summarize, so the report reconciles against the trace summary,
+// and cross-checks every matched message edge for causality: a receive
+// that ends before its sender began is a falsified edge and an error.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+
+	"wavefront/internal/metrics"
+	"wavefront/internal/trace"
+)
+
+// ReportVersion stamps Report and the bundle that embeds it.
+const ReportVersion = 1
+
+// maxSteps bounds the per-step detail retained in a Report; the
+// aggregate attribution always covers the whole path.
+const maxSteps = 1024
+
+// Options tunes Analyze.
+type Options struct {
+	// Procs is the logical rank count. Rings beyond it are task-DAG worker
+	// rings; 0 means every ring is a rank.
+	Procs int
+	// Workers is the per-rank worker count when the trace has worker rings
+	// (ring p*(1+w)... mapping); 0 infers it from the ring count.
+	Workers int
+	// Dropped is the recorder's drop count. A trace with drops (or with
+	// fault/cancel/restore events) is disrupted: unmatched receives are
+	// expected there and not reported as violations.
+	Dropped int64
+	// Tolerant makes Analyze return the report with Violations recorded
+	// instead of an error (the flight recorder analyzes broken runs).
+	Tolerant bool
+	// Metrics, when set, supplies the Eq (1) model gauges for the
+	// predicted-vs-observed comparison.
+	Metrics *metrics.Registry
+}
+
+// Step is one node of the critical path.
+type Step struct {
+	Kind    string `json:"kind"`
+	Ring    int    `json:"ring"`
+	Rank    int    `json:"rank"`
+	Peer    int    `json:"peer"`
+	Wave    int    `json:"wave"`
+	Tile    int    `json:"tile"`
+	Seq     int    `json:"seq"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	// OnPathNs is this step's clipped contribution (overlap with earlier
+	// path steps removed); WaitBeforeNs is the idle gap the path spent
+	// before this step began.
+	OnPathNs     int64 `json:"on_path_ns"`
+	WaitBeforeNs int64 `json:"wait_before_ns"`
+	// Edge names the constraint that bound this step to its successor:
+	// "ring", "msg", "dep", or "end" for the final step.
+	Edge string `json:"edge"`
+}
+
+// RingShare is one ring's share of the critical path.
+type RingShare struct {
+	Ring int   `json:"ring"`
+	Rank int   `json:"rank"`
+	Ns   int64 `json:"ns"`
+}
+
+// WaveSlack aggregates the slack of one wave's boundary edges: how long
+// each matched message sat delivered-but-unconsumed (recv start minus
+// send end, floored at zero).
+type WaveSlack struct {
+	Wave    int     `json:"wave"`
+	Edges   int     `json:"edges"`
+	MinNs   int64   `json:"min_ns"`
+	MeanNs  float64 `json:"mean_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	TotalNs int64   `json:"total_ns"`
+}
+
+// Violation is one broken causal constraint.
+type Violation struct {
+	// Kind is "causality" (a matched receive ends before its send starts —
+	// a falsified edge) or "unmatched-recv" (a boundary receive with no
+	// matching send in an undisrupted trace).
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// ModelComparison carries the Eq (1) drift gauges alongside the measured
+// path, so a report shows predicted-vs-observed in one place.
+type ModelComparison struct {
+	PredictedOptNs    float64 `json:"predicted_opt_ns"`
+	PredictedActualNs float64 `json:"predicted_actual_ns"`
+	ObservedNs        float64 `json:"observed_ns"`
+	DriftRatio        float64 `json:"drift_ratio"`
+	OptimalBlock      float64 `json:"optimal_block"`
+	Samples           float64 `json:"samples"`
+}
+
+// Report is the analyzer's result: the run envelope (same rules as
+// trace.Summarize), the critical path and its attribution, per-wave
+// slack, and any causal violations.
+type Report struct {
+	Version int   `json:"version"`
+	Rings   int   `json:"rings"`
+	Ranks   int   `json:"ranks"`
+	Events  int   `json:"events"`
+	Dropped int64 `json:"dropped"`
+
+	// Run envelope, mirroring trace.Summarize: WallNs spans first start to
+	// last end; fill/steady/drain come from the per-ring compute envelopes
+	// (fill + steady + drain == last compute end - first compute start).
+	WallNs   int64 `json:"wall_ns"`
+	FillNs   int64 `json:"fill_ns"`
+	SteadyNs int64 `json:"steady_ns"`
+	DrainNs  int64 `json:"drain_ns"`
+
+	// Whole-run totals summed over every ring with trace.Summarize's
+	// classification (busy = compute spans, comm = data movement minus
+	// blocked time, wait = blocked receives/sends plus barriers).
+	TotalBusyNs int64 `json:"total_busy_ns"`
+	TotalCommNs int64 `json:"total_comm_ns"`
+	TotalWaitNs int64 `json:"total_wait_ns"`
+
+	// The critical path. PathComputeNs + PathCommNs + PathWaitNs +
+	// PathOtherNs == PathEndNs - PathStartNs exactly; PathFill/Steady/Drain
+	// split the same interval by the envelope's phase boundaries.
+	PathStartNs   int64   `json:"path_start_ns"`
+	PathEndNs     int64   `json:"path_end_ns"`
+	PathLen       int     `json:"path_len"`
+	PathComputeNs int64   `json:"path_compute_ns"`
+	PathCommNs    int64   `json:"path_comm_ns"`
+	PathWaitNs    int64   `json:"path_wait_ns"`
+	PathOtherNs   int64   `json:"path_other_ns"`
+	PathFillNs    int64   `json:"path_fill_ns"`
+	PathSteadyNs  int64   `json:"path_steady_ns"`
+	PathDrainNs   int64   `json:"path_drain_ns"`
+	Coverage      float64 `json:"coverage"` // (PathEnd-PathStart)/Wall
+
+	ByRing []RingShare `json:"by_ring"`
+	Slack  []WaveSlack `json:"slack,omitempty"`
+	// SlackHistNs buckets every edge's slack by log2(ns): bucket i counts
+	// slacks in [2^i, 2^(i+1)) ns, bucket 0 also holds zero slack.
+	SlackHistNs []int64 `json:"slack_hist_ns,omitempty"`
+
+	Steps          []Step `json:"steps,omitempty"`
+	StepsTruncated bool   `json:"steps_truncated,omitempty"`
+
+	Model      *ModelComparison `json:"model,omitempty"`
+	Violations []Violation      `json:"violations,omitempty"`
+
+	// Phase boundaries in epoch ns (maxFirst / minLast of the compute
+	// envelopes), kept for the path's phase split; not serialized.
+	fillEndNs   int64
+	steadyEndNs int64
+}
+
+// node is one event in the causal graph.
+type node struct {
+	ev       trace.Event
+	ring     int
+	pos      int // index within the ring, record order
+	msgPred  *node
+	depPreds []*node
+}
+
+// ordLess is the strict total order the backward walk descends: end time,
+// then (ring, pos). Every predecessor edge points ordLess-downward, which
+// bounds the walk by the event count.
+func ordLess(a, b *node) bool {
+	if a.ev.End != b.ev.End {
+		return a.ev.End < b.ev.End
+	}
+	if a.ring != b.ring {
+		return a.ring < b.ring
+	}
+	return a.pos < b.pos
+}
+
+type waveEdgeKey struct{ src, dst, wave, seq int }
+type pairKey struct{ src, dst, tag int }
+type taskKey struct{ rank, wave, tile int }
+
+// matchedEdge is one paired boundary send→recv, kept for slack stats.
+type matchedEdge struct {
+	send, recv *node
+}
+
+// Analyze builds the causal graph from a completed run's events (as
+// returned by trace.Recorder.Events: ring by ring, record order within a
+// ring) and returns the critical-path report. It returns an error — with
+// the report still populated — when the trace violates causality, unless
+// opts.Tolerant is set.
+func Analyze(events []trace.Event, opts Options) (*Report, error) {
+	rep := &Report{Version: ReportVersion, Events: len(events), Dropped: opts.Dropped}
+	if len(events) == 0 {
+		return rep, nil
+	}
+
+	// Group into rings, preserving record order.
+	maxRing := 0
+	for i := range events {
+		if events[i].Rank > maxRing {
+			maxRing = events[i].Rank
+		}
+	}
+	rings := make([][]*node, maxRing+1)
+	disrupted := opts.Dropped > 0
+	for i := range events {
+		ev := events[i]
+		n := &node{ev: ev, ring: ev.Rank}
+		n.pos = len(rings[n.ring])
+		rings[n.ring] = append(rings[n.ring], n)
+		switch ev.Kind {
+		case trace.KindFault, trace.KindCancel, trace.KindRestore:
+			disrupted = true
+		}
+	}
+	rep.Rings = len(rings)
+	procs := opts.Procs
+	if procs <= 0 || procs > len(rings) {
+		procs = len(rings)
+	}
+	rep.Ranks = procs
+	workers := opts.Workers
+	if workers <= 0 && len(rings) > procs {
+		workers = (len(rings) - procs) / procs
+	}
+	rankOf := func(ring int) int {
+		if ring < procs || workers <= 0 {
+			if ring < procs {
+				return ring
+			}
+			return procs - 1
+		}
+		r := (ring - procs) / workers
+		if r >= procs {
+			r = procs - 1
+		}
+		return r
+	}
+
+	// Pass 1: index senders, task tiles, and dependence claims.
+	waveSends := map[waveEdgeKey][]*node{}
+	pairSends := map[pairKey][]*node{}
+	taskTiles := map[taskKey]*node{}
+	taskDeps := map[taskKey][]int{}
+	for _, ring := range rings {
+		for _, n := range ring {
+			switch n.ev.Kind {
+			case trace.KindWaveSend:
+				k := waveEdgeKey{n.ring, n.ev.Peer, n.ev.Wave, n.ev.Seq}
+				waveSends[k] = append(waveSends[k], n)
+			case trace.KindSend:
+				k := pairKey{n.ring, n.ev.Peer, n.ev.Tag}
+				pairSends[k] = append(pairSends[k], n)
+			case trace.KindTaskTile:
+				taskTiles[taskKey{rankOf(n.ring), n.ev.Wave, n.ev.Tile}] = n
+			case trace.KindTaskDep:
+				k := taskKey{rankOf(n.ring), n.ev.Wave, n.ev.Tile}
+				taskDeps[k] = append(taskDeps[k], n.ev.Seq)
+			}
+		}
+	}
+
+	// Pass 2: match receives to senders (FIFO per key — sends with one key
+	// all come from one ring, so index order is send order) and attach
+	// dependence predecessors. Matched boundary edges feed the slack stats
+	// and the causality check.
+	var edges []matchedEdge
+	popSend := func(recvKind trace.Kind, n *node) *node {
+		if recvKind == trace.KindWaveRecv {
+			k := waveEdgeKey{n.ev.Peer, n.ring, n.ev.Wave, n.ev.Seq}
+			q := waveSends[k]
+			if len(q) == 0 {
+				return nil
+			}
+			s := q[0]
+			waveSends[k] = q[1:]
+			return s
+		}
+		k := pairKey{n.ev.Peer, n.ring, n.ev.Tag}
+		q := pairSends[k]
+		if len(q) == 0 {
+			return nil
+		}
+		s := q[0]
+		pairSends[k] = q[1:]
+		return s
+	}
+	for _, ring := range rings {
+		for _, n := range ring {
+			switch n.ev.Kind {
+			case trace.KindWaveRecv, trace.KindRecv:
+				s := popSend(n.ev.Kind, n)
+				if s == nil {
+					if n.ev.Kind == trace.KindWaveRecv && !disrupted {
+						rep.Violations = append(rep.Violations, Violation{
+							Kind: "unmatched-recv",
+							Detail: fmt.Sprintf("ring %d wave-recv (src %d, wave %d, seq %d) has no matching send",
+								n.ring, n.ev.Peer, n.ev.Wave, n.ev.Seq),
+						})
+					}
+					continue
+				}
+				n.msgPred = s
+				if n.ev.End < s.ev.Start {
+					rep.Violations = append(rep.Violations, Violation{
+						Kind: "causality",
+						Detail: fmt.Sprintf("%s on ring %d ends at %dns before its send on ring %d starts at %dns (wave %d, seq %d, tag %d)",
+							n.ev.Kind, n.ring, n.ev.End, s.ring, s.ev.Start, n.ev.Wave, n.ev.Seq, n.ev.Tag),
+					})
+				}
+				if n.ev.Kind == trace.KindWaveRecv {
+					edges = append(edges, matchedEdge{send: s, recv: n})
+				}
+			case trace.KindTaskTile:
+				for _, pred := range taskDeps[taskKey{rankOf(n.ring), n.ev.Wave, n.ev.Tile}] {
+					if p := taskTiles[taskKey{rankOf(n.ring), n.ev.Wave, pred}]; p != nil {
+						n.depPreds = append(n.depPreds, p)
+					}
+				}
+			case trace.KindTaskDep:
+				// The zero-width marker sits between its tile and the tile's
+				// ring predecessor in record order; without its own edge to
+				// the claimed predecessor tile it would occlude the dep edge
+				// (the walk binds to the latest-ending candidate).
+				if p := taskTiles[taskKey{rankOf(n.ring), n.ev.Wave, n.ev.Seq}]; p != nil {
+					n.depPreds = append(n.depPreds, p)
+				}
+			}
+		}
+	}
+
+	// Run envelope and totals, with trace.Summarize's rules so the report
+	// reconciles against the summary.
+	rep.fillEnvelope(rings)
+
+	// Backward walk from the last event to finish.
+	var end *node
+	for _, ring := range rings {
+		for _, n := range ring {
+			if end == nil || ordLess(end, n) {
+				end = n
+			}
+		}
+	}
+	path := []*node{end}
+	edgeKinds := []string{"end"}
+	for cur := end; ; {
+		var best *node
+		bestEdge := ""
+		consider := func(c *node, kind string) {
+			if c == nil || !ordLess(c, cur) {
+				return
+			}
+			if best == nil || c.ev.End > best.ev.End {
+				best, bestEdge = c, kind
+			}
+		}
+		if cur.pos > 0 {
+			consider(rings[cur.ring][cur.pos-1], "ring")
+		}
+		consider(cur.msgPred, "msg")
+		for _, d := range cur.depPreds {
+			consider(d, "dep")
+		}
+		if best == nil {
+			break
+		}
+		path = append(path, best)
+		edgeKinds = append(edgeKinds, bestEdge)
+		cur = best
+	}
+	// Reverse into execution order; edgeKinds[i] names the constraint from
+	// step i to step i+1 after the flip below.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+		edgeKinds[i], edgeKinds[j] = edgeKinds[j], edgeKinds[i]
+	}
+
+	rep.attribute(path, edgeKinds, rankOf)
+	rep.slackStats(edges)
+
+	if opts.Metrics != nil {
+		m := ModelComparison{
+			PredictedOptNs:    opts.Metrics.Gauge(metrics.ModelPredictedNs).Value(),
+			PredictedActualNs: opts.Metrics.Gauge(metrics.ModelPredActualNs).Value(),
+			ObservedNs:        opts.Metrics.Gauge(metrics.ModelObservedNs).Value(),
+			DriftRatio:        opts.Metrics.Gauge(metrics.ModelDrift).Value(),
+			OptimalBlock:      opts.Metrics.Gauge(metrics.ModelOptBlock).Value(),
+			Samples:           opts.Metrics.Gauge(metrics.ModelSamples).Value(),
+		}
+		if m.ObservedNs != 0 || m.PredictedOptNs != 0 {
+			rep.Model = &m
+		}
+	}
+
+	if len(rep.Violations) > 0 && !opts.Tolerant {
+		return rep, fmt.Errorf("critpath: %d causal violation(s), first: %s: %s",
+			len(rep.Violations), rep.Violations[0].Kind, rep.Violations[0].Detail)
+	}
+	return rep, nil
+}
+
+// fillEnvelope computes WallNs, the fill/steady/drain phase split, and the
+// run totals, ring by ring with trace.Summarize's classification.
+func (rep *Report) fillEnvelope(rings [][]*node) {
+	var minStart, maxEnd int64 = -1, -1
+	var firstStarts, lastEnds []int64
+	for _, ring := range rings {
+		var busy, comm, wait, kernelBusy int64
+		first, last := int64(-1), int64(-1)
+		kFirst, kLast := int64(-1), int64(-1)
+		hasCompute := false
+		for _, n := range ring {
+			ev := n.ev
+			if minStart < 0 || ev.Start < minStart {
+				minStart = ev.Start
+			}
+			if ev.End > maxEnd {
+				maxEnd = ev.End
+			}
+			d := ev.End - ev.Start
+			switch ev.Kind {
+			case trace.KindCompute, trace.KindTaskTile:
+				hasCompute = true
+				busy += d
+				if first < 0 || ev.Start < first {
+					first = ev.Start
+				}
+				if ev.End > last {
+					last = ev.End
+				}
+			case trace.KindKernel:
+				kernelBusy += d
+				if kFirst < 0 || ev.Start < kFirst {
+					kFirst = ev.Start
+				}
+				if ev.End > kLast {
+					kLast = ev.End
+				}
+			case trace.KindScatter, trace.KindGather:
+				comm += d
+			case trace.KindSend, trace.KindRecv:
+				wait += ev.Blocked
+				comm += d - ev.Blocked
+			case trace.KindBarrier:
+				wait += d
+			}
+		}
+		if !hasCompute && kernelBusy > 0 {
+			busy, first, last = kernelBusy, kFirst, kLast
+		}
+		rep.TotalBusyNs += busy
+		rep.TotalCommNs += comm
+		rep.TotalWaitNs += wait
+		if first >= 0 {
+			firstStarts = append(firstStarts, first)
+			lastEnds = append(lastEnds, last)
+		}
+	}
+	if minStart >= 0 {
+		rep.WallNs = maxEnd - minStart
+	}
+	if len(firstStarts) > 0 {
+		sort.Slice(firstStarts, func(i, j int) bool { return firstStarts[i] < firstStarts[j] })
+		sort.Slice(lastEnds, func(i, j int) bool { return lastEnds[i] < lastEnds[j] })
+		maxFirst := firstStarts[len(firstStarts)-1]
+		minLast := lastEnds[0]
+		if len(firstStarts) > 1 {
+			rep.FillNs = maxFirst - firstStarts[0]
+			rep.DrainNs = lastEnds[len(lastEnds)-1] - minLast
+		}
+		if s := minLast - maxFirst; s > 0 {
+			rep.SteadyNs = s
+		}
+		rep.fillEndNs = maxFirst
+		rep.steadyEndNs = minLast
+		if rep.steadyEndNs < rep.fillEndNs {
+			// No steady overlap: the drain begins where the fill ends, so
+			// the phase boundaries still partition the timeline.
+			rep.steadyEndNs = rep.fillEndNs
+		}
+	}
+}
+
+// attribute sweeps the path forward with a moving cursor, charging every
+// instant of [path start, path end] to exactly one class.
+func (rep *Report) attribute(path []*node, edgeKinds []string, rankOf func(int) int) {
+	if len(path) == 0 {
+		return
+	}
+	rep.PathLen = len(path)
+	rep.PathStartNs = path[0].ev.Start
+	rep.PathEndNs = path[len(path)-1].ev.End
+	byRing := map[int]int64{}
+	cursor := rep.PathStartNs
+	for i, n := range path {
+		s, e := n.ev.Start, n.ev.End
+		var gap int64
+		if s > cursor {
+			gap = s - cursor
+			rep.PathWaitNs += gap
+			byRing[n.ring] += gap
+			cursor = s
+		}
+		var on int64
+		if e > cursor {
+			on = e - cursor
+			lo := cursor
+			switch n.ev.Kind {
+			case trace.KindCompute, trace.KindKernel, trace.KindTaskTile:
+				rep.PathComputeNs += on
+			case trace.KindSend, trace.KindRecv, trace.KindWaveSend, trace.KindWaveRecv,
+				trace.KindScatter, trace.KindGather, trace.KindExchange, trace.KindReduce:
+				// The blocked prefix of a send/recv is wait, the rest is
+				// data movement.
+				w := int64(0)
+				if bEnd := s + n.ev.Blocked; bEnd > lo {
+					w = bEnd - lo
+					if w > on {
+						w = on
+					}
+				}
+				rep.PathWaitNs += w
+				rep.PathCommNs += on - w
+			case trace.KindBarrier, trace.KindBlockedSend:
+				rep.PathWaitNs += on
+			default:
+				rep.PathOtherNs += on
+			}
+			byRing[n.ring] += on
+			cursor = e
+		}
+		if len(rep.Steps) < maxSteps {
+			rep.Steps = append(rep.Steps, Step{
+				Kind: n.ev.Kind.String(), Ring: n.ring, Rank: rankOf(n.ring),
+				Peer: n.ev.Peer, Wave: n.ev.Wave, Tile: n.ev.Tile, Seq: n.ev.Seq,
+				StartNs: s, EndNs: e, OnPathNs: on, WaitBeforeNs: gap,
+				Edge: edgeKinds[i],
+			})
+		} else {
+			rep.StepsTruncated = true
+		}
+	}
+	// Phase split of the path interval against the envelope boundaries.
+	clip := func(lo, hi int64) int64 {
+		if lo < rep.PathStartNs {
+			lo = rep.PathStartNs
+		}
+		if hi > rep.PathEndNs {
+			hi = rep.PathEndNs
+		}
+		if hi > lo {
+			return hi - lo
+		}
+		return 0
+	}
+	rep.PathFillNs = clip(rep.PathStartNs, rep.fillEndNs)
+	rep.PathSteadyNs = clip(rep.fillEndNs, rep.steadyEndNs)
+	rep.PathDrainNs = clip(rep.steadyEndNs, rep.PathEndNs)
+	if rep.WallNs > 0 {
+		rep.Coverage = float64(rep.PathEndNs-rep.PathStartNs) / float64(rep.WallNs)
+	}
+	rings := make([]int, 0, len(byRing))
+	for r := range byRing {
+		rings = append(rings, r)
+	}
+	sort.Ints(rings)
+	for _, r := range rings {
+		rep.ByRing = append(rep.ByRing, RingShare{Ring: r, Rank: rankOf(r), Ns: byRing[r]})
+	}
+}
+
+// slackStats aggregates matched boundary edges per wave step (Seq) and
+// into the log2 histogram.
+func (rep *Report) slackStats(edges []matchedEdge) {
+	if len(edges) == 0 {
+		return
+	}
+	perWave := map[int]*WaveSlack{}
+	hist := make([]int64, 32)
+	for _, e := range edges {
+		slack := e.recv.ev.Start - e.send.ev.End
+		if slack < 0 {
+			slack = 0
+		}
+		w := e.send.ev.Seq
+		ws := perWave[w]
+		if ws == nil {
+			ws = &WaveSlack{Wave: w, MinNs: slack, MaxNs: slack}
+			perWave[w] = ws
+		}
+		ws.Edges++
+		ws.TotalNs += slack
+		if slack < ws.MinNs {
+			ws.MinNs = slack
+		}
+		if slack > ws.MaxNs {
+			ws.MaxNs = slack
+		}
+		b := 0
+		for v := slack; v > 1 && b < len(hist)-1; v >>= 1 {
+			b++
+		}
+		hist[b]++
+	}
+	waves := make([]int, 0, len(perWave))
+	for w := range perWave {
+		waves = append(waves, w)
+	}
+	sort.Ints(waves)
+	for _, w := range waves {
+		ws := perWave[w]
+		ws.MeanNs = float64(ws.TotalNs) / float64(ws.Edges)
+		rep.Slack = append(rep.Slack, *ws)
+	}
+	// Trim empty high buckets.
+	top := len(hist)
+	for top > 1 && hist[top-1] == 0 {
+		top--
+	}
+	rep.SlackHistNs = hist[:top]
+}

@@ -1,0 +1,238 @@
+package critpath
+
+import (
+	"strings"
+	"testing"
+
+	"wavefront/internal/trace"
+)
+
+// ev builds a filled-in event for synthetic traces.
+func ev(kind trace.Kind, ring int, start, end int64) trace.Event {
+	return trace.Ev(kind, ring, start, end)
+}
+
+func waveSend(ring, peer, wave, seq int, start, end int64) trace.Event {
+	e := ev(trace.KindWaveSend, ring, start, end)
+	e.Peer, e.Wave, e.Seq = peer, wave, seq
+	return e
+}
+
+func waveRecv(ring, peer, wave, seq int, start, end, blocked int64) trace.Event {
+	e := ev(trace.KindWaveRecv, ring, start, end)
+	e.Peer, e.Wave, e.Seq, e.Blocked = peer, wave, seq, blocked
+	return e
+}
+
+func compute(ring, wave, tile int, start, end int64) trace.Event {
+	e := ev(trace.KindCompute, ring, start, end)
+	e.Wave, e.Tile = wave, tile
+	return e
+}
+
+// twoRankPipeline is a hand-built two-rank, two-tile pipeline:
+//
+//	ring 0:  compute[0,10]  send(seq 0)[10,12]  compute[12,22]  send(seq 1)[22,24]
+//	ring 1:  recv(seq 0)[0,13]  compute[13,23]  recv(seq 1)[23,25]  compute[25,35]
+//
+// The receive at [0,13] blocks 12ns waiting for the send that ends at 12.
+func twoRankPipeline() []trace.Event {
+	return []trace.Event{
+		compute(0, 1, 0, 0, 10),
+		waveSend(0, 1, 1, 0, 10, 12),
+		compute(0, 1, 1, 12, 22),
+		waveSend(0, 1, 1, 1, 22, 24),
+		waveRecv(1, 0, 1, 0, 0, 13, 12),
+		compute(1, 1, 0, 13, 23),
+		waveRecv(1, 0, 1, 1, 23, 25, 1),
+		compute(1, 1, 1, 25, 35),
+	}
+}
+
+func TestAnalyzeLinearPipeline(t *testing.T) {
+	rep, err := Analyze(twoRankPipeline(), Options{Procs: 2})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if rep.PathStartNs != 0 || rep.PathEndNs != 35 {
+		t.Fatalf("path spans [%d,%d], want [0,35]", rep.PathStartNs, rep.PathEndNs)
+	}
+	// The whole interval must be attributed to exactly one class each.
+	sum := rep.PathComputeNs + rep.PathCommNs + rep.PathWaitNs + rep.PathOtherNs
+	if sum != rep.PathEndNs-rep.PathStartNs {
+		t.Fatalf("attribution %d != path interval %d", sum, rep.PathEndNs-rep.PathStartNs)
+	}
+	// The phase split partitions the same interval.
+	if ps := rep.PathFillNs + rep.PathSteadyNs + rep.PathDrainNs; ps != sum {
+		t.Fatalf("phase split %d != path interval %d", ps, sum)
+	}
+	// The path must cross rings over the message edge at least once.
+	crossed := false
+	for _, s := range rep.Steps {
+		if s.Edge == "msg" {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatalf("path never crossed a message edge: %+v", rep.Steps)
+	}
+	if len(rep.ByRing) != 2 {
+		t.Fatalf("ByRing has %d entries, want 2", len(rep.ByRing))
+	}
+	// Envelope identity: fill + steady + drain == compute-envelope span.
+	// Ring 0 computes over [0,22], ring 1 over [13,35]: fill 13, steady 9,
+	// drain 13.
+	if rep.FillNs != 13 || rep.SteadyNs != 9 || rep.DrainNs != 13 {
+		t.Fatalf("envelope fill/steady/drain = %d/%d/%d, want 13/9/13",
+			rep.FillNs, rep.SteadyNs, rep.DrainNs)
+	}
+	if rep.Violations != nil {
+		t.Fatalf("unexpected violations: %+v", rep.Violations)
+	}
+	if rep.String() == "" {
+		t.Fatal("Report.String is empty")
+	}
+}
+
+func TestAnalyzeFalsifiedEdge(t *testing.T) {
+	events := twoRankPipeline()
+	// Falsify the second send→recv edge: the receive now ends before its
+	// send starts.
+	for i := range events {
+		if events[i].Kind == trace.KindWaveRecv && events[i].Seq == 1 {
+			events[i].Start, events[i].End, events[i].Blocked = 18, 20, 0
+		}
+		if events[i].Kind == trace.KindCompute && events[i].Rank == 1 && events[i].Tile == 1 {
+			events[i].Start = 20 // keep ring 1's record order = end order
+		}
+	}
+	rep, err := Analyze(events, Options{Procs: 2})
+	if err == nil {
+		t.Fatal("Analyze accepted a receive that ends before its send starts")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "causality" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no causality violation recorded: %+v", rep.Violations)
+	}
+	// Tolerant mode returns the same report without the error.
+	rep2, err := Analyze(events, Options{Procs: 2, Tolerant: true})
+	if err != nil {
+		t.Fatalf("tolerant Analyze: %v", err)
+	}
+	if len(rep2.Violations) == 0 {
+		t.Fatal("tolerant Analyze dropped the violations")
+	}
+	if !strings.Contains(rep2.String(), "VIOLATION") {
+		t.Fatal("Report.String does not surface the violation")
+	}
+}
+
+func TestAnalyzeUnmatchedRecv(t *testing.T) {
+	events := []trace.Event{
+		waveRecv(1, 0, 1, 0, 0, 10, 9),
+		compute(1, 1, 0, 10, 20),
+	}
+	if _, err := Analyze(events, Options{Procs: 2}); err == nil {
+		t.Fatal("unmatched receive in an undisrupted trace must be a violation")
+	}
+	// A disrupted trace (drops) expects unmatched receives.
+	if _, err := Analyze(events, Options{Procs: 2, Dropped: 3}); err != nil {
+		t.Fatalf("disrupted trace still errored: %v", err)
+	}
+	// So does one holding fault/cancel markers.
+	withFault := append([]trace.Event{ev(trace.KindFault, 0, 0, 0)}, events...)
+	if _, err := Analyze(withFault, Options{Procs: 2}); err != nil {
+		t.Fatalf("faulted trace still errored: %v", err)
+	}
+}
+
+func TestAnalyzeTaskDepEdges(t *testing.T) {
+	// One rank (ring 0) plus two worker rings (1 and 2): tile 1 depends on
+	// tile 0, executed on different workers with an idle gap between them.
+	tile0 := ev(trace.KindTaskTile, 1, 0, 10)
+	tile0.Wave, tile0.Tile = 1, 0
+	dep := ev(trace.KindTaskDep, 2, 15, 15)
+	dep.Wave, dep.Tile, dep.Seq = 1, 1, 0
+	tile1 := ev(trace.KindTaskTile, 2, 15, 30)
+	tile1.Wave, tile1.Tile = 1, 1
+	rep, err := Analyze([]trace.Event{tile0, dep, tile1}, Options{Procs: 1, Workers: 2})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	hasDep := false
+	for _, s := range rep.Steps {
+		if s.Edge == "dep" {
+			hasDep = true
+		}
+	}
+	if !hasDep {
+		t.Fatalf("no dep edge on the path: %+v", rep.Steps)
+	}
+	// Both tiles sit on the path: 25ns of compute, 5ns idle gap.
+	if rep.PathComputeNs != 25 || rep.PathWaitNs != 5 {
+		t.Fatalf("compute/wait = %d/%d, want 25/5", rep.PathComputeNs, rep.PathWaitNs)
+	}
+	// Worker rings fold into rank 0.
+	for _, s := range rep.Steps {
+		if s.Rank != 0 {
+			t.Fatalf("step on ring %d mapped to rank %d, want 0", s.Ring, s.Rank)
+		}
+	}
+}
+
+func TestAnalyzeNestedSpansNotDoubleCounted(t *testing.T) {
+	// A WaveRecv wrapping the Recv recorded just before it (record order =
+	// end order): the cursor must charge the overlap once.
+	inner := ev(trace.KindRecv, 0, 0, 10)
+	inner.Peer, inner.Tag, inner.Blocked = 1, 7, 8
+	outer := waveRecv(0, 1, 1, 0, 0, 11, 0)
+	send := waveSend(1, 0, 1, 0, 0, 2)
+	rawSend := ev(trace.KindSend, 1, 0, 2)
+	rawSend.Peer, rawSend.Tag = 0, 7
+	rep, err := Analyze([]trace.Event{rawSend, send, inner, outer}, Options{Procs: 2, Tolerant: true})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	sum := rep.PathComputeNs + rep.PathCommNs + rep.PathWaitNs + rep.PathOtherNs
+	if sum != rep.PathEndNs-rep.PathStartNs {
+		t.Fatalf("nested spans double-counted: attribution %d over interval %d",
+			sum, rep.PathEndNs-rep.PathStartNs)
+	}
+}
+
+func TestAnalyzeSlack(t *testing.T) {
+	rep, err := Analyze(twoRankPipeline(), Options{Procs: 2})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// Edge seq 0: recv starts at 0, send ends at 12 → slack 0 (floored).
+	// Edge seq 1: recv starts at 23, send ends at 24 → slack 0.
+	if len(rep.Slack) == 0 {
+		t.Fatal("no slack stats for matched edges")
+	}
+	total := 0
+	for _, ws := range rep.Slack {
+		total += ws.Edges
+	}
+	if total != 2 {
+		t.Fatalf("slack covers %d edges, want 2", total)
+	}
+	if len(rep.SlackHistNs) == 0 || rep.SlackHistNs[0] != 2 {
+		t.Fatalf("zero-slack bucket = %v, want [2 ...]", rep.SlackHistNs)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep, err := Analyze(nil, Options{})
+	if err != nil {
+		t.Fatalf("Analyze(nil): %v", err)
+	}
+	if rep.PathLen != 0 || rep.WallNs != 0 {
+		t.Fatalf("empty trace produced a path: %+v", rep)
+	}
+}

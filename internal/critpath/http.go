@@ -1,0 +1,71 @@
+package critpath
+
+// HTTP faces for the serving layer. metrics.Serve knows nothing about
+// critpath (no import cycle); the session and CLI hand these handlers to
+// Serve as extra endpoints:
+//
+//	/debug/critpath   the last completed run's critical-path report
+//	/debug/bundle     the last captured post-mortem bundle
+//
+// Both serve completed-run artifacts only — the Holder is swapped after a
+// run joins and the Postmortem serves its sealed JSON — so a scrape never
+// races live trace rings.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Holder publishes the most recent run's Report to scrapers. The zero
+// value is ready; a nil *Holder is inert.
+type Holder struct {
+	p atomic.Pointer[Report]
+}
+
+// Set publishes rep (nil clears).
+func (h *Holder) Set(rep *Report) {
+	if h == nil {
+		return
+	}
+	h.p.Store(rep)
+}
+
+// Get returns the published report, nil when none.
+func (h *Holder) Get() *Report {
+	if h == nil {
+		return nil
+	}
+	return h.p.Load()
+}
+
+// ServeHTTP writes the report as JSON, 404 before the first run.
+func (h *Holder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	rep := h.Get()
+	if rep == nil {
+		http.Error(w, "critpath: no completed run yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
+
+// ServeHTTP writes the last captured bundle's sealed JSON, 404 when the
+// recorder is unarmed or has captured nothing.
+func (p *Postmortem) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if p == nil {
+		http.Error(w, "critpath: flight recorder not armed", http.StatusNotFound)
+		return
+	}
+	p.mu.Lock()
+	data := p.lastJSON
+	p.mu.Unlock()
+	if data == nil {
+		http.Error(w, "critpath: no bundle captured yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}

@@ -1,0 +1,65 @@
+package critpath
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+func ns(v int64) time.Duration { return time.Duration(v).Round(time.Microsecond) }
+
+// String renders the report for terminals: the path decomposition, the
+// envelope it reconciles against, the heaviest rings, and any violations.
+func (rep *Report) String() string {
+	if rep == nil {
+		return "<no critical-path report>"
+	}
+	var b bytes.Buffer
+	span := rep.PathEndNs - rep.PathStartNs
+	fmt.Fprintf(&b, "critical path: %v over %d steps (%.1f%% of %v wall)\n",
+		ns(span), rep.PathLen, 100*rep.Coverage, ns(rep.WallNs))
+	fmt.Fprintf(&b, "  on path:  compute %v  comm %v  wait %v  other %v\n",
+		ns(rep.PathComputeNs), ns(rep.PathCommNs), ns(rep.PathWaitNs), ns(rep.PathOtherNs))
+	fmt.Fprintf(&b, "  phases:   fill %v  steady %v  drain %v (envelope: fill %v  steady %v  drain %v)\n",
+		ns(rep.PathFillNs), ns(rep.PathSteadyNs), ns(rep.PathDrainNs),
+		ns(rep.FillNs), ns(rep.SteadyNs), ns(rep.DrainNs))
+	fmt.Fprintf(&b, "  run totals: busy %v  comm %v  wait %v across %d rings\n",
+		ns(rep.TotalBusyNs), ns(rep.TotalCommNs), ns(rep.TotalWaitNs), rep.Rings)
+	if len(rep.ByRing) > 0 {
+		// The two heaviest rings explain most paths; print up to three.
+		fmt.Fprintf(&b, "  heaviest rings:")
+		top := rep.topRings(3)
+		for _, rs := range top {
+			fmt.Fprintf(&b, "  ring %d (rank %d) %v", rs.Ring, rs.Rank, ns(rs.Ns))
+		}
+		fmt.Fprintln(&b)
+	}
+	if rep.Model != nil {
+		fmt.Fprintf(&b, "  model: predicted %v at optimal block, %v at actual, observed %v (drift ×%.2f)\n",
+			ns(int64(rep.Model.PredictedOptNs)), ns(int64(rep.Model.PredictedActualNs)),
+			ns(int64(rep.Model.ObservedNs)), rep.Model.DriftRatio)
+	}
+	if rep.Dropped > 0 {
+		fmt.Fprintf(&b, "  warning: %d events dropped to ring wrap; the path may be incomplete\n", rep.Dropped)
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(&b, "  VIOLATION (%s): %s\n", v.Kind, v.Detail)
+	}
+	return b.String()
+}
+
+// topRings returns the n largest path shares, largest first.
+func (rep *Report) topRings(n int) []RingShare {
+	out := append([]RingShare(nil), rep.ByRing...)
+	for i := 0; i < len(out) && i < n; i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Ns > out[i].Ns {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

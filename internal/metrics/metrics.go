@@ -105,6 +105,12 @@ const (
 	CkptSnapshots = "ckpt_snapshots_total"
 	CkptRestores  = "ckpt_restores_total"
 	CkptReplayed  = "ckpt_replayed_msgs_total"
+
+	// TraceDropped counts trace events lost to ring wrap-around, per rank
+	// (worker rings fold into their owning rank). A nonzero value means
+	// summaries, validation, and critical-path analysis saw a truncated
+	// history.
+	TraceDropped = "trace_dropped_events_total"
 )
 
 // padCell is one cache-line-padded atomic counter cell. 64 bytes of

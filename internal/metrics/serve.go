@@ -40,29 +40,44 @@ func publishExpvar(r *Registry) {
 	})
 }
 
+// Endpoint is one extra path a caller mounts on the metrics server.
+// metrics stays import-free of the layers above it (critpath, session);
+// they hand their handlers down through here instead.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // Serve starts an HTTP endpoint on addr exposing
 //
 //	/metrics            Prometheus text exposition of the registry
 //	/debug/vars         expvar JSON (the registry snapshot under "wavefront")
 //	/debug/pprof/...    net/http/pprof profiles (heap, goroutine, profile, trace, ...)
 //
-// on its own mux (nothing leaks onto http.DefaultServeMux except the
-// expvar publication, which is process-global by design). The registry
-// may be scraped while ranks are running. Serve returns once the
-// listener is bound; the caller owns the returned Server and should
-// Close it.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// plus any extra endpoints (the session mounts /debug/critpath and
+// /debug/bundle), on its own mux (nothing leaks onto
+// http.DefaultServeMux except the expvar publication, which is
+// process-global by design). The registry may be scraped while ranks are
+// running. Serve returns once the listener is bound; the caller owns the
+// returned Server and should Close it.
+func Serve(addr string, reg *Registry, extra ...Endpoint) (*Server, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("metrics: cannot serve a nil registry")
 	}
 	publishExpvar(reg)
+	index := "wavefront metrics endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n"
+	for _, e := range extra {
+		if e.Path != "" && e.Handler != nil {
+			index += e.Path + "\n"
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "wavefront metrics endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, index)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -74,6 +89,11 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		if e.Path != "" && e.Handler != nil {
+			mux.Handle(e.Path, e.Handler)
+		}
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

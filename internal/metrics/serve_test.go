@@ -1,9 +1,11 @@
 package metrics
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -67,6 +69,114 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if code, _ = get(t, base+"/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestServeExtraEndpoints(t *testing.T) {
+	r := New(1)
+	extra := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("extra-ok"))
+	})
+	srv, err := Serve("127.0.0.1:0", r,
+		Endpoint{Path: "/debug/extra", Handler: extra},
+		Endpoint{Path: "", Handler: extra}, // skipped: no path
+		Endpoint{Path: "/debug/none"},      // skipped: no handler
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/debug/extra")
+	if code != http.StatusOK || body != "extra-ok" {
+		t.Fatalf("/debug/extra status %d body %q", code, body)
+	}
+	if code, _ = get(t, base+"/debug/none"); code != http.StatusNotFound {
+		t.Errorf("handler-less endpoint mounted anyway: status %d", code)
+	}
+	// The index advertises the mounted extra path but not the skipped ones.
+	_, body = get(t, base+"/")
+	if !strings.Contains(body, "/debug/extra") {
+		t.Error("index does not list /debug/extra")
+	}
+	if strings.Contains(body, "/debug/none") {
+		t.Error("index lists the skipped /debug/none")
+	}
+}
+
+// TestServeConcurrentScrapes hammers every endpoint from several goroutines
+// while ranks are mutating the registry. The assertion is the race detector:
+// the CI metrics job runs this under -race.
+func TestServeConcurrentScrapes(t *testing.T) {
+	r := New(4)
+	extra := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// An extra endpoint that also reads the registry, the way
+		// /debug/critpath snapshots fit curves mid-run.
+		fmt.Fprintf(w, "%d", r.Counter(CommSends).Value())
+	})
+	srv, err := Serve("127.0.0.1:0", r, Endpoint{Path: "/debug/extra", Handler: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	stop := make(chan struct{})
+	var writers, scrapers sync.WaitGroup
+	// Writers: four "ranks" updating counters, histograms and gauges until
+	// the scrapers are done.
+	for rank := 0; rank < 4; rank++ {
+		writers.Add(1)
+		go func(rank int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(CommSends).Add(rank, 1)
+				r.Counter(PipeBusyNs).Add(rank, 100)
+				r.Histogram(PipeTileNs).Observe(rank, int64(i%1000)+1)
+				r.Gauge(ModelDrift).Set(float64(i) / 1000)
+			}
+		}(rank)
+	}
+	// Scrapers: concurrent GETs against every surface the server exposes.
+	paths := []string{"/metrics", "/debug/vars", "/debug/extra", "/"}
+	errs := make(chan error, len(paths)*2)
+	for _, p := range paths {
+		for g := 0; g < 2; g++ {
+			scrapers.Add(1)
+			go func(p string) {
+				defer scrapers.Done()
+				for i := 0; i < 25; i++ {
+					resp, err := http.Get(base + p)
+					if err != nil {
+						errs <- fmt.Errorf("GET %s: %w", p, err)
+						return
+					}
+					_, err = io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs <- fmt.Errorf("read %s: %w", p, err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("GET %s: status %d", p, resp.StatusCode)
+						return
+					}
+				}
+			}(p)
+		}
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"wavefront/internal/bufpool"
+	"wavefront/internal/critpath"
 	"wavefront/internal/field"
 	"wavefront/internal/scan"
 	"wavefront/internal/workload"
@@ -35,7 +36,7 @@ const (
 // allocation-free fast path) and dirties its arrays every run, so each
 // measured Exec carries a full coalesced halo exchange plus the pipelined
 // boundary messages.
-func sessionAllocsPerExec(t *testing.T, procs int, pooled bool) float64 {
+func sessionAllocsPerExec(t *testing.T, procs int, pooled, postmortem bool) float64 {
 	t.Helper()
 	tom, err := workload.NewTomcatv(48, field.RowMajor)
 	if err != nil {
@@ -45,6 +46,9 @@ func sessionAllocsPerExec(t *testing.T, procs int, pooled bool) float64 {
 	cfg := SessionConfig{Procs: procs, Domain: tom.All, Block: 8}
 	if pooled {
 		cfg.Pool = bufpool.New(procs)
+	}
+	if postmortem {
+		cfg.Postmortem = critpath.NewPostmortem("")
 	}
 	sess, err := NewSession(tom.Env, []*scan.Block{blk}, cfg)
 	if err != nil {
@@ -85,8 +89,23 @@ func TestSteadyWaveZeroAllocs(t *testing.T) {
 		t.Skip("race instrumentation perturbs allocation counts")
 	}
 	for _, procs := range []int{1, 2, 4} {
-		if got := sessionAllocsPerExec(t, procs, true); got != 0 {
+		if got := sessionAllocsPerExec(t, procs, true, false); got != 0 {
 			t.Errorf("procs=%d: steady-state Exec allocated %.0f times per wave with pooling on, want 0", procs, got)
+		}
+	}
+}
+
+// TestSteadyWaveZeroAllocsPostmortem locks the flight recorder into the
+// same contract: arming it makes the session record every operation into
+// the preallocated flight ring, and a pooled steady-state wave must still
+// allocate nothing.
+func TestSteadyWaveZeroAllocsPostmortem(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	for _, procs := range []int{1, 4} {
+		if got := sessionAllocsPerExec(t, procs, true, true); got != 0 {
+			t.Errorf("procs=%d: steady-state Exec allocated %.0f times per wave with the flight recorder armed, want 0", procs, got)
 		}
 	}
 }
@@ -147,7 +166,7 @@ func TestSteadyWaveAllocBaseline(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation perturbs allocation counts")
 	}
-	base := sessionAllocsPerExec(t, 2, false)
+	base := sessionAllocsPerExec(t, 2, false, false)
 	if base == 0 {
 		t.Error("pooling off allocated nothing per steady-state Exec; the measurement is broken")
 	}

@@ -52,6 +52,9 @@ type ckptRuntime struct {
 	pending []atomic.Bool   // pending[r]: rank r's next body invocation is a restart
 	scratch []ckpt.Snapshot // per-rank reusable snapshot (Save deep-copies)
 	pm      *pipeMetrics
+	// restarts counts granted rank restarts this run; the flight recorder
+	// treats any nonzero count as a structured failure worth a bundle.
+	restarts atomic.Int64
 }
 
 func newCkptRuntime(cfg *CheckpointConfig, p int, pm *pipeMetrics) *ckptRuntime {
@@ -84,6 +87,7 @@ func (ck *ckptRuntime) recovery(maxRestarts int) *comm.Recovery {
 		},
 		OnRestart: func(rank, attempt, replayed int) {
 			ck.pending[rank].Store(true)
+			ck.restarts.Add(1)
 			if ck.pm != nil {
 				ck.pm.ckptReplayed.Add(rank, int64(replayed))
 			}

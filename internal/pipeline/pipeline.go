@@ -19,6 +19,7 @@ import (
 
 	"wavefront/internal/bufpool"
 	"wavefront/internal/comm"
+	"wavefront/internal/critpath"
 	"wavefront/internal/dep"
 	"wavefront/internal/expr"
 	"wavefront/internal/fault"
@@ -107,6 +108,15 @@ type Config struct {
 	// registry carries calibration across runs, so a Config reused with
 	// the same registry converges onto the model's choice.
 	AutoTune bool
+	// Postmortem, when non-nil, arms the flight recorder: every structured
+	// failure (deadlock, injected fault, cancellation, checkpoint checksum
+	// error, recovery restart) captures a post-mortem bundle at run end,
+	// and clean runs stash their state for Postmortem.CaptureNow. When
+	// Trace is nil the runtime arms an internal flight ring so the bundle
+	// still carries a trace tail; Stats.Summary stays nil in that case.
+	// Nil — the default — disables the recorder at the cost of a pointer
+	// check per run.
+	Postmortem *critpath.Postmortem
 }
 
 // Retuning thresholds: how many comm-cost samples the α/β estimate needs
@@ -211,11 +221,23 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	// tr is the effective recorder: the user's, or — when only the flight
+	// recorder is armed — an internal ring so a post-mortem bundle still
+	// carries the lead-up to a failure. Stats.Summary stays tied to the
+	// user's recorder.
+	tr := cfg.Trace
+	wtr := 0 // worker rings per rank, for ring→rank attribution
+	if pl.sched == scan.SchedTaskDAG {
+		wtr = pl.workers
+	}
+	if tr == nil && cfg.Postmortem.Enabled() {
+		tr = trace.New(pl.p*(1+wtr), critpath.FlightCapacity)
+	}
 	topo, err := comm.NewTopology(pl.p)
 	if err != nil {
 		return nil, err
 	}
-	if err := topo.SetTrace(cfg.Trace); err != nil {
+	if err := topo.SetTrace(tr); err != nil {
 		return nil, err
 	}
 	topo.SetFaults(cfg.Faults)
@@ -251,16 +273,39 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 	if pm != nil {
 		runtime.ReadMemStats(&mem0)
 	}
+	dropBase := pm.traceDropBase(tr)
 	start := time.Now()
 	err = topo.Run(func(e *comm.Endpoint) error {
-		return runRank(b, env, pl, e, phase, cfg.Trace, pm, ck)
+		return runRank(b, env, pl, e, phase, tr, pm, ck)
 	})
 	elapsed := time.Since(start)
+	// From here to the early return, every rank goroutine has joined
+	// (topo.Run waits even on error), so the trace rings are quiescent:
+	// safe for drop accounting and the flight recorder.
+	pendingMsgs := 0
+	if err == nil {
+		if n := topo.PendingMessages(); n != 0 {
+			pendingMsgs = n
+			err = fmt.Errorf("pipeline: %d messages left undelivered", n)
+		}
+	}
+	pm.publishTraceDrops(tr, dropBase, pl.p, wtr)
+	if cfg.Postmortem.Enabled() {
+		in := critpath.CaptureInput{
+			Err: err, Config: runConfig(cfg, pl), Trace: tr, Metrics: cfg.Metrics,
+			Procs: pl.p, Workers: wtr, PendingMessages: pendingMsgs,
+		}
+		if ck != nil {
+			in.CkptStore = ck.store
+			in.Restarts = int(ck.restarts.Load())
+		}
+		if cfg.Faults != nil {
+			in.FaultsFired = cfg.Faults.Fired()
+		}
+		cfg.Postmortem.RunEnded(in)
+	}
 	if err != nil {
 		return nil, err
-	}
-	if n := topo.PendingMessages(); n != 0 {
-		return nil, fmt.Errorf("pipeline: %d messages left undelivered", n)
 	}
 	var drift *metrics.DriftReport
 	if pm != nil {
@@ -295,6 +340,24 @@ func Run(b *scan.Block, env expr.Env, cfg Config) (*Stats, error) {
 		Drift:        drift,
 		Pool:         poolStats,
 	}, nil
+}
+
+// runConfig condenses the run's shape for a post-mortem bundle.
+func runConfig(cfg Config, pl *plan) critpath.RunConfig {
+	rc := critpath.RunConfig{
+		Procs: pl.p, Block: pl.block,
+		WavefrontDim: pl.wDim, TileDim: pl.tDim,
+		Scheduler:    pl.sched.String(),
+		Transport:    cfg.Transport.Kind.String(),
+		LinkCapacity: cfg.LinkCapacity,
+	}
+	if pl.sched == scan.SchedTaskDAG {
+		rc.Workers = pl.workers
+	}
+	if cfg.Checkpoint != nil {
+		rc.CheckpointEvery = cfg.Checkpoint.every()
+	}
+	return rc
 }
 
 // Plan exposes the decomposition the runtime would use, for tools and

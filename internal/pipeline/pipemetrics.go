@@ -5,6 +5,7 @@ import (
 
 	"wavefront/internal/bufpool"
 	"wavefront/internal/metrics"
+	"wavefront/internal/trace"
 )
 
 // pipeMetrics is the pipeline runtime's resolved instrument set, the
@@ -20,6 +21,7 @@ type pipeMetrics struct {
 	exchanges, reductions, barriers *metrics.Counter
 	ckptSnaps, ckptRestores         *metrics.Counter
 	ckptReplayed                    *metrics.Counter
+	traceDropped                    *metrics.Counter
 	tileNs                          *metrics.Histogram
 	compCost                        *metrics.Fit
 	// first/last bound each rank's compute activity in ns since the
@@ -47,6 +49,7 @@ func newPipeMetrics(reg *metrics.Registry, p int) *pipeMetrics {
 		ckptSnaps:    reg.Counter(metrics.CkptSnapshots),
 		ckptRestores: reg.Counter(metrics.CkptRestores),
 		ckptReplayed: reg.Counter(metrics.CkptReplayed),
+		traceDropped: reg.Counter(metrics.TraceDropped),
 		tileNs:       reg.Histogram(metrics.PipeTileNs),
 		compCost:     reg.Fit(metrics.ModelCompFit),
 		first:        make([]int64, p),
@@ -90,6 +93,52 @@ func (pm *pipeMetrics) tile(rank, elems int, start, end int64) {
 func (pm *pipeMetrics) waveSend(rank, elems int) {
 	pm.waveMsgs.Add(rank, 1)
 	pm.waveElems.Add(rank, int64(elems))
+}
+
+// traceDropBase snapshots per-ring drop counts before a run, so
+// publishTraceDrops can add only this run's losses even when the recorder
+// (never Reset between runs) or the registry is reused.
+func (pm *pipeMetrics) traceDropBase(tr *trace.Recorder) []int64 {
+	if pm == nil || tr == nil {
+		return nil
+	}
+	base := make([]int64, tr.Procs())
+	for i := range base {
+		base[i] = tr.RankDropped(i)
+	}
+	return base
+}
+
+// publishTraceDrops surfaces ring wrap-around as the
+// trace_dropped_events_total counter: per-rank, with each rank's task-DAG
+// worker rings (procs + rank*workers ... + workers-1) folded into the
+// owning rank's shard. Call after the run's ranks have retired.
+func (pm *pipeMetrics) publishTraceDrops(tr *trace.Recorder, base []int64, procs, workers int) {
+	if pm == nil || tr == nil {
+		return
+	}
+	for ring := 0; ring < tr.Procs(); ring++ {
+		d := tr.RankDropped(ring)
+		if ring < len(base) {
+			d -= base[ring]
+		}
+		if d <= 0 {
+			continue
+		}
+		rank := ring
+		if ring >= procs {
+			if workers > 0 {
+				rank = (ring - procs) / workers
+			}
+			if rank >= procs {
+				rank = procs - 1
+			}
+		}
+		if rank >= pm.reg.Procs() {
+			rank = pm.reg.Procs() - 1
+		}
+		pm.traceDropped.Add(rank, d)
+	}
 }
 
 // publishAlloc publishes the run's allocation health: heap objects

@@ -9,6 +9,7 @@ import (
 
 	"wavefront/internal/bufpool"
 	"wavefront/internal/comm"
+	"wavefront/internal/critpath"
 	"wavefront/internal/dep"
 	"wavefront/internal/expr"
 	"wavefront/internal/fault"
@@ -58,6 +59,13 @@ type Session struct {
 	// ck is the checkpoint runtime of the Run in flight (nil when
 	// SessionConfig.Checkpoint is nil).
 	ck *ckptRuntime
+	// flightTrace marks cfg.Trace as the session-owned flight ring (armed
+	// for the flight recorder or the /debug/critpath endpoint, reset per
+	// Run); SessionStats.Summary stays nil then, as if tracing were off.
+	flightTrace bool
+	// cpHolder publishes the last completed Run's critical-path report at
+	// /debug/critpath when the session serves metrics.
+	cpHolder *critpath.Holder
 }
 
 // SessionConfig fixes a session's decomposition.
@@ -151,6 +159,15 @@ type SessionConfig struct {
 	// goroutine; <= 0 selects runtime.GOMAXPROCS(0). Ignored under
 	// SchedStatic.
 	Workers int
+	// Postmortem, when non-nil, arms the flight recorder: every structured
+	// failure (deadlock, injected fault, cancellation, checkpoint checksum
+	// error, recovery restart) captures a post-mortem bundle at the end of
+	// the Run, and clean Runs stash their state for Postmortem.CaptureNow.
+	// When Trace is nil the session arms an internal flight ring (reset per
+	// Run) so bundles still carry a trace tail; SessionStats.Summary stays
+	// nil in that case. With MetricsAddr set, the last bundle is served at
+	// /debug/bundle. Nil (the default) disables the recorder.
+	Postmortem *critpath.Postmortem
 }
 
 // SessionStats summarizes a finished Run.
@@ -211,11 +228,25 @@ func NewSession(env expr.Env, blocks []*scan.Block, cfg SessionConfig) (*Session
 		sess.names = append(sess.names, name)
 	}
 	sort.Strings(sess.names)
+	if (cfg.Postmortem.Enabled() || cfg.MetricsAddr != "") && sess.cfg.Trace == nil {
+		// Arm an internal flight ring: the flight recorder needs a trace
+		// tail and /debug/critpath needs events, but the caller asked for
+		// no user-facing trace (Summary stays nil).
+		rings := cfg.Procs
+		if cfg.Scheduler == scan.SchedTaskDAG {
+			rings = cfg.Procs * (1 + resolveWorkers(cfg.Workers))
+		}
+		sess.cfg.Trace = trace.New(rings, critpath.FlightCapacity)
+		sess.flightTrace = true
+	}
 	if cfg.MetricsAddr != "" {
 		if sess.cfg.Metrics == nil {
 			sess.cfg.Metrics = metrics.New(cfg.Procs)
 		}
-		srv, err := metrics.Serve(cfg.MetricsAddr, sess.cfg.Metrics)
+		sess.cpHolder = &critpath.Holder{}
+		srv, err := metrics.Serve(cfg.MetricsAddr, sess.cfg.Metrics,
+			metrics.Endpoint{Path: "/debug/critpath", Handler: sess.cpHolder},
+			metrics.Endpoint{Path: "/debug/bundle", Handler: cfg.Postmortem})
 		if err != nil {
 			return nil, err
 		}
@@ -424,6 +455,12 @@ func (s *Session) Run(body func(r *Rank) error) error {
 	s.ck = ck
 	s.mu.Unlock()
 	tr := s.cfg.Trace
+	if s.flightTrace {
+		// The session owns the flight ring: reset it so each Run's bundle
+		// and /debug/critpath report cover only the run in flight.
+		tr.Reset()
+	}
+	dropBase := pm.traceDropBase(tr)
 	// All ranks must finish scattering (reading the global arrays) before
 	// any rank may gather (writing them); with no other messages in flight
 	// nothing else orders the ranks.
@@ -498,14 +535,74 @@ func (s *Session) Run(body func(r *Rank) error) error {
 		st := p.Stats()
 		poolStats = &st
 	}
-	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: elapsed, Summary: tr.Summarize(), Drift: drift, Pool: poolStats}
-	if err != nil {
-		return err
+	pendingMsgs := 0
+	if err == nil {
+		if n := topo.PendingMessages(); n != 0 {
+			pendingMsgs = n
+			err = fmt.Errorf("pipeline: session left %d messages undelivered", n)
+		}
 	}
-	if n := topo.PendingMessages(); n != 0 {
-		return fmt.Errorf("pipeline: session left %d messages undelivered", n)
+	pm.publishTraceDrops(tr, dropBase, s.cfg.Procs, s.taskWorkers())
+	summary := tr.Summarize()
+	if s.flightTrace {
+		summary = nil // the flight ring is internal; the caller asked for no trace
 	}
-	return nil
+	s.stats = SessionStats{Comm: topo.Stats(), Elapsed: elapsed, Summary: summary, Drift: drift, Pool: poolStats}
+	if s.cfg.Postmortem.Enabled() {
+		in := critpath.CaptureInput{
+			Err:             err,
+			Config:          s.runConfigPM(),
+			Trace:           tr,
+			Metrics:         s.cfg.Metrics,
+			Procs:           s.cfg.Procs,
+			Workers:         s.taskWorkers(),
+			PendingMessages: pendingMsgs,
+		}
+		if ck != nil {
+			in.CkptStore = ck.store
+			in.Restarts = int(ck.restarts.Load())
+		}
+		if s.cfg.Faults != nil {
+			in.FaultsFired = s.cfg.Faults.Fired()
+		}
+		s.cfg.Postmortem.RunEnded(in)
+	}
+	if s.cpHolder != nil && tr != nil {
+		rep, _ := critpath.Analyze(tr.Events(), critpath.Options{
+			Procs: s.cfg.Procs, Workers: s.taskWorkers(),
+			Dropped: tr.Dropped(), Tolerant: true, Metrics: s.cfg.Metrics,
+		})
+		s.cpHolder.Set(rep)
+	}
+	return err
+}
+
+// taskWorkers is the per-rank worker-ring count the trace exposes: the
+// resolved pool size under SchedTaskDAG, 0 under SchedStatic.
+func (s *Session) taskWorkers() int {
+	if s.cfg.Scheduler != scan.SchedTaskDAG {
+		return 0
+	}
+	return resolveWorkers(s.cfg.Workers)
+}
+
+// runConfigPM condenses the session's configuration into the post-mortem
+// bundle's RunConfig.
+func (s *Session) runConfigPM() critpath.RunConfig {
+	rc := critpath.RunConfig{
+		Procs:        s.cfg.Procs,
+		Block:        s.cfg.Block,
+		WavefrontDim: s.cfg.WavefrontDim,
+		TileDim:      -1,
+		Scheduler:    s.cfg.Scheduler.String(),
+		Transport:    s.cfg.Transport.Kind.String(),
+		LinkCapacity: s.cfg.LinkCapacity,
+		Workers:      s.taskWorkers(),
+	}
+	if s.cfg.Checkpoint != nil {
+		rc.CheckpointEvery = s.cfg.Checkpoint.every()
+	}
+	return rc
 }
 
 // Rank is one SPMD participant's handle: its local arrays, its endpoint,

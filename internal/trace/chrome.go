@@ -40,6 +40,19 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
 		})
 	}
+	if total := r.Dropped(); total > 0 {
+		// Mark lossy exports so a viewer (or a script reading the JSON)
+		// knows the timeline has ring-wrap holes and which rings lost them.
+		args := map[string]any{"total": total}
+		for rank := 0; rank < r.Procs(); rank++ {
+			if d := r.RankDropped(rank); d > 0 {
+				args[fmt.Sprintf("ring_%d", rank)] = d
+			}
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "trace_dropped_events", Ph: "M", Pid: 0, Tid: 0, Args: args,
+		})
+	}
 	for _, ev := range r.Events() {
 		ce := chromeEvent{
 			Name: ev.Kind.String(),

@@ -104,35 +104,36 @@ func (k Kind) String() string {
 // recorder's epoch (monotonic, comparable across ranks). Fields that do not
 // apply to a kind hold -1.
 type Event struct {
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// Rank is the recording rank.
-	Rank int
+	Rank int `json:"rank"`
 	// Peer is the counterpart rank: destination for sends, source for
 	// receives, upstream rank for pipeline computes.
-	Peer int
+	Peer int `json:"peer"`
 	// Tag is the comm-layer message tag (Send/Recv only; negative tags are
 	// collectives).
-	Tag int
+	Tag int `json:"tag"`
 	// Seq is the boundary-message index within one wavefront block run
 	// (WaveSend/WaveRecv): the sender emits Seq = tile index, the receiver
 	// counts arrivals.
-	Seq int
+	Seq int `json:"seq"`
 	// Wave identifies which wavefront block run the event belongs to; every
 	// rank executes the same block sequence, so equal Wave values name the
 	// same run on every rank.
-	Wave int
+	Wave int `json:"wave"`
 	// Tile is the tile index of a compute span.
-	Tile int
+	Tile int `json:"tile"`
 	// Need is the last upstream Seq that must have been received before
 	// this compute span may begin; -1 when the compute has no upstream
 	// dependence.
-	Need int
+	Need int `json:"need"`
 	// Elems is the payload or region size in elements.
-	Elems int
+	Elems int `json:"elems"`
 	// Start and End bound the span, in ns since the recorder epoch.
-	Start, End int64
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
 	// Blocked is the portion of a receive spent waiting for the message.
-	Blocked int64
+	Blocked int64 `json:"blocked"`
 }
 
 // Ev returns an event of the given kind and span with every identity field
@@ -235,6 +236,15 @@ func (r *Recorder) Dropped() int64 {
 		n += r.ranks[i].dropped
 	}
 	return n
+}
+
+// RankDropped returns one rank's ring-wrap loss, so a caller can
+// attribute drops (and the trace_dropped_events_total metric) per ring.
+func (r *Recorder) RankDropped(rank int) int64 {
+	if r == nil || rank < 0 || rank >= len(r.ranks) {
+		return 0
+	}
+	return r.ranks[rank].dropped
 }
 
 // Len returns the number of retained events across all ranks.
