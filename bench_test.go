@@ -93,14 +93,22 @@ func BenchmarkFig5aSimulation(b *testing.B) {
 
 // --- E5, Figure 5(b): model curves only ---
 
-func BenchmarkFig5bModels(b *testing.B) {
+// modelSink keeps the model evaluations below observable: with the results
+// discarded the whole loop dead-code-eliminates into a ~25 ns shell whose
+// timing swings ±30% with unrelated code-layout changes (the old
+// BenchmarkFig5bModels tripped the bench guard exactly that way).
+var modelSink float64
+
+func BenchmarkFig5bModelEval(b *testing.B) {
 	m1, m2 := model.Model1(400), model.Model2(400, 186)
+	acc := 0.0
 	for i := 0; i < b.N; i++ {
 		for blk := 1; blk <= 64; blk++ {
-			_ = m1.Speedup(64, 16, float64(blk))
-			_ = m2.Speedup(64, 16, float64(blk))
+			acc += m1.Speedup(64, 16, float64(blk))
+			acc += m2.Speedup(64, 16, float64(blk))
 		}
 	}
+	modelSink = acc
 }
 
 // --- E6, Figure 6: the fused/unfused native kernels and cache traces ---
@@ -555,6 +563,91 @@ func BenchmarkDPWavefront(b *testing.B) {
 		if err := scan.Exec(blk, d.Env, scan.ExecOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- New workload families (PR9): per-family ns/point ---
+
+// BenchmarkSWFill prices the affine-gap Smith-Waterman fill: three tables
+// written per point, five neighbour reads, seven max folds.
+func BenchmarkSWFill(b *testing.B) {
+	w, err := workload.NewSW(128, 7, field.RowMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := w.Block()
+	points := float64(w.Inner.Dim(0).Size() * w.Inner.Dim(1).Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := scan.Exec(blk, w.Env, scan.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*points), "ns/point")
+}
+
+// BenchmarkFactorization prices the full right-looking elimination (every
+// per-k block) for both variants. ns/point is per region point actually
+// swept — the shrinking trailing submatrices sum to ~n³/3 updates, so the
+// metric reads as cost per elimination update, not per matrix entry.
+func BenchmarkFactorization(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		mk   func(int, int64, field.Layout) (*workload.Factor, error)
+	}{{"lu", workload.NewLU}, {"cholesky", workload.NewCholesky}} {
+		b.Run(c.name, func(b *testing.B) {
+			w, err := c.mk(48, 3, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			points := 0.0
+			for _, blk := range w.Blocks() {
+				points += float64(blk.Region.Dim(0).Size() * blk.Region.Dim(1).Size())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				if err := w.Run(scan.ExecOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*points), "ns/point")
+		})
+	}
+}
+
+// BenchmarkMultiOctant prices two counter-propagating octants plus the
+// combine pass: back-to-back blocks vs the merged task-DAG group, whose
+// opposing wavefronts fill each other's ramp idle time on one pool.
+func BenchmarkMultiOctant(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		grouped bool
+		opt     scan.ExecOptions
+	}{
+		{"sequential", false, scan.ExecOptions{}},
+		{"grouped-w4", true, scan.ExecOptions{Scheduler: scan.SchedTaskDAG, Workers: 4}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			w, err := workload.NewMultiOctant(96, 2, field.RowMajor)
+			if err != nil {
+				b.Fatal(err)
+			}
+			points := float64(w.Inner.Dim(0).Size()*w.Inner.Dim(1).Size()) * 3 // 2 octants + combine
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if c.grouped {
+					err = w.Run(c.opt)
+				} else {
+					err = w.RunSequential(c.opt)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*points), "ns/point")
+		})
 	}
 }
 

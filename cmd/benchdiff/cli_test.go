@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const cliBenchOutput = `goos: linux
+BenchmarkTileFill-4   	    1000	      1200 ns/op	        14.50 ns/point
+BenchmarkDrain-4      	     500	      3400 ns/op
+PASS
+`
+
+// TestMainSnapshotThenCompare drives the CLI the way CI does: first the
+// snapshot-writing invocation (-out), then the guard invocation (-base
+// -tolerance -json) against the snapshot it just wrote — which by
+// construction has zero regressions and must exit cleanly.
+func TestMainSnapshotThenCompare(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	snap := filepath.Join(dir, "snap.json")
+	if err := os.WriteFile(in, []byte(cliBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	for _, args := range [][]string{
+		{"benchdiff", "-in", in, "-out", snap, "-json"},
+		{"benchdiff", "-in", in, "-base", snap, "-tolerance", "25", "-json"},
+		{"benchdiff", "-in", in, "-base", snap, "-maxregress", "10"},
+	} {
+		flag.CommandLine = flag.NewFlagSet("benchdiff", flag.ExitOnError)
+		os.Args = args
+		main()
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// TestMainCurve drives the calculator end to end with the paper's CM-5
+// constants, including the speedup curve (which walks next through all
+// three stride regimes).
+func TestMainCurve(t *testing.T) {
+	flag.CommandLine = flag.NewFlagSet("blocksize", flag.ExitOnError)
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"blocksize", "-alpha", "1521", "-beta", "72", "-n", "256", "-p", "8", "-curve"}
+	main()
+}
+
+func TestNextStride(t *testing.T) {
+	for _, tc := range [][2]int{{1, 2}, {7, 8}, {8, 12}, {63, 67}, {64, 96}, {128, 160}} {
+		if got := next(tc[0]); got != tc[1] {
+			t.Errorf("next(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+}

@@ -31,8 +31,9 @@ type valLeg struct {
 }
 
 // valLegs is the full scheduler×engine validation matrix: both engines
-// under the static schedule, plus the task-DAG scheduler at 1, 2, and 4
-// workers (1 worker pins the degenerate pool; 2 and 4 exercise stealing).
+// under the static schedule, plus the task-DAG scheduler at 1, 2, 4, and 8
+// workers (1 worker pins the degenerate pool; the wider pools exercise
+// stealing, with 8 oversubscribing most portions).
 func valLegs() []valLeg {
 	return []valLeg{
 		{"tape", wavefront.KernelTape, wavefront.SchedStatic, 0},
@@ -40,6 +41,7 @@ func valLegs() []valLeg {
 		{"taskdag-w1", wavefront.KernelTape, wavefront.SchedTaskDAG, 1},
 		{"taskdag-w2", wavefront.KernelTape, wavefront.SchedTaskDAG, 2},
 		{"taskdag-w4", wavefront.KernelTape, wavefront.SchedTaskDAG, 4},
+		{"taskdag-w8", wavefront.KernelTape, wavefront.SchedTaskDAG, 8},
 	}
 }
 
@@ -195,11 +197,171 @@ func runValidate(n, block int) error {
 		}
 	}
 
+	// Smith-Waterman: the affine-gap DP fill against its straight-Go oracle,
+	// plus the data-dependent traceback — the walk must reproduce the
+	// oracle's alignment exactly over every engine/scheduler cell.
+	{
+		sn := 24
+		ref, err := workload.NewSW(sn, 7, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		oracle := ref.Reference()
+		refEnd, refOps := ref.TracebackOf(oracle)
+		checkTraceback := func(leg string, w *workload.SW) {
+			end, ops := w.Traceback()
+			if end[0] != refEnd[0] || end[1] != refEnd[1] || string(ops) != string(refOps) {
+				report("sw", leg, "traceback", -1)
+			}
+		}
+		for _, eng := range []struct {
+			name string
+			e    scan.Engine
+		}{{"serial closure", scan.EngineClosure}, {"serial tape", scan.EngineTape}} {
+			w, err := workload.NewSW(sn, 7, field.RowMajor)
+			if err != nil {
+				return err
+			}
+			if err := scan.Exec(w.Block(), w.Env, scan.ExecOptions{Engine: eng.e}); err != nil {
+				return err
+			}
+			compareArrays("sw", eng.name, w.All, oracle, w.Env.Arrays, report)
+			checkTraceback(eng.name, w)
+		}
+		for _, p := range procs {
+			for _, leg := range valLegs() {
+				w, _ := workload.NewSW(sn, 7, field.RowMajor)
+				blk := w.Block()
+				sess, err := wavefront.NewSession(w.Env, []*wavefront.Block{blk}, wavefront.SessionConfig{
+					Procs: p, Domain: w.All, Block: 6, Kernel: leg.engine,
+					Scheduler: leg.sched, Workers: leg.workers})
+				if err != nil {
+					return err
+				}
+				if err := sess.Run(func(r *wavefront.Rank) error { return r.Exec(blk) }); err != nil {
+					return err
+				}
+				legName := fmt.Sprintf("p=%d %s", p, leg.name)
+				compareArrays("sw", legName, w.All, oracle, w.Env.Arrays, report)
+				checkTraceback(legName, w)
+			}
+		}
+	}
+
+	// Blocked factorization: LU and Cholesky, whose per-step regions shrink
+	// (the empty-portion path idles low ranks mid-program) and whose tile
+	// cost varies by position.
+	for _, chol := range []bool{false, true} {
+		name, mk := "lu", workload.NewLU
+		if chol {
+			name, mk = "cholesky", workload.NewCholesky
+		}
+		fn := 16
+		ref, err := mk(fn, 3, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		oracle := map[string]*field.Field{"a": ref.Reference()}
+		for _, eng := range []struct {
+			name string
+			e    scan.Engine
+		}{{"serial closure", scan.EngineClosure}, {"serial tape", scan.EngineTape}} {
+			w, err := mk(fn, 3, field.RowMajor)
+			if err != nil {
+				return err
+			}
+			if err := w.Run(scan.ExecOptions{Engine: eng.e}); err != nil {
+				return err
+			}
+			compareFactor(name, eng.name, w, oracle, report)
+		}
+		for _, p := range procs {
+			for _, leg := range valLegs() {
+				w, _ := mk(fn, 3, field.RowMajor)
+				blocks := w.Blocks()
+				sess, err := wavefront.NewSession(w.Env, blocks, wavefront.SessionConfig{
+					Procs: p, Domain: w.All, Block: 4, Kernel: leg.engine,
+					Scheduler: leg.sched, Workers: leg.workers})
+				if err != nil {
+					return err
+				}
+				err = sess.Run(func(r *wavefront.Rank) error {
+					for _, b := range blocks {
+						if err := r.Exec(b); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				compareFactor(name, fmt.Sprintf("p=%d %s", p, leg.name), w, oracle, report)
+			}
+		}
+	}
+
+	// Multi-octant transport: two counter-propagating octants executed as
+	// one scheduling group (merged task DAG at p=1, overlapping sequential
+	// waves otherwise), then the combine pass.
+	{
+		mn, k := 20, 2
+		ref, err := workload.NewMultiOctant(mn, k, field.RowMajor)
+		if err != nil {
+			return err
+		}
+		oracle := ref.Reference()
+		for _, eng := range []struct {
+			name string
+			e    scan.Engine
+		}{{"serial closure", scan.EngineClosure}, {"serial tape", scan.EngineTape}} {
+			w, err := workload.NewMultiOctant(mn, k, field.RowMajor)
+			if err != nil {
+				return err
+			}
+			if err := w.RunSequential(scan.ExecOptions{Engine: eng.e}); err != nil {
+				return err
+			}
+			compareArrays("multioct", eng.name, w.Inner, oracle, w.Env.Arrays, report)
+		}
+		for _, p := range procs {
+			for _, leg := range valLegs() {
+				w, _ := workload.NewMultiOctant(mn, k, field.RowMajor)
+				sess, err := wavefront.NewSession(w.Env, w.Blocks(), wavefront.SessionConfig{
+					Procs: p, Domain: w.All, Block: 6, Kernel: leg.engine,
+					Scheduler: leg.sched, Workers: leg.workers})
+				if err != nil {
+					return err
+				}
+				err = sess.Run(func(r *wavefront.Rank) error {
+					if err := r.ExecGroup(w.OctantBlocks()); err != nil {
+						return err
+					}
+					return r.Exec(w.CombineBlock())
+				})
+				if err != nil {
+					return err
+				}
+				compareArrays("multioct", fmt.Sprintf("p=%d %s", p, leg.name), w.Inner, oracle, w.Env.Arrays, report)
+			}
+		}
+	}
+
 	if mismatches > 0 {
 		return fmt.Errorf("%w: %d disagreement(s) across the engine/scheduler matrix", errCheckFailed, mismatches)
 	}
-	fmt.Println("validate: every engine/scheduler cell bit-identical on tomcatv, simple, sweep3d (serial and p=1/2/4; static and taskdag w=1/2/4)")
+	fmt.Println("validate: every engine/scheduler cell bit-identical on tomcatv, simple, sweep3d, sw, lu, cholesky, multioct (serial and p=1/2/4; static and taskdag w=1/2/4/8)")
 	return nil
+}
+
+// compareFactor checks the factored matrix against the oracle and its
+// reconstruction residual against the numerical floor — the bit-identity
+// differential plus an independent accuracy check.
+func compareFactor(wl, leg string, w *workload.Factor, oracle map[string]*field.Field, report func(wl, leg, name string, diff float64)) {
+	compareArrays(wl, leg, w.All, oracle, w.Env.Arrays, report)
+	if r := w.ResidualMax(); r > 1e-9 {
+		report(wl, leg, "residual", r)
+	}
 }
 
 func tomcatvSerial(t *workload.Tomcatv, iters int, eng scan.Engine) error {

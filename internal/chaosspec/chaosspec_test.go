@@ -1,0 +1,83 @@
+package chaosspec
+
+import (
+	"testing"
+
+	"wavefront/internal/fault"
+	"wavefront/internal/scan"
+)
+
+// TestRulesEveryMode walks the canonical mode list under both schedulers:
+// every listed mode must compile, recovery modes must crash a rank (that is
+// what forces the restart), and backpressure is the one injector-free run.
+func TestRulesEveryMode(t *testing.T) {
+	for _, sched := range []scan.Scheduler{scan.SchedStatic, scan.SchedTaskDAG} {
+		for _, mode := range Modes {
+			rules, err := Rules(mode, sched)
+			if err != nil {
+				t.Fatalf("mode %q sched %v: %v", mode, sched, err)
+			}
+			if mode == "backpressure" {
+				if len(rules) != 0 {
+					t.Fatalf("backpressure must run without an injector, got %d rules", len(rules))
+				}
+				continue
+			}
+			if len(rules) == 0 {
+				t.Fatalf("mode %q sched %v: no rules", mode, sched)
+			}
+			// Every schedule must compile into a valid fault plan.
+			if _, err := fault.New(fault.Plan{Rules: rules}); err != nil {
+				t.Fatalf("mode %q sched %v: plan does not compile: %v", mode, sched, err)
+			}
+			if Recovery(mode) {
+				crashes := 0
+				for _, r := range rules {
+					if r.Action == fault.ActCrash {
+						crashes++
+					}
+				}
+				if crashes != len(rules) {
+					t.Fatalf("mode %q: recovery schedules must be all-crash, got %d/%d", mode, crashes, len(rules))
+				}
+				want := 1
+				if mode == "recover-multi" {
+					want = 2
+				}
+				if crashes != want {
+					t.Fatalf("mode %q: want %d crash rules, got %d", mode, want, crashes)
+				}
+			}
+		}
+	}
+}
+
+func TestRulesUnknownMode(t *testing.T) {
+	if _, err := Rules("supernova", scan.SchedStatic); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestModeClassification pins the Recovery/Clean truth tables the CLI and
+// the drill tests both branch on.
+func TestModeClassification(t *testing.T) {
+	recovery := map[string]bool{"recover": true, "recover-multi": true}
+	clean := map[string]bool{
+		"corrupt": true, "delay": true, "backpressure": true,
+		"recover": true, "recover-multi": true,
+	}
+	for _, mode := range Modes {
+		if got := Recovery(mode); got != recovery[mode] {
+			t.Errorf("Recovery(%q) = %v, want %v", mode, got, recovery[mode])
+		}
+		if got := Clean(mode); got != clean[mode] {
+			t.Errorf("Clean(%q) = %v, want %v", mode, got, clean[mode])
+		}
+	}
+	// Every recovery mode must also be clean: a recovered run completes.
+	for mode := range recovery {
+		if !Clean(mode) {
+			t.Errorf("recovery mode %q is not classified clean", mode)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The diagnostic surface: rule and injector stringers, wave pinning, and
+// the MustNew panic contract. These are what -chaos output and failure
+// messages are built from, so their shape is pinned here.
+
+func TestStringers(t *testing.T) {
+	if OpSend.String() != "send" || OpRecv.String() != "recv" {
+		t.Fatalf("op names: %q %q", OpSend, OpRecv)
+	}
+	if ActCrash.String() != "crash" || ActNone.String() != "none" {
+		t.Fatalf("action names: %q %q", ActCrash, ActNone)
+	}
+	if Action(200).String() != "unknown" {
+		t.Fatalf("out-of-range action: %q", Action(200))
+	}
+	r := Rule{Op: OpSend, Rank: 0, Peer: Any, Tag: 3, After: 1, Times: -1, Action: ActDrop}
+	s := r.String()
+	for _, want := range []string{"drop send", "rank=0", "peer=*", "tag=3", "after=1", "times=-1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rule string %q lacks %q", s, want)
+		}
+	}
+	if strings.Contains(s, "wave=") {
+		t.Fatalf("wave-free rule string %q mentions a wave", s)
+	}
+	r.Wave = 2
+	if !strings.Contains(r.String(), "wave=2") {
+		t.Fatalf("wave-pinned rule string %q lacks wave=2", r.String())
+	}
+}
+
+func TestInjectorString(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.String() != "fault: disabled" {
+		t.Fatalf("nil injector string: %q", nilInj.String())
+	}
+	in := MustNew(Plan{Rules: []Rule{
+		{Op: OpSend, Rank: 0, Peer: 1, Tag: Any, Action: ActDrop},
+	}})
+	if _, ok := in.OnSend(0, 1, 7, nil); !ok {
+		t.Fatal("rule did not fire")
+	}
+	s := in.String()
+	for _, want := range []string{"1 injections", "rule 0", "seen 1, fired 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("injector string %q lacks %q", s, want)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew accepted an invalid plan")
+		}
+	}()
+	MustNew(Plan{Rules: []Rule{{Op: OpRecv, Action: ActDrop}}})
+}
+
+// TestWavePinning exercises SetWave: a wave-pinned rule must ignore
+// operations outside its wave (without advancing its After counter) and
+// fire only once the rank registers the matching wave.
+func TestWavePinning(t *testing.T) {
+	in := MustNew(Plan{Rules: []Rule{
+		{Op: OpRecv, Rank: 1, Peer: 0, Tag: Any, Wave: 2, Action: ActCrash},
+	}})
+	// Unregistered rank: wave 0, no match.
+	if _, ok := in.OnRecv(1, 0, 0); ok {
+		t.Fatal("fired before any SetWave")
+	}
+	in.SetWave(1, 1)
+	if _, ok := in.OnRecv(1, 0, 1); ok {
+		t.Fatal("fired in the wrong wave")
+	}
+	in.SetWave(1, 2)
+	out, ok := in.OnRecv(1, 0, 2)
+	if !ok || out.Action != ActCrash {
+		t.Fatalf("wave-pinned rule did not fire in its wave: ok=%v out=%+v", ok, out)
+	}
+	in.SetWave(1, 3)
+	if _, ok := in.OnRecv(1, 0, 3); ok {
+		t.Fatal("fired again after its wave passed (Times=0 means once)")
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("fired count = %d, want 1", in.Fired())
+	}
+}
+
+func TestPlanValidationEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+	}{
+		{"delay without duration", Rule{Op: OpSend, Action: ActDelay}},
+		{"negative after", Rule{Op: OpSend, After: -1, Action: ActCrash}},
+		{"times below -1", Rule{Op: OpSend, Times: -2, Action: ActCrash}},
+		{"negative wave", Rule{Op: OpSend, Wave: -1, Action: ActCrash}},
+		{"missing action", Rule{Op: OpSend}},
+		{"duplicate on recv", Rule{Op: OpRecv, Action: ActDuplicate}},
+	}
+	for _, tc := range cases {
+		if _, err := New(Plan{Rules: []Rule{tc.rule}}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// And a valid kitchen-sink plan compiles.
+	if _, err := New(Plan{Seed: 9, Rules: []Rule{
+		{Op: OpSend, Rank: Any, Peer: Any, Tag: Any, Action: ActCorrupt},
+		{Op: OpRecv, Rank: 2, Peer: 1, Tag: 0, Wave: 3, Action: ActStall},
+		{Op: OpSend, Rank: 0, Peer: 1, Tag: 1, Action: ActDelay, Delay: time.Millisecond},
+	}}); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package pipeline
+
+import (
+	"runtime"
+	"testing"
+
+	"wavefront/internal/bufpool"
+	"wavefront/internal/field"
+	"wavefront/internal/scan"
+	"wavefront/internal/workload"
+)
+
+// Zero-alloc lock-ins for the PR9 workload families. Each family's steady
+// state is one full program pass (every block executed once) through a
+// persistent pooled session; after the warm pass fills the kernel, plan,
+// and free-list caches, a pass must allocate nothing.
+
+// measurePassAllocs measures heap allocations per steady-state program
+// pass, where body executes the family's full block program on one rank.
+func measurePassAllocs(t *testing.T, sess *Session, body func(r *Rank) error) float64 {
+	t.Helper()
+	var allocs float64
+	err := sess.Run(func(r *Rank) error {
+		exec := func() {
+			if err := body(r); err != nil {
+				panic(err)
+			}
+		}
+		if r.ID() == 0 {
+			for i := 0; i < allocWarm; i++ {
+				exec()
+			}
+			allocs = testing.AllocsPerRun(allocRuns, exec)
+			return nil
+		}
+		for i := 0; i < allocWarm+allocRuns+1; i++ {
+			exec()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return allocs
+}
+
+// TestSteadyWaveZeroAllocsSW: the affine-gap fill is one rank-2 scan block
+// writing three arrays; a pooled steady-state pass must allocate nothing.
+func TestSteadyWaveZeroAllocsSW(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	for _, procs := range []int{1, 2, 4} {
+		w, err := workload.NewSW(32, 7, field.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk := w.Block()
+		sess, err := NewSession(w.Env, []*scan.Block{blk}, SessionConfig{
+			Procs: procs, Domain: w.All, Block: 8, Pool: bufpool.New(procs)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := measurePassAllocs(t, sess, func(r *Rank) error { return r.Exec(blk) })
+		if allocs != 0 {
+			t.Errorf("procs=%d: SW steady-state pass allocated %.0f times, want 0", procs, allocs)
+		}
+	}
+}
+
+// TestSteadyWaveZeroAllocsFactor: the full elimination program — 5(n-1)
+// blocks over shrinking regions, including empty portions on low ranks —
+// must also reach zero once every block's plan and kernel are warm. The
+// matrix values decay across repeated passes (no Reset inside the
+// measured loop), which is irrelevant to the allocation count.
+func TestSteadyWaveZeroAllocsFactor(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	for _, procs := range []int{1, 2, 4} {
+		w, err := workload.NewLU(16, 3, field.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := w.Blocks()
+		sess, err := NewSession(w.Env, blocks, SessionConfig{
+			Procs: procs, Domain: w.All, Block: 4, Pool: bufpool.New(procs)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := measurePassAllocs(t, sess, func(r *Rank) error {
+			for _, b := range blocks {
+				if err := r.Exec(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if allocs != 0 {
+			t.Errorf("procs=%d: LU steady-state pass allocated %.0f times, want 0", procs, allocs)
+		}
+	}
+}
+
+// TestSteadyWaveZeroAllocsMultiOctant: per-block execution of the octants
+// plus the combine reaches zero like any other block program.
+//
+// This family cannot use AllocsPerRun: that helper pins GOMAXPROCS(1) for
+// the measured window, which lets the counter-propagating pipelines drift
+// far apart (each octant has a different head rank, so under single-core
+// bursts a leading rank streams waves into a lagging peer's link queue and
+// occasionally grows its ring — a topology-lifetime cost this measurement
+// would misread as per-wave). Instead every rank runs the pass in lockstep
+// between barriers and the process-global malloc counter must not move.
+//
+// The grouped path (Rank.ExecGroup) does NOT share the zero guarantee: it
+// re-validates group independence on every call (CheckGroupIndependent
+// builds its read/write name sets on the heap), which is the price of
+// refusing to merge an unsound group. TestExecGroupAllocFloor below locks
+// that documented floor in so an accidental per-tile allocation cannot
+// hide inside it.
+func TestSteadyWaveZeroAllocsMultiOctant(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	for _, procs := range []int{1, 2, 4} {
+		w, err := workload.NewMultiOctant(24, 2, field.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := w.Blocks()
+		sess, err := NewSession(w.Env, blocks, SessionConfig{
+			Procs: procs, Domain: w.All, Block: 6, Pool: bufpool.New(procs)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mallocs [allocRuns]uint64
+		err = sess.Run(func(r *Rank) error {
+			var ms0, ms1 runtime.MemStats
+			for i := 0; i < allocWarm+allocRuns; i++ {
+				if err := r.Barrier(); err != nil {
+					return err
+				}
+				if r.ID() == 0 && i >= allocWarm {
+					runtime.ReadMemStats(&ms0)
+				}
+				for _, b := range blocks {
+					if err := r.Exec(b); err != nil {
+						return err
+					}
+				}
+				if err := r.Barrier(); err != nil {
+					return err
+				}
+				if r.ID() == 0 && i >= allocWarm {
+					runtime.ReadMemStats(&ms1)
+					mallocs[i-allocWarm] = ms1.Mallocs - ms0.Mallocs
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range mallocs {
+			if m != 0 {
+				t.Errorf("procs=%d: steady-state pass %d allocated %d times across all ranks, want 0", procs, i, m)
+			}
+		}
+	}
+}
+
+// TestExecGroupAllocFloor documents and bounds the grouped path's per-call
+// allocation floor: the independence validation allocates a handful of
+// map/set nodes per ExecGroup call (a per-CALL cost proportional to the
+// statement count, never to the tile or point count). If this bound ever
+// breaks, either validation grew a per-tile allocation — a real regression
+// — or it got cached, in which case tighten the bound to zero.
+func TestExecGroupAllocFloor(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	w, err := workload.NewMultiOctant(24, 2, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oct, comb := w.OctantBlocks(), w.CombineBlock()
+	sess, err := NewSession(w.Env, w.Blocks(), SessionConfig{
+		Procs: 1, Domain: w.All, Block: 6, Pool: bufpool.New(1),
+		Scheduler: scan.SchedTaskDAG, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := measurePassAllocs(t, sess, func(r *Rank) error {
+		if err := r.ExecGroup(oct); err != nil {
+			return err
+		}
+		return r.Exec(comb)
+	})
+	const floor = 64
+	if allocs > floor {
+		t.Errorf("grouped pass allocated %.0f times per call, want <= %d (validation-only floor)", allocs, floor)
+	}
+	t.Logf("grouped multi-octant pass: %.0f allocs per call (validation floor, bounded at %d)", allocs, floor)
+}

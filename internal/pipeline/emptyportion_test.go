@@ -1,0 +1,167 @@
+package pipeline
+
+// Empty-portion wavefront tests: a pipelined block whose region covers only
+// part of the domain (shrinking factorization steps, sub-region sweeps) must
+// run with the idle ranks sitting the sweep out while the active ranks
+// pipeline around them, bit-identical to serial execution in both travel
+// directions and under both schedulers.
+
+import (
+	"strings"
+	"testing"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// subSweepEnv builds flux/src fields over [0..n]² with a reproducible
+// source term.
+func subSweepEnv(t *testing.T, n int) *expr.MapEnv {
+	t.Helper()
+	all := grid.Square(2, 0, n)
+	env := &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}}
+	for _, name := range []string{"flux", "src"} {
+		f, err := field.New(name, all, field.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Arrays[name] = f
+	}
+	env.Arrays["src"].FillFunc(all, func(p grid.Point) float64 {
+		return 1 + 0.01*float64(p[0]) + 0.003*float64(p[1])
+	})
+	return env
+}
+
+// subSweepBlock is a depth-1 wavefront over an arbitrary sub-region: the
+// upwind shift selects the travel direction.
+func subSweepBlock(region grid.Region, upwind grid.Direction) *scan.Block {
+	rhs := expr.Binary{Op: expr.Div,
+		L: expr.AddN(
+			expr.Ref("src"),
+			expr.MulN(expr.Const(0.5), expr.Ref("flux").At(upwind).Prime()),
+			expr.MulN(expr.Const(0.25), expr.Ref("flux").AtNamed("west", grid.West).Prime())),
+		R: expr.Const(2)}
+	return scan.NewScan(region, scan.Stmt{LHS: expr.Ref("flux"), RHS: rhs})
+}
+
+func TestSessionEmptyPortionWavefront(t *testing.T) {
+	const n = 24
+	all := grid.Square(2, 0, n)
+	cases := []struct {
+		name   string
+		region grid.Region
+		upwind grid.Direction
+	}{
+		// Rows 14..n: the low slabs are idle, travel low-to-high.
+		{"tail-forward", grid.MustRegion(grid.NewRange(14, n), grid.NewRange(1, n)), grid.North},
+		// Rows 1..9: the high slabs are idle, travel low-to-high.
+		{"head-forward", grid.MustRegion(grid.NewRange(1, 9), grid.NewRange(1, n)), grid.North},
+		// Rows 1..9 travelling high-to-low: upstream is the higher rank.
+		{"head-backward", grid.MustRegion(grid.NewRange(1, 9), grid.NewRange(1, n)), grid.South},
+		// Interior band: idle ranks on both ends.
+		{"band-forward", grid.MustRegion(grid.NewRange(8, 16), grid.NewRange(1, n)), grid.North},
+	}
+	scheds := []struct {
+		name    string
+		sched   scan.Scheduler
+		workers int
+	}{
+		{"static", scan.SchedStatic, 0},
+		{"taskdag-w2", scan.SchedTaskDAG, 2},
+	}
+	for _, tc := range cases {
+		b := subSweepBlock(tc.region, tc.upwind)
+		ref := subSweepEnv(t, n)
+		if err := scan.Exec(subSweepBlock(tc.region, tc.upwind), ref, scan.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range scheds {
+			for _, p := range []int{2, 4} {
+				env := subSweepEnv(t, n)
+				sess, err := NewSession(env, []*scan.Block{b}, SessionConfig{
+					Procs: p, Domain: all, Block: 6,
+					Scheduler: sc.sched, Workers: sc.workers,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s p=%d: %v", tc.name, sc.name, p, err)
+				}
+				err = sess.Run(func(r *Rank) error { return r.Exec(b) })
+				if err != nil {
+					t.Fatalf("%s/%s p=%d: %v", tc.name, sc.name, p, err)
+				}
+				if d := env.Arrays["flux"].MaxAbsDiff(all, ref.Arrays["flux"]); d != 0 {
+					t.Errorf("%s/%s p=%d: flux differs from serial by %g", tc.name, sc.name, p, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionEmptyPortionMixedProgram interleaves a full-domain wavefront
+// with shrinking sub-region sweeps (the factorization shape): tag counters
+// on every link must stay consistent even though different blocks engage
+// different rank subsets.
+func TestSessionEmptyPortionMixedProgram(t *testing.T) {
+	const n = 24
+	all := grid.Square(2, 0, n)
+	inner := grid.Square(2, 1, n)
+	blocks := []*scan.Block{
+		subSweepBlock(inner, grid.North),
+		subSweepBlock(grid.MustRegion(grid.NewRange(10, n), grid.NewRange(1, n)), grid.North),
+		subSweepBlock(grid.MustRegion(grid.NewRange(18, n), grid.NewRange(1, n)), grid.North),
+		subSweepBlock(inner, grid.North),
+	}
+	ref := subSweepEnv(t, n)
+	for _, b := range blocks {
+		if err := scan.Exec(b, ref, scan.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []int{2, 4} {
+		env := subSweepEnv(t, n)
+		sess, err := NewSession(env, blocks, SessionConfig{Procs: p, Domain: all, Block: 6})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		err = sess.Run(func(r *Rank) error {
+			for _, b := range blocks {
+				if err := r.Exec(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if d := env.Arrays["flux"].MaxAbsDiff(all, ref.Arrays["flux"]); d != 0 {
+			t.Errorf("p=%d: flux differs from serial by %g", p, d)
+		}
+	}
+}
+
+// TestSessionEmptyPortionDepthStillChecked pins that relaxing the coverage
+// requirement did not relax the depth requirement: a slab that partially
+// intersects a deep-halo block with too few rows is still rejected.
+func TestSessionEmptyPortionDepthStillChecked(t *testing.T) {
+	const n = 16
+	all := grid.Square(2, 0, n)
+	env := subSweepEnv(t, n)
+	// Depth-2 dependence, region rows 4..n → rank 0 (rows 0..?) may cover
+	// only one row of the region at high p.
+	rhs := expr.MulN(expr.Const(0.5), expr.Ref("flux").At(grid.Direction{-2, 0}).Prime())
+	b := scan.NewScan(grid.MustRegion(grid.NewRange(4, n), grid.NewRange(1, n)),
+		scan.Stmt{LHS: expr.Ref("flux"), RHS: rhs})
+	// p=8 over 17 rows → slabs of ~2 rows; the slab holding row 4..5 splits
+	// the region with a 1-row portion somewhere: depth 2 must reject it.
+	_, err := NewSession(env, []*scan.Block{b}, SessionConfig{Procs: 8, Domain: all, Block: 4})
+	if err == nil {
+		t.Fatal("expected a depth rejection for a 1-row portion under a depth-2 halo")
+	}
+	if !strings.Contains(err.Error(), "thinner than dependence depth") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

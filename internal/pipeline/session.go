@@ -336,22 +336,30 @@ func (s *Session) register(b *scan.Block) error {
 		return err
 	}
 	pl.decomposeTiles(b)
-	// Wavefront blocks flow through every rank in slab order, so every
-	// rank's portion must be nonempty and at least as deep as the
-	// pipelined halo. Fully parallel blocks (boundary-condition rows,
-	// sub-region initializations) may leave some ranks idle.
+	// Wavefront blocks flow through the ranks whose slabs they touch, in
+	// slab order. A slab wholly outside the block's wavefront extent sits
+	// the sweep out — the active ranks pipeline around it (see activeSpan)
+	// — but a partially covered slab must still be at least as deep as the
+	// pipelined halo, or a rank would need data from two ranks upstream.
+	// Fully parallel blocks (boundary-condition rows, sub-region
+	// initializations) may leave any rank idle.
 	if depth := pl.maxPipeDepth(); depth > 0 {
+		active := 0
 		for _, slab := range s.slabs {
 			portion, err := slab.Dim(pl.wDim).Intersect(b.Region.Dim(pl.wDim))
 			if err != nil {
 				return err
 			}
 			if portion.Empty() {
-				return fmt.Errorf("pipeline: a rank's slab %v misses wavefront region %v; use fewer ranks", slab, b.Region)
+				continue
 			}
+			active++
 			if s.cfg.Procs > 1 && portion.Size() < depth {
 				return fmt.Errorf("pipeline: portion %v thinner than dependence depth %d; use fewer ranks", portion, depth)
 			}
+		}
+		if active == 0 {
+			return fmt.Errorf("pipeline: no slab intersects wavefront region %v", b.Region)
 		}
 	}
 	s.plans[b] = pl
@@ -643,6 +651,9 @@ type Rank struct {
 	// Exec and reused so steady-state DAG waves allocate nothing. Closed by
 	// releaseScratch when the Run retires.
 	dags map[*scan.Block]*portionDAG
+	// groupDags caches merged multi-block executors built by ExecGroup,
+	// keyed by the group's first block. Closed by releaseScratch.
+	groupDags map[*scan.Block]*groupDAG
 	// portions caches each block's share of this rank (portion builds two
 	// slices per call; slab and block regions never change).
 	portions map[*scan.Block]grid.Region
@@ -692,7 +703,8 @@ func (s *Session) newRank(e *comm.Endpoint, restoring bool) (*Rank, error) {
 		recvSeq:  make([]int, s.cfg.Procs),
 		curBlock: s.cfg.Block,
 		eplans:   map[*scan.Block]*execPlan{},
-		dags:     map[*scan.Block]*portionDAG{},
+		dags:      map[*scan.Block]*portionDAG{},
+		groupDags: map[*scan.Block]*groupDAG{},
 		portions: map[*scan.Block]grid.Region{},
 		needs:    make([]string, 0, len(s.names)),
 	}
@@ -833,6 +845,28 @@ func (r *Rank) recvNext(from int) ([]float64, error) {
 	return r.e.Recv(from, tag)
 }
 
+// activeSpan returns the first and last rank whose slab intersects the
+// block's wavefront extent. Slabs partition the domain contiguously along
+// the wavefront dimension and a block region is one contiguous range, so
+// the active ranks form a single index interval — identical on every rank,
+// which keeps the rewired pipeline neighbours and their tag counters in
+// agreement without any communication.
+func (r *Rank) activeSpan(pl *plan) (lo, hi int) {
+	lo, hi = -1, -1
+	ext := pl.region.Dim(pl.wDim)
+	for i, slab := range r.sess.slabs {
+		rows, err := slab.Dim(pl.wDim).Intersect(ext)
+		if err != nil || rows.Empty() {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+	}
+	return lo, hi
+}
+
 // portion returns this rank's share of a block region: the slab's rows,
 // the block's extent elsewhere.
 func (r *Rank) portion(region grid.Region) grid.Region {
@@ -961,6 +995,15 @@ func (r *Rank) Exec(b *scan.Block) error {
 // boundary regions, message sizes) comes from a cached execPlan, so the
 // steady-state wave allocates nothing when a buffer pool is attached.
 func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.Region) error {
+	if L.Dim(pl.wDim).Empty() {
+		// This rank's slab misses the block's wavefront extent entirely
+		// (shrinking factorization steps, sub-region sweeps): the active
+		// ranks pipeline around it, and it neither computes nor exchanges
+		// boundary messages. Wave accounting still advances so every rank
+		// agrees on wave identities across blocks.
+		r.waveRuns++
+		return nil
+	}
 	// Mid-run retune: every k-th sweep, synchronize and re-read the drift
 	// gauges. They have been frozen since the last Run's finishRun, so
 	// every rank computes the same width and the message tilings stay in
@@ -981,8 +1024,13 @@ func (r *Rank) execWavefront(b *scan.Block, pl *plan, kern *scan.Kernel, L grid.
 		if !travelLow {
 			upstream, downstream = r.id+1, r.id-1
 		}
-		hasUp := upstream >= 0 && upstream < r.P()
-		hasDown := downstream >= 0 && downstream < r.P()
+		// Only ranks whose slabs intersect the block region take part in
+		// the sweep; the active span is contiguous, so a peer is a pipeline
+		// neighbour exactly when it lies inside it. Idle ranks return above,
+		// so sender and receiver always agree on the message schedule.
+		aLo, aHi := r.activeSpan(pl)
+		hasUp := upstream >= aLo && upstream <= aHi
+		hasDown := downstream >= aLo && downstream <= aHi
 		var upPortion grid.Region
 		if hasUp {
 			dims := b.Region.Dims()
@@ -1350,6 +1398,9 @@ func (r *Rank) releaseScratch() {
 	}
 	for _, pd := range r.dags {
 		pd.close()
+	}
+	for _, gd := range r.groupDags {
+		gd.close()
 	}
 }
 

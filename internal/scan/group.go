@@ -1,0 +1,137 @@
+package scan
+
+import (
+	"fmt"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/grid"
+	"wavefront/internal/taskdag"
+	"wavefront/internal/trace"
+)
+
+// ExecGroup executes several mutually independent blocks as one scheduling
+// unit. Under SchedStatic (or when any block is plain) the blocks simply run
+// in order — independence makes the order irrelevant. Under SchedTaskDAG the
+// scan blocks' tile DAGs merge onto one work-stealing pool (taskdag.NewMulti),
+// so counter-propagating wavefronts keep every worker busy through each
+// other's ramp-up and ramp-down phases.
+//
+// Independence is validated at array granularity: no two blocks may write
+// the same array, and no block may read an array another block writes. A
+// violating group returns an error before anything executes.
+func ExecGroup(blocks []*Block, env expr.Env, opt ExecOptions) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	if len(blocks) == 1 {
+		return Exec(blocks[0], env, opt)
+	}
+	if err := CheckGroupIndependent(blocks); err != nil {
+		return err
+	}
+	merged := opt.Scheduler == SchedTaskDAG
+	for _, b := range blocks {
+		if b.Kind != ScanKind {
+			merged = false
+		}
+	}
+	if !merged {
+		for _, b := range blocks {
+			if err := Exec(b, env, opt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	specs := make([]taskdag.Spec, len(blocks))
+	analyses := make([]*Analysis, len(blocks))
+	for i, b := range blocks {
+		if err := checkBounds(b, env); err != nil {
+			return err
+		}
+		an, err := Analyze(b, opt.Prefer)
+		if err != nil {
+			return err
+		}
+		analyses[i] = an
+		specs[i] = taskdag.Spec{Region: b.Region, Loop: an.Loop, UDVs: an.UDVs}
+	}
+	g, err := taskdag.NewMulti(specs, taskdag.Options{
+		Workers:   opt.Workers,
+		Trace:     opt.Trace,
+		TraceBase: opt.TraceRank,
+		StealSeed: taskdagStealSeed,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Stop()
+	// One kernel per (block, worker): tape programs carry mutable scratch
+	// registers, so kernels cannot be shared across goroutines.
+	kernels := make([][]*Kernel, len(blocks))
+	elems := 0
+	for i, b := range blocks {
+		kernels[i] = make([]*Kernel, g.Workers())
+		for w := range kernels[i] {
+			k, err := NewKernelDeps(b, env, analyses[i].UDVs)
+			if err != nil {
+				return err
+			}
+			k.SetEngine(opt.Engine)
+			kernels[i][w] = k
+		}
+		elems += b.Region.Size() * len(b.Stmts)
+	}
+	g.SetRunnerSub(func(worker, sub int, tile grid.Region) {
+		kernels[sub][worker].Run(tile, analyses[sub].Loop)
+	})
+	if taskdagHook != nil {
+		taskdagHook(g)
+	}
+	var t0 int64
+	if opt.Trace != nil {
+		t0 = opt.Trace.Now()
+	}
+	g.Run()
+	if opt.Trace != nil {
+		ev := trace.Ev(trace.KindKernel, opt.TraceRank, t0, opt.Trace.Now())
+		ev.Elems = elems
+		opt.Trace.Record(ev)
+	}
+	return nil
+}
+
+// CheckGroupIndependent verifies that the blocks commute: write sets are
+// pairwise disjoint and no block reads an array another block writes, at
+// array-name granularity.
+func CheckGroupIndependent(blocks []*Block) error {
+	writes := make([]map[string]bool, len(blocks))
+	reads := make([]map[string]bool, len(blocks))
+	for i, b := range blocks {
+		writes[i] = map[string]bool{}
+		reads[i] = map[string]bool{}
+		for _, s := range b.Stmts {
+			writes[i][s.LHS.Name] = true
+			for _, r := range expr.Refs(s.RHS) {
+				reads[i][r.Name] = true
+			}
+		}
+	}
+	for i := range blocks {
+		for j := range blocks {
+			if i == j {
+				continue
+			}
+			for name := range writes[i] {
+				if writes[j][name] && j > i {
+					return fmt.Errorf("scan: group blocks %d and %d both write %q", i, j, name)
+				}
+				if reads[j][name] {
+					return fmt.Errorf("scan: group block %d reads %q which block %d writes", j, name, i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -53,6 +53,17 @@ var (
 	taskdagHook      func(*taskdag.Graph)
 )
 
+// SetTaskDAGHook installs a fault-injection observer called with every task
+// graph execTaskDAG builds, and returns a restore func. It exists for the
+// intentional-break test batteries in other packages (corrupting a counter
+// through taskdag.Graph.CorruptCounter); production code never sets it.
+// Not safe for concurrent Exec calls.
+func SetTaskDAGHook(fn func(*taskdag.Graph)) (restore func()) {
+	prev := taskdagHook
+	taskdagHook = fn
+	return func() { taskdagHook = prev }
+}
+
 // execTaskDAG runs a fused block under the task-DAG scheduler: one graph
 // over the region, one kernel per worker (the tape program carries mutable
 // scratch registers, so kernels cannot be shared across goroutines), tiles

@@ -1,0 +1,129 @@
+package taskdag
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/grid"
+)
+
+// Spec describes one independent sub-graph of a merged multi-graph: a
+// region with its own derived loop and dependence vectors. Specs must be
+// mutually independent (no tile of one spec may depend on a tile of
+// another) — the caller guarantees this; NewMulti adds no cross-spec edges.
+type Spec struct {
+	Region grid.Region
+	Loop   dep.LoopSpec
+	UDVs   []dep.UDV
+}
+
+// NewMulti builds one Graph whose tile set is the union of every spec's
+// tile DAG, all scheduled on a single work-stealing pool. This is how
+// counter-propagating wavefronts (multi-octant sweeps) share workers:
+// each octant keeps its own internal dependence structure, and the pool
+// interleaves ready tiles from all of them, so a worker starved by one
+// octant's ramp-down picks up another octant's ramp-up.
+//
+// Tiles carry their spec index; attach the body with SetRunnerSub. The
+// merged graph's Shape and Offsets accessors describe only the first spec
+// (per-spec structure is available through SubOf/TileRegion).
+func NewMulti(specs []Spec, opt Options) (*Graph, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("taskdag: NewMulti with no specs")
+	}
+	for si, sp := range specs {
+		rank := sp.Region.Rank()
+		if rank == 0 {
+			return nil, fmt.Errorf("taskdag: spec %d has a rank-0 region", si)
+		}
+		if len(sp.Loop.Perm) != rank {
+			return nil, fmt.Errorf("taskdag: spec %d loop spec has rank %d, region has rank %d", si, len(sp.Loop.Perm), rank)
+		}
+		for _, u := range sp.UDVs {
+			if len(u.Dist) != rank {
+				return nil, fmt.Errorf("taskdag: spec %d UDV %v has rank %d, want %d", si, u, len(u.Dist), rank)
+			}
+		}
+	}
+	W := opt.Workers
+	if W <= 0 {
+		W = runtime.GOMAXPROCS(0)
+	}
+	g := &Graph{
+		region:      specs[0].Region,
+		rank:        specs[0].Region.Rank(),
+		loop:        specs[0].Loop,
+		subs:        len(specs),
+		metricsRank: opt.MetricsRank,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	g.waveBase = int(graphSeq.Add(1)) << 16
+
+	for si, sp := range specs {
+		rank := sp.Region.Rank()
+		sub := &Graph{region: sp.Region, rank: rank, loop: sp.Loop}
+		sizes := make([]int, rank)
+		empty := false
+		for d := 0; d < rank; d++ {
+			sizes[d] = sp.Region.Dim(d).Size()
+			if sizes[d] == 0 {
+				empty = true
+			}
+		}
+		if empty {
+			continue
+		}
+		sub.decompose(sizes, sp.UDVs, opt.TileW, W)
+		base := int32(len(g.tiles))
+		g.tiles = append(g.tiles, sub.tiles...)
+		g.initCnt = append(g.initCnt, sub.initCnt...)
+		for i := range sub.tiles {
+			g.subOf = append(g.subOf, int32(si))
+			ps := sub.preds[i]
+			shifted := make([]int32, len(ps))
+			for j, p := range ps {
+				shifted[j] = p + base
+			}
+			g.preds = append(g.preds, shifted)
+			ss := sub.succs[i]
+			shifted = make([]int32, len(ss))
+			for j, s := range ss {
+				shifted[j] = s + base
+			}
+			g.succs = append(g.succs, shifted)
+		}
+		if si == 0 {
+			g.shape = sub.shape
+			g.tileW = sub.tileW
+			g.strides = sub.strides
+			g.offsets = sub.offsets
+		}
+	}
+	if g.shape == nil {
+		rank := specs[0].Region.Rank()
+		g.shape = make([]int, rank)
+		g.tileW = make([]int, rank)
+		g.strides = make([]int, rank)
+	}
+
+	g.initPool(W, opt)
+	return g, nil
+}
+
+// SetRunnerSub installs the tile body for a merged multi-graph: fn(worker,
+// sub, tile) executes one tile of spec index sub. Like SetRunner, it is
+// installed once and must be safe for concurrent calls on distinct workers.
+func (g *Graph) SetRunnerSub(fn func(worker, sub int, tile grid.Region)) { g.runnerSub = fn }
+
+// Subs returns the number of specs a multi-graph merged (0 for New graphs).
+func (g *Graph) Subs() int { return g.subs }
+
+// SubOf returns the spec index owning tile t (always 0 for New graphs).
+func (g *Graph) SubOf(t int) int {
+	if g.subOf == nil {
+		return 0
+	}
+	return int(g.subOf[t])
+}

@@ -100,6 +100,8 @@ type Graph struct {
 	offsets [][]int
 
 	tiles   []grid.Region
+	subOf   []int32 // owning sub-graph per tile (NewMulti; nil for New)
+	subs    int
 	preds   [][]int32
 	succs   [][]int32
 	initCnt []int32
@@ -107,9 +109,10 @@ type Graph struct {
 	corrupt []bool
 	seedBuf []int32
 
-	workers []*worker
-	runner  func(worker int, tile grid.Region)
-	wg      sync.WaitGroup
+	workers   []*worker
+	runner    func(worker int, tile grid.Region)
+	runnerSub func(worker, sub int, tile grid.Region)
+	wg        sync.WaitGroup
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -211,6 +214,14 @@ func New(region grid.Region, loop dep.LoopSpec, udvs []dep.UDV, opt Options) (*G
 		g.strides = make([]int, rank)
 	}
 
+	g.initPool(W, opt)
+	return g, nil
+}
+
+// initPool allocates everything sized by the (now final) tile count and the
+// pool width, wires trace/metrics sinks, and spawns the parked workers. It
+// is the shared tail of New and NewMulti.
+func (g *Graph) initPool(W int, opt Options) {
 	n := len(g.tiles)
 	capDeq := n
 	if capDeq < 1 {
@@ -243,7 +254,6 @@ func New(region grid.Region, loop dep.LoopSpec, udvs []dep.UDV, opt Options) (*G
 		g.wg.Add(1)
 		go g.workerLoop(i)
 	}
-	return g, nil
 }
 
 // decompose chooses tile widths, proves the tile DAG acyclic (collapsing
@@ -556,7 +566,7 @@ func (g *Graph) CorruptCounter(t int) error {
 // has retired from the run. Repeated Runs reuse all state and allocate
 // nothing.
 func (g *Graph) Run() {
-	if g.runner == nil {
+	if g.runner == nil && g.runnerSub == nil {
 		panic("taskdag: Run before SetRunner")
 	}
 	g.wave = g.waveBase + (g.runSeq & 0xffff)
@@ -777,7 +787,11 @@ func (g *Graph) execTile(w *worker, t int32) {
 			g.tr.Record(ev)
 		}
 	}
-	g.runner(w.id, g.tiles[t])
+	if g.runnerSub != nil {
+		g.runnerSub(w.id, int(g.subOf[t]), g.tiles[t])
+	} else {
+		g.runner(w.id, g.tiles[t])
+	}
 	if g.tr != nil {
 		ev := trace.Ev(trace.KindTaskTile, ring, t0, g.tr.Now())
 		ev.Wave, ev.Tile, ev.Elems = g.wave, int(t), g.tiles[t].Size()

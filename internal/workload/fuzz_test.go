@@ -1,0 +1,213 @@
+package workload
+
+// Property-fuzz harnesses for the three PR9 workload families: the fuzzer
+// (or the deterministic 200-seed sweep) picks a seed and a decomposition,
+// and the pipelined run must reproduce the family's straight-Go oracle bit
+// for bit. Native-fuzz smoke passes run in CI:
+//
+//	go test ./internal/workload -run - -fuzz FuzzSWEquivalence -fuzztime 10s
+//	go test ./internal/workload -run - -fuzz FuzzFactorEquivalence -fuzztime 10s
+//	go test ./internal/workload -run - -fuzz FuzzMultiOctantEquivalence -fuzztime 10s
+
+import (
+	"bytes"
+	"testing"
+
+	"wavefront/internal/field"
+	"wavefront/internal/pipeline"
+	"wavefront/internal/scan"
+)
+
+// fuzzLeg derives a (scheduler, workers) leg from a selector byte: half the
+// space is the static schedule, half the task-DAG pool at 1, 2, or 4
+// workers.
+func fuzzLeg(sel uint8) (scan.Scheduler, int) {
+	switch sel % 4 {
+	case 1:
+		return scan.SchedTaskDAG, 1
+	case 2:
+		return scan.SchedTaskDAG, 2
+	case 3:
+		return scan.SchedTaskDAG, 4
+	}
+	return scan.SchedStatic, 0
+}
+
+func checkSWSeed(t *testing.T, seed int64, n, p, block int, sched scan.Scheduler, workers int) {
+	t.Helper()
+	w, err := NewSW(n, seed, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := w.Reference()
+	refEnd, refOps := w.TracebackOf(ref)
+	blocks := w.Blocks()
+	sess, err := pipeline.NewSession(w.Env, blocks, pipeline.SessionConfig{
+		Procs: p, Domain: w.All, Block: block, Scheduler: sched, Workers: workers})
+	if err != nil {
+		t.Fatalf("seed=%d n=%d p=%d b=%d: %v", seed, n, p, block, err)
+	}
+	if err := sess.Run(func(r *pipeline.Rank) error { return r.Exec(blocks[0]) }); err != nil {
+		t.Fatalf("seed=%d n=%d p=%d b=%d: %v", seed, n, p, block, err)
+	}
+	for _, name := range []string{"s", "e", "f"} {
+		if d := w.Env.Arrays[name].MaxAbsDiff(w.All, ref[name]); d != 0 {
+			t.Fatalf("seed=%d n=%d p=%d b=%d: %s differs from oracle by %g", seed, n, p, block, name, d)
+		}
+	}
+	end, ops := w.Traceback()
+	if end[0] != refEnd[0] || end[1] != refEnd[1] || !bytes.Equal(ops, refOps) {
+		t.Fatalf("seed=%d n=%d p=%d b=%d: traceback diverged from oracle", seed, n, p, block)
+	}
+}
+
+func checkFactorSeed(t *testing.T, seed int64, n, p, block int, chol bool, sched scan.Scheduler, workers int) {
+	t.Helper()
+	mk := NewLU
+	if chol {
+		mk = NewCholesky
+	}
+	w, err := mk(n, seed, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := w.Reference()
+	blocks := w.Blocks()
+	sess, err := pipeline.NewSession(w.Env, blocks, pipeline.SessionConfig{
+		Procs: p, Domain: w.All, Block: block, Scheduler: sched, Workers: workers})
+	if err != nil {
+		t.Fatalf("seed=%d n=%d p=%d b=%d chol=%v: %v", seed, n, p, block, chol, err)
+	}
+	err = sess.Run(func(r *pipeline.Rank) error {
+		for _, b := range blocks {
+			if err := r.Exec(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("seed=%d n=%d p=%d b=%d chol=%v: %v", seed, n, p, block, chol, err)
+	}
+	if d := w.Env.Arrays["a"].MaxAbsDiff(w.All, ref); d != 0 {
+		t.Fatalf("seed=%d n=%d p=%d b=%d chol=%v: a differs from oracle by %g", seed, n, p, block, chol, d)
+	}
+	if r := w.ResidualMax(); r > 1e-8 {
+		t.Fatalf("seed=%d n=%d p=%d b=%d chol=%v: reconstruction residual %g", seed, n, p, block, chol, r)
+	}
+}
+
+func checkMultiOctantSeed(t *testing.T, seed int64, n, k, p, block int, sched scan.Scheduler, workers int) {
+	t.Helper()
+	w, err := NewMultiOctant(n, k, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source term is deterministic; the seed varies only the shape of
+	// the decomposition, which is the property under test.
+	ref := w.Reference()
+	sess, err := pipeline.NewSession(w.Env, w.Blocks(), pipeline.SessionConfig{
+		Procs: p, Domain: w.All, Block: block, Scheduler: sched, Workers: workers})
+	if err != nil {
+		t.Fatalf("seed=%d n=%d k=%d p=%d b=%d: %v", seed, n, k, p, block, err)
+	}
+	err = sess.Run(func(r *pipeline.Rank) error {
+		if err := r.ExecGroup(w.OctantBlocks()); err != nil {
+			return err
+		}
+		return r.Exec(w.CombineBlock())
+	})
+	if err != nil {
+		t.Fatalf("seed=%d n=%d k=%d p=%d b=%d: %v", seed, n, k, p, block, err)
+	}
+	for _, name := range MultiOctantArrays(k) {
+		if d := w.Env.Arrays[name].MaxAbsDiff(w.Inner, ref[name]); d != 0 {
+			t.Fatalf("seed=%d n=%d k=%d p=%d b=%d: %s differs from oracle by %g", seed, n, k, p, block, name, d)
+		}
+	}
+}
+
+// The deterministic 200-seed sweeps: every seed varies the problem size,
+// rank count, tile width, and scheduler leg, so the corpus walks the
+// decomposition space instead of hammering one shape.
+
+func TestSWProperty200(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		n := 6 + int(seed%11)
+		p := 1 + int(seed%3)
+		block := 2 + int(seed%4)
+		sched, workers := fuzzLeg(uint8(seed))
+		checkSWSeed(t, seed, n, p, block, sched, workers)
+	}
+}
+
+func TestFactorProperty200(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		n := 6 + int(seed%9)
+		p := 1 + int(seed%3)
+		block := 2 + int(seed%3)
+		chol := seed%2 == 0
+		sched, workers := fuzzLeg(uint8(seed / 2))
+		checkFactorSeed(t, seed, n, p, block, chol, sched, workers)
+	}
+}
+
+func TestMultiOctantProperty200(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		n := 6 + int(seed%11)
+		k := 2
+		if seed%3 == 0 {
+			k = 4
+		}
+		p := 1 + int(seed%3)
+		block := 2 + int(seed%4)
+		sched, workers := fuzzLeg(uint8(seed))
+		checkMultiOctantSeed(t, seed, n, k, p, block, sched, workers)
+	}
+}
+
+// Native-fuzz forms of the same properties, for the CI smoke passes and
+// open-ended local fuzzing.
+
+func FuzzSWEquivalence(f *testing.F) {
+	f.Add(int64(3), uint8(1), uint8(2), uint8(3), uint8(1))
+	f.Add(int64(7), uint8(9), uint8(4), uint8(2), uint8(2))
+	f.Add(int64(11), uint8(4), uint8(1), uint8(5), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nb, pb, bb, sel uint8) {
+		n := 6 + int(nb)%11
+		p := 1 + int(pb)%4
+		block := 2 + int(bb)%4
+		sched, workers := fuzzLeg(sel)
+		checkSWSeed(t, seed, n, p, block, sched, workers)
+	})
+}
+
+func FuzzFactorEquivalence(f *testing.F) {
+	f.Add(int64(3), uint8(1), uint8(2), uint8(3), uint8(1), false)
+	f.Add(int64(7), uint8(9), uint8(4), uint8(2), uint8(2), true)
+	f.Add(int64(11), uint8(4), uint8(1), uint8(4), uint8(0), true)
+	f.Fuzz(func(t *testing.T, seed int64, nb, pb, bb, sel uint8, chol bool) {
+		n := 6 + int(nb)%9
+		p := 1 + int(pb)%4
+		block := 2 + int(bb)%3
+		sched, workers := fuzzLeg(sel)
+		checkFactorSeed(t, seed, n, p, block, chol, sched, workers)
+	})
+}
+
+func FuzzMultiOctantEquivalence(f *testing.F) {
+	f.Add(int64(3), uint8(1), uint8(2), uint8(3), uint8(1), false)
+	f.Add(int64(7), uint8(9), uint8(4), uint8(2), uint8(2), true)
+	f.Add(int64(11), uint8(4), uint8(1), uint8(5), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, nb, pb, bb, sel uint8, four bool) {
+		n := 6 + int(nb)%11
+		k := 2
+		if four {
+			k = 4
+		}
+		p := 1 + int(pb)%4
+		block := 2 + int(bb)%4
+		sched, workers := fuzzLeg(sel)
+		checkMultiOctantSeed(t, seed, n, k, p, block, sched, workers)
+	})
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+	"wavefront/internal/scan"
+)
+
+// SW is Smith-Waterman local alignment with affine gaps (Gotoh's three-state
+// recurrence), the classic dynamic-programming wavefront. Unlike the linear-
+// gap DP workload, three tables fill together in one scan block — the gap
+// tables read the score table written at neighbouring points and the score
+// table reads the gap tables written earlier at the same point:
+//
+//	e = max(s'@west - open,  e'@west - ext)     gap in the first sequence
+//	f = max(s'@north - open, f'@north - ext)    gap in the second sequence
+//	s = max(0, max(s'@nw + match, max(e, f)))
+//
+// The in-order statement semantics of a scan block (e and f are current-
+// point values by the time s reads them) is exactly the Tomcatv forward-
+// elimination pattern, and the anti-diagonal dependence shape pipelines
+// along either dimension. Traceback is a second, data-dependent sweep that
+// cannot be expressed as a scan: it walks the filled tables from the best
+// cell back to a zero score, and runs as a plain-Go pass over whatever
+// engine or schedule produced the tables.
+type SW struct {
+	N   int
+	Env *expr.MapEnv
+
+	All, Inner grid.Region
+
+	// Open and Ext are the affine gap penalties: opening a gap costs Open,
+	// extending it costs Ext (< Open, so long gaps are preferred over many
+	// short ones).
+	Open, Ext float64
+	// A and B are the aligned sequences (values 0..3), row i scoring
+	// against A[i-1] and column j against B[j-1].
+	A, B []byte
+}
+
+// SWArrays lists the program arrays in a canonical order for differential
+// comparisons.
+var SWArrays = []string{"s", "e", "f", "match"}
+
+// NewSW allocates an n×n alignment with reproducible random sequences.
+func NewSW(n int, seed int64, layout field.Layout) (*SW, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("workload: sw needs n >= 4, got %d", n)
+	}
+	w := &SW{
+		N:     n,
+		All:   grid.Square(2, 0, n),
+		Inner: grid.Square(2, 1, n),
+		Open:  1.2,
+		Ext:   0.3,
+		Env:   &expr.MapEnv{Arrays: map[string]*field.Field{}, Scalars: map[string]float64{}},
+	}
+	for _, name := range SWArrays {
+		f, err := field.New(name, w.All, layout)
+		if err != nil {
+			return nil, err
+		}
+		w.Env.Arrays[name] = f
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w.A = make([]byte, n)
+	w.B = make([]byte, n)
+	for i := range w.A {
+		w.A[i] = byte(rng.Intn(4))
+		w.B[i] = byte(rng.Intn(4))
+	}
+	w.Reset()
+	return w, nil
+}
+
+// Reset clears the tables and rebuilds the substitution matrix from the
+// sequences: +2 on a match, -1 on a mismatch.
+func (w *SW) Reset() {
+	w.Env.Arrays["match"].FillFunc(w.Inner, func(p grid.Point) float64 {
+		if w.A[p[0]-1] == w.B[p[1]-1] {
+			return 2
+		}
+		return -1
+	})
+	for _, name := range []string{"s", "e", "f"} {
+		w.Env.Arrays[name].Fill(0)
+	}
+}
+
+// Block is the three-statement Gotoh recurrence as one scan block.
+func (w *SW) Block() *scan.Block {
+	open, ext := expr.Const(w.Open), expr.Const(w.Ext)
+	max2 := func(a, b expr.Node) expr.Node {
+		return expr.Call{Fn: expr.Max, Args: []expr.Node{a, b}}
+	}
+	e := max2(
+		expr.Binary{Op: expr.Sub, L: expr.Ref("s").AtNamed("west", grid.West).Prime(), R: open},
+		expr.Binary{Op: expr.Sub, L: expr.Ref("e").AtNamed("west", grid.West).Prime(), R: ext})
+	f := max2(
+		expr.Binary{Op: expr.Sub, L: expr.Ref("s").AtNamed("north", grid.North).Prime(), R: open},
+		expr.Binary{Op: expr.Sub, L: expr.Ref("f").AtNamed("north", grid.North).Prime(), R: ext})
+	s := max2(expr.Const(0), max2(
+		expr.Binary{Op: expr.Add, L: expr.Ref("s").AtNamed("nw", grid.NW).Prime(), R: expr.Ref("match")},
+		max2(expr.Ref("e"), expr.Ref("f"))))
+	return scan.NewScan(w.Inner,
+		scan.Stmt{LHS: expr.Ref("e"), RHS: e},
+		scan.Stmt{LHS: expr.Ref("f"), RHS: f},
+		scan.Stmt{LHS: expr.Ref("s"), RHS: s})
+}
+
+// Blocks returns the program's block list (one block) for session use.
+func (w *SW) Blocks() []*scan.Block { return []*scan.Block{w.Block()} }
+
+// Run fills the tables through the scan executor and returns the best score.
+func (w *SW) Run() (float64, error) {
+	if err := scan.Exec(w.Block(), w.Env, scan.ExecOptions{}); err != nil {
+		return 0, err
+	}
+	return w.Best(), nil
+}
+
+// maxf replicates the compiled engines' max exactly (a > b ? a : b); the
+// oracle must fold in the same operand order as the expression tree for
+// bit-identity.
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reference fills all three tables with straight Go loops — the test
+// oracle, folding max in exactly the expression tree's operand order.
+func (w *SW) Reference() map[string]*field.Field {
+	s := field.MustNew("s", w.All, field.RowMajor)
+	e := field.MustNew("e", w.All, field.RowMajor)
+	f := field.MustNew("f", w.All, field.RowMajor)
+	match := w.Env.Arrays["match"]
+	for i := 1; i <= w.N; i++ {
+		for j := 1; j <= w.N; j++ {
+			ev := maxf(s.At2(i, j-1)-w.Open, e.At2(i, j-1)-w.Ext)
+			fv := maxf(s.At2(i-1, j)-w.Open, f.At2(i-1, j)-w.Ext)
+			sv := maxf(0, maxf(s.At2(i-1, j-1)+match.At2(i, j), maxf(ev, fv)))
+			e.Set2(i, j, ev)
+			f.Set2(i, j, fv)
+			s.Set2(i, j, sv)
+		}
+	}
+	return map[string]*field.Field{"s": s, "e": e, "f": f, "match": match}
+}
+
+// Best returns the maximum score and implicitly the traceback start.
+func (w *SW) Best() float64 {
+	best, _ := w.argmax(w.Env.Arrays["s"])
+	return best
+}
+
+// argmax scans row-major for the strictly greatest score — first hit wins,
+// so the traceback start is deterministic.
+func (w *SW) argmax(s *field.Field) (float64, grid.Point) {
+	best := 0.0
+	at := grid.Point{0, 0}
+	for i := 1; i <= w.N; i++ {
+		for j := 1; j <= w.N; j++ {
+			if v := s.At2(i, j); v > best {
+				best = v
+				at = grid.Point{i, j}
+			}
+		}
+	}
+	return best, at
+}
+
+// AlignOp is one traceback step: 'M' consumes a cell diagonally (match or
+// substitution), 'I' a gap in the first sequence (west), 'D' a gap in the
+// second (north).
+type AlignOp = byte
+
+// Traceback walks the filled tables from the best cell back to a zero
+// score and returns the alignment end point plus the operations in
+// alignment order (start to end). It is the data-dependent second sweep:
+// each step's direction depends on the values the wavefront produced, with
+// deterministic tie-breaking (diagonal, then gap-in-A, then gap-in-B; a
+// gap step prefers closing the gap over extending it). Traceback reads the
+// tables through env-agnostic fields, so the same walk validates serial,
+// pipelined, and task-DAG fills.
+func (w *SW) Traceback() (end grid.Point, ops []AlignOp) {
+	return w.tracebackIn(w.Env.Arrays["s"], w.Env.Arrays["e"], w.Env.Arrays["f"], w.Env.Arrays["match"])
+}
+
+// TracebackOf runs the same walk over an arbitrary table set (the oracle's).
+func (w *SW) TracebackOf(tabs map[string]*field.Field) (end grid.Point, ops []AlignOp) {
+	return w.tracebackIn(tabs["s"], tabs["e"], tabs["f"], tabs["match"])
+}
+
+func (w *SW) tracebackIn(s, e, f, match *field.Field) (grid.Point, []AlignOp) {
+	_, p := w.argmax(s)
+	var rev []AlignOp
+	i, j := p[0], p[1]
+	if i == 0 {
+		return p, nil
+	}
+	// state 0 = M (score table), 1 = E (gap west), 2 = F (gap north).
+	state := 0
+	for i >= 1 && j >= 1 {
+		switch state {
+		case 0:
+			sv := s.At2(i, j)
+			if sv == 0 {
+				i, j = -1, -1 // local alignment ends at the first zero
+				continue
+			}
+			switch {
+			case sv == s.At2(i-1, j-1)+match.At2(i, j):
+				rev = append(rev, 'M')
+				i, j = i-1, j-1
+			case sv == e.At2(i, j):
+				state = 1
+			default:
+				state = 2
+			}
+		case 1:
+			ev := e.At2(i, j)
+			rev = append(rev, 'I')
+			if ev == s.At2(i, j-1)-w.Open {
+				state = 0 // gap opened here: next step reads the score table
+			}
+			j--
+		case 2:
+			fv := f.At2(i, j)
+			rev = append(rev, 'D')
+			if fv == s.At2(i-1, j)-w.Open {
+				state = 0
+			}
+			i--
+		}
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return p, rev
+}

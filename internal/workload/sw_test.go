@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"wavefront/internal/field"
+	"wavefront/internal/pipeline"
+	"wavefront/internal/scan"
+	"wavefront/internal/taskdag"
+)
+
+// TestSWMatchesReference: the three-statement Gotoh scan block must fill
+// every table bit-identically to the straight-loop oracle, under both
+// kernel engines.
+func TestSWMatchesReference(t *testing.T) {
+	for _, eng := range []scan.Engine{scan.EngineTape, scan.EngineClosure} {
+		w, err := NewSW(24, 7, field.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := w.Reference()
+		if err := scan.Exec(w.Block(), w.Env, scan.ExecOptions{Engine: eng}); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"s", "e", "f"} {
+			if d := w.Env.Arrays[name].MaxAbsDiff(w.Inner, ref[name]); d != 0 {
+				t.Errorf("engine %v: %s differs from oracle by %g", eng, name, d)
+			}
+		}
+		if w.Best() <= 0 {
+			t.Error("alignment found no positive score")
+		}
+	}
+}
+
+// TestSWSession: the pipelined fill at p=1/2/4 under both schedulers is
+// bit-identical to the oracle.
+func TestSWSession(t *testing.T) {
+	ref, err := NewSW(24, 7, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ref.Reference()
+	scheds := []struct {
+		name    string
+		sched   scan.Scheduler
+		workers int
+	}{
+		{"static", scan.SchedStatic, 0},
+		{"taskdag-w2", scan.SchedTaskDAG, 2},
+	}
+	for _, sc := range scheds {
+		for _, p := range []int{1, 2, 4} {
+			w, _ := NewSW(24, 7, field.RowMajor)
+			b := w.Block()
+			sess, err := pipeline.NewSession(w.Env, []*scan.Block{b}, pipeline.SessionConfig{
+				Procs: p, Domain: w.All, Block: 6,
+				Scheduler: sc.sched, Workers: sc.workers,
+			})
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", sc.name, p, err)
+			}
+			if err := sess.Run(func(r *pipeline.Rank) error { return r.Exec(b) }); err != nil {
+				t.Fatalf("%s p=%d: %v", sc.name, p, err)
+			}
+			for _, name := range []string{"s", "e", "f"} {
+				if d := w.Env.Arrays[name].MaxAbsDiff(w.Inner, oracle[name]); d != 0 {
+					t.Errorf("%s p=%d: %s differs from oracle by %g", sc.name, p, name, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSWTraceback: the data-dependent second sweep must walk the same path
+// over the pipelined tables as over the oracle's, end where the best score
+// sits, and reach a zero score.
+func TestSWTraceback(t *testing.T) {
+	w, err := NewSW(32, 11, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := w.Reference()
+	refEnd, refOps := w.TracebackOf(ref)
+	if err := scan.Exec(w.Block(), w.Env, scan.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	end, ops := w.Traceback()
+	if end[0] != refEnd[0] || end[1] != refEnd[1] {
+		t.Fatalf("traceback end %v != oracle %v", end, refEnd)
+	}
+	if !bytes.Equal(ops, refOps) {
+		t.Fatalf("traceback ops %q != oracle %q", ops, refOps)
+	}
+	if len(ops) == 0 {
+		t.Fatal("empty alignment")
+	}
+	// The alignment must start adjacent to a zero-score cell (local
+	// alignment property) and contain at least one match step.
+	if !bytes.ContainsRune(ops, 'M') {
+		t.Fatalf("alignment %q contains no match step", ops)
+	}
+}
+
+// TestSWCorruptCellCaught is the intentional-break drill: flipping a single
+// mid-table cell after the fill must be visible to the differential oracle
+// and must derail the traceback — proving both checks actually constrain
+// the wavefront's output, cell by cell.
+func TestSWCorruptCellCaught(t *testing.T) {
+	w, err := NewSW(32, 11, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := w.Reference()
+	_, refOps := w.TracebackOf(ref)
+	if err := scan.Exec(w.Block(), w.Env, scan.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the best-scoring cell itself: the traceback start.
+	s := w.Env.Arrays["s"]
+	_, at := w.argmax(s)
+	s.Set2(at[0], at[1], s.At2(at[0], at[1])+5)
+	if d := s.MaxAbsDiff(w.Inner, ref["s"]); d == 0 {
+		t.Fatal("differential oracle missed the corrupted cell")
+	}
+	_, ops := w.Traceback()
+	if bytes.Equal(ops, refOps) {
+		t.Fatal("corrupted score table still produced the oracle's traceback")
+	}
+}
+
+// TestSWCorruptTileDependencyCaught falsifies one dependency counter in the
+// anti-diagonal tile DAG — the last tile is released before its north/west/
+// diagonal predecessors complete, so it reads stale neighbour scores. The
+// differential oracle must catch the resulting tables.
+func TestSWCorruptTileDependencyCaught(t *testing.T) {
+	w, err := NewSW(16, 5, field.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := w.Reference()
+	restore := scan.SetTaskDAGHook(func(g *taskdag.Graph) {
+		if err := g.CorruptCounter(g.Tiles() - 1); err != nil {
+			t.Error(err)
+		}
+	})
+	defer restore()
+	if err := scan.Exec(w.Block(), w.Env, scan.ExecOptions{Scheduler: scan.SchedTaskDAG, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := w.Env.Arrays["s"].MaxAbsDiff(w.Inner, ref["s"]); d == 0 {
+		t.Fatal("corrupted tile dependency produced a bit-identical score table")
+	}
+}

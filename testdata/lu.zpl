@@ -1,0 +1,45 @@
+-- Right-looking LU factorization as shrinking wavefront steps: each k
+-- snapshots the pivot row, broadcasts it down, forms the multipliers,
+-- updates the trailing submatrix, and stores the L column in place. The
+-- per-k regions reference the loop variable, so this program is serial
+-- only (parallel mode requires static region bounds).
+const n = 8;
+
+region All = [0..n-1, 0..n-1];
+
+direction north = [-1, 0];
+direction west  = [0, -1];
+
+var a, rowk, colk : [All] double;
+
+-- A varied, diagonally dominant matrix from two logistic-map sweeps plus
+-- a per-diagonal boost.
+[All] begin
+  a    := 0.37;
+  rowk := 0.0;
+  colk := 0.0;
+end;
+[1..n-1, 0..n-1] scan
+  a := 3.7 * a'@north * (1.0 - a'@north);
+end;
+[0..n-1, 1..n-1] scan
+  a := 0.25 * a + 0.75 * (3.9 * a'@west * (1.0 - a'@west));
+end;
+for k := 0 to n-1 do
+  [k..k, k..k] a := a + 8.0;
+end;
+
+for k := 0 to n-2 do
+  [k..k, k..n-1] rowk := a;
+  [k+1..n-1, k..n-1] scan
+    rowk := rowk'@north;
+  end;
+  [k+1..n-1, k..k] colk := a / rowk;
+  [k+1..n-1, k+1..n-1] scan
+    colk := colk'@west;
+    a := a - colk * rowk;
+  end;
+  [k+1..n-1, k..k] a := colk;
+end;
+
+writeln("a:", a);

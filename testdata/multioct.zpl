@@ -1,0 +1,38 @@
+-- Two counter-propagating transport octants resident on the grid at once:
+-- each octant owns its angular-flux array over a shared source, and a
+-- combine pass sums them. The octant scans are mutually independent, so a
+-- scheduler may interleave their tiles on one worker pool.
+const n = 8;
+
+region All   = [0..n+1, 0..n+1];
+region Inner = [1..n, 1..n];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction west  = [0, -1];
+direction east  = [0, 1];
+
+var flux0, flux1, total, src : [All] double;
+
+[All] begin
+  src   := 1.0;
+  flux0 := 0.0;
+  flux1 := 0.0;
+  total := 0.0;
+end;
+
+-- Octant (+,+): travels southeast.
+[Inner] scan
+  flux0 := (src + 0.35 * flux0'@north + 0.25 * flux0'@west) / 2.0;
+end;
+
+-- Octant (-,-): travels northwest, against the first octant.
+[Inner] scan
+  flux1 := (src + 0.35 * flux1'@south + 0.25 * flux1'@east) / 2.0;
+end;
+
+[Inner] total := flux0 + flux1;
+
+writeln("flux0:", flux0);
+writeln("flux1:", flux1);
+writeln("total:", total);

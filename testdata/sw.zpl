@@ -1,0 +1,44 @@
+-- Smith-Waterman local alignment with affine gaps (Gotoh's three-state
+-- recurrence). The substitution surface m is generated in-language by two
+-- logistic-map sweeps (no sequence data needed), then the score table s
+-- and the two gap tables e, f fill together in one scan block: e and f
+-- read s at the upwind neighbours, and s reads e and f at the current
+-- point — the in-order scan semantics of the Tomcatv forward elimination.
+const n = 8;
+
+region All = [0..n, 0..n];
+region Sub = [1..n, 1..n];
+
+direction north = [-1, 0];
+direction west  = [0, -1];
+direction nw    = [-1, -1];
+
+var s, e, f, m : [All] double;
+
+[All] begin
+  s := 0.0;
+  e := 0.0;
+  f := 0.0;
+  m := 0.37;
+end;
+
+-- Pseudo-random substitution scores: chain a logistic map down the rows,
+-- then mix across the columns, and shift into the range [-2, 2].
+[1..n, 0..n] scan
+  m := 3.7 * m'@north * (1.0 - m'@north);
+end;
+[0..n, 1..n] scan
+  m := 0.25 * m + 0.75 * (3.9 * m'@west * (1.0 - m'@west));
+end;
+[Sub] m := 4.0 * m - 2.0;
+
+-- The affine-gap fill: open 1.2, extend 0.3.
+[Sub] scan
+  e := max(s'@west - 1.2, e'@west - 0.3);
+  f := max(s'@north - 1.2, f'@north - 0.3);
+  s := max(0.0, max(s'@nw + m, max(e, f)));
+end;
+
+writeln("s:", s);
+writeln("e:", e);
+writeln("f:", f);

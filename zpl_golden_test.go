@@ -22,7 +22,12 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden files in testdata/golden")
 
-var goldenPrograms = []string{"fig3", "heat", "sweep", "tomcatv"}
+var goldenPrograms = []string{"fig3", "heat", "multioct", "sw", "sweep", "tomcatv"}
+
+// serialOnlyPrograms use loop-variable region bounds, which parallel mode
+// rejects (regions must be static); their goldens pin the serial
+// interpreter only.
+var serialOnlyPrograms = []string{"lu"}
 
 func checkGolden(t *testing.T, name string, got []byte) {
 	t.Helper()
@@ -46,7 +51,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 }
 
 func TestZPLGoldenSerial(t *testing.T) {
-	for _, name := range goldenPrograms {
+	for _, name := range append(append([]string(nil), goldenPrograms...), serialOnlyPrograms...) {
 		t.Run(name, func(t *testing.T) {
 			src, err := os.ReadFile(filepath.Join("testdata", name+".zpl"))
 			if err != nil {
