@@ -665,12 +665,31 @@ func BenchmarkSweepOctant(b *testing.B) {
 	}
 }
 
+// requireKernelPath runs blk once under engine with a probe registry and
+// fails the benchmark unless the named executor path actually fired. The
+// engine A/B below uses it so a silent fallback (a lowering regression, a
+// skew-legality break) turns into a bench failure instead of a measurement
+// of the wrong pair.
+func requireKernelPath(b *testing.B, blk *scan.Block, env *wavefront.Env, engine scan.Engine, counter, want string) {
+	b.Helper()
+	reg := metrics.New(1)
+	if err := scan.Exec(blk, env, scan.ExecOptions{Engine: engine, Metrics: reg}); err != nil {
+		b.Fatal(err)
+	}
+	if n := reg.Snapshot().Counters[counter].Total; n == 0 {
+		b.Fatalf("engine %v did not take the %s path (kernel fell back); refusing to measure", engine, want)
+	}
+}
+
 // BenchmarkKernelTapeVsClosure is the engine A/B for this PR's acceptance
-// criterion: the span-tape engine versus the per-point closure engine on
-// the same serial scans. Rank 2 is the Tomcatv forward wave at n=512 (the
-// span path: dependence along dim 0 only, dim 1 runs as unit-stride
-// spans); rank 3 is a Sweep3D octant (the forced-scalar tape: a
-// dependence along every axis). ns/point is reported so the ratio reads
+// criterion: the vector tape engine versus the per-point closure engine
+// and the forced scalar tape on the same serial scans. Rank 2 is the
+// Tomcatv forward wave at n=512 (the span path: dependence along dim 0
+// only, dim 1 runs as unit-stride spans); rank 3 is a Sweep3D octant,
+// where every axis carries a dependence and the tape runs skewed
+// hyperplane diagonals. Each tape case first probes that the claimed path
+// actually executes — a fallback fails the benchmark rather than quietly
+// measuring the closure pair. ns/point is reported so the ratio reads
 // directly against the kernel_ns_per_point gauge.
 func BenchmarkKernelTapeVsClosure(b *testing.B) {
 	cases := []struct {
@@ -679,6 +698,7 @@ func BenchmarkKernelTapeVsClosure(b *testing.B) {
 	}{
 		{"tape", scan.EngineTape},
 		{"closure", scan.EngineClosure},
+		{"scalar", scan.EngineScalar},
 	}
 	b.Run("tomcatv512", func(b *testing.B) {
 		for _, c := range cases {
@@ -688,6 +708,9 @@ func BenchmarkKernelTapeVsClosure(b *testing.B) {
 					b.Fatal(err)
 				}
 				blk := t.ForwardBlock()
+				if c.engine == scan.EngineTape {
+					requireKernelPath(b, blk, t.Env, c.engine, metrics.KernelPathSpan, "span")
+				}
 				points := float64(t.All.Dim(0).Size() * t.All.Dim(1).Size())
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -707,6 +730,9 @@ func BenchmarkKernelTapeVsClosure(b *testing.B) {
 					b.Fatal(err)
 				}
 				blk := s.OctantBlock(s.Octants()[0])
+				if c.engine == scan.EngineTape {
+					requireKernelPath(b, blk, s.Env, c.engine, metrics.KernelPathSkewed, "skewed")
+				}
 				in := s.Inner
 				points := float64(in.Dim(0).Size() * in.Dim(1).Size() * in.Dim(2).Size())
 				b.ResetTimer()

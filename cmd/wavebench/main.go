@@ -77,7 +77,7 @@ func main() {
 		duration  = flag.Duration("duration", 0, "stop the -serve/-watch workload loop after this long (0 = until interrupted)")
 		pool      = flag.Bool("pool", false, "reuse message buffers across waves (zero-alloc steady state) in the workload loop")
 		autotune  = flag.Bool("autotune", false, "let the drift monitor retune the tile width between workload-loop runs")
-		kernelSel = flag.String("kernel", "tape", "kernel execution engine: tape (span-level instruction tapes) or closure (per-point reference path)")
+		kernelSel = flag.String("kernel", "tape", "kernel execution engine: tape (span and skewed-run instruction tapes), closure (per-point reference path), or scalar (forced per-point tape baseline)")
 		schedSel  = flag.String("sched", "static", "tile scheduler: static (pipeline schedule) or taskdag (work-stealing tile DAG)")
 		workers   = flag.Int("workers", 0, "task-DAG pool size per rank for -sched=taskdag (0 = GOMAXPROCS)")
 		critPathF = flag.Bool("critpath", false, "print the cross-rank critical-path decomposition after a -trace run")
@@ -187,9 +187,10 @@ func runTraced(path string, procs, block, n, linkCap int, engine wavefront.Kerne
 	if pmDir != "" {
 		pm = wavefront.NewFlightRecorder(pmDir)
 	}
+	reg := wavefront.NewMetrics(procs)
 	stats, err := wavefront.RunPipelined(t.ForwardBlock(), t.Env,
 		wavefront.Pipeline{Procs: procs, Block: block, Trace: rec, LinkCapacity: linkCap,
-			Kernel: engine, Scheduler: sched, Workers: workers, Postmortem: pm})
+			Kernel: engine, Scheduler: sched, Workers: workers, Postmortem: pm, Metrics: reg})
 	if err != nil {
 		if pm != nil {
 			if _, bp := pm.Last(); bp != "" {
@@ -200,6 +201,7 @@ func runTraced(path string, procs, block, n, linkCap int, engine wavefront.Kerne
 	}
 	fmt.Printf("tomcatv forward: n=%d procs=%d block=%d sched=%v tiles=%d msgs=%d elems=%d elapsed=%v\n",
 		n, stats.Procs, stats.Block, sched, stats.Tiles, stats.Comm.Messages, stats.Comm.Elements, stats.Elapsed)
+	fmt.Printf("kernel paths: %s\n", pathLine(reg))
 	if linkCap > 0 {
 		fmt.Printf("link capacity %d: %d blocked sends, %v total backpressure wait\n",
 			linkCap, stats.Comm.BlockedSends, stats.Comm.BlockedSendTime)

@@ -2,10 +2,12 @@ package main
 
 import (
 	"fmt"
+	"strings"
 
 	"wavefront"
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
+	"wavefront/internal/metrics"
 	"wavefront/internal/scan"
 	"wavefront/internal/workload"
 )
@@ -17,8 +19,10 @@ func parseEngine(s string) (wavefront.KernelEngine, error) {
 		return wavefront.KernelTape, nil
 	case "closure":
 		return wavefront.KernelClosure, nil
+	case "scalar":
+		return wavefront.KernelScalar, nil
 	}
-	return 0, fmt.Errorf("wavebench: unknown -kernel %q (want tape or closure)", s)
+	return 0, fmt.Errorf("wavebench: unknown -kernel %q (want tape, closure, or scalar)", s)
 }
 
 // valLeg is one pipelined cell of the validation matrix: a kernel engine
@@ -30,14 +34,17 @@ type valLeg struct {
 	workers int
 }
 
-// valLegs is the full scheduler×engine validation matrix: both engines
+// valLegs is the full scheduler×engine validation matrix: all three engines
 // under the static schedule, plus the task-DAG scheduler at 1, 2, 4, and 8
 // workers (1 worker pins the degenerate pool; the wider pools exercise
-// stealing, with 8 oversubscribing most portions).
+// stealing, with 8 oversubscribing most portions). The scalar leg pins the
+// forced per-point tape — the baseline the span and skewed paths must stay
+// bit-identical to.
 func valLegs() []valLeg {
 	return []valLeg{
 		{"tape", wavefront.KernelTape, wavefront.SchedStatic, 0},
 		{"closure", wavefront.KernelClosure, wavefront.SchedStatic, 0},
+		{"scalar", wavefront.KernelScalar, wavefront.SchedStatic, 0},
 		{"taskdag-w1", wavefront.KernelTape, wavefront.SchedTaskDAG, 1},
 		{"taskdag-w2", wavefront.KernelTape, wavefront.SchedTaskDAG, 2},
 		{"taskdag-w4", wavefront.KernelTape, wavefront.SchedTaskDAG, 4},
@@ -53,6 +60,7 @@ func valLegs() []valLeg {
 func runValidate(n, block int) error {
 	procs := []int{1, 2, 4}
 	mismatches := 0
+	var paths serialPaths
 	report := func(wl, leg, name string, diff float64) {
 		mismatches++
 		fmt.Printf("MISMATCH %-8s %-16s %-8s max|diff|=%g\n", wl, leg, name, diff)
@@ -65,14 +73,14 @@ func runValidate(n, block int) error {
 		if err != nil {
 			return err
 		}
-		if err := tomcatvSerial(ref, iters, scan.EngineClosure); err != nil {
+		if err := tomcatvSerial(ref, iters, scan.ExecOptions{Engine: scan.EngineClosure}); err != nil {
 			return err
 		}
 		tape, err := workload.NewTomcatv(n, field.RowMajor)
 		if err != nil {
 			return err
 		}
-		if err := tomcatvSerial(tape, iters, scan.EngineTape); err != nil {
+		if err := tomcatvSerial(tape, iters, scan.ExecOptions{Engine: scan.EngineTape, Metrics: paths.reg("tomcatv")}); err != nil {
 			return err
 		}
 		compareArrays("tomcatv", "serial tape", ref.All, ref.Env.Arrays, tape.Env.Arrays, report)
@@ -111,14 +119,14 @@ func runValidate(n, block int) error {
 		if err != nil {
 			return err
 		}
-		if err := simpleSerial(ref, steps, scan.EngineClosure); err != nil {
+		if err := simpleSerial(ref, steps, scan.ExecOptions{Engine: scan.EngineClosure}); err != nil {
 			return err
 		}
 		tape, err := workload.NewSimple(sn, field.RowMajor)
 		if err != nil {
 			return err
 		}
-		if err := simpleSerial(tape, steps, scan.EngineTape); err != nil {
+		if err := simpleSerial(tape, steps, scan.ExecOptions{Engine: scan.EngineTape, Metrics: paths.reg("simple")}); err != nil {
 			return err
 		}
 		compareArrays("simple", "serial tape", ref.All, ref.Env.Arrays, tape.Env.Arrays, report)
@@ -157,14 +165,14 @@ func runValidate(n, block int) error {
 		if err != nil {
 			return err
 		}
-		if err := sweepSerial(ref, scan.EngineClosure); err != nil {
+		if err := sweepSerial(ref, scan.ExecOptions{Engine: scan.EngineClosure}); err != nil {
 			return err
 		}
 		tape, err := workload.NewSweep(sn, 3, field.RowMajor)
 		if err != nil {
 			return err
 		}
-		if err := sweepSerial(tape, scan.EngineTape); err != nil {
+		if err := sweepSerial(tape, scan.ExecOptions{Engine: scan.EngineTape, Metrics: paths.reg("sweep3d")}); err != nil {
 			return err
 		}
 		compareArrays("sweep3d", "serial tape", ref.Inner, ref.Env.Arrays, tape.Env.Arrays, report)
@@ -217,12 +225,16 @@ func runValidate(n, block int) error {
 		for _, eng := range []struct {
 			name string
 			e    scan.Engine
-		}{{"serial closure", scan.EngineClosure}, {"serial tape", scan.EngineTape}} {
+		}{{"serial closure", scan.EngineClosure}, {"serial scalar", scan.EngineScalar}, {"serial tape", scan.EngineTape}} {
 			w, err := workload.NewSW(sn, 7, field.RowMajor)
 			if err != nil {
 				return err
 			}
-			if err := scan.Exec(w.Block(), w.Env, scan.ExecOptions{Engine: eng.e}); err != nil {
+			opt := scan.ExecOptions{Engine: eng.e}
+			if eng.e == scan.EngineTape {
+				opt.Metrics = paths.reg("sw")
+			}
+			if err := scan.Exec(w.Block(), w.Env, opt); err != nil {
 				return err
 			}
 			compareArrays("sw", eng.name, w.All, oracle, w.Env.Arrays, report)
@@ -265,12 +277,16 @@ func runValidate(n, block int) error {
 		for _, eng := range []struct {
 			name string
 			e    scan.Engine
-		}{{"serial closure", scan.EngineClosure}, {"serial tape", scan.EngineTape}} {
+		}{{"serial closure", scan.EngineClosure}, {"serial scalar", scan.EngineScalar}, {"serial tape", scan.EngineTape}} {
 			w, err := mk(fn, 3, field.RowMajor)
 			if err != nil {
 				return err
 			}
-			if err := w.Run(scan.ExecOptions{Engine: eng.e}); err != nil {
+			opt := scan.ExecOptions{Engine: eng.e}
+			if eng.e == scan.EngineTape {
+				opt.Metrics = paths.reg(name)
+			}
+			if err := w.Run(opt); err != nil {
 				return err
 			}
 			compareFactor(name, eng.name, w, oracle, report)
@@ -314,12 +330,16 @@ func runValidate(n, block int) error {
 		for _, eng := range []struct {
 			name string
 			e    scan.Engine
-		}{{"serial closure", scan.EngineClosure}, {"serial tape", scan.EngineTape}} {
+		}{{"serial closure", scan.EngineClosure}, {"serial scalar", scan.EngineScalar}, {"serial tape", scan.EngineTape}} {
 			w, err := workload.NewMultiOctant(mn, k, field.RowMajor)
 			if err != nil {
 				return err
 			}
-			if err := w.RunSequential(scan.ExecOptions{Engine: eng.e}); err != nil {
+			opt := scan.ExecOptions{Engine: eng.e}
+			if eng.e == scan.EngineTape {
+				opt.Metrics = paths.reg("multioct")
+			}
+			if err := w.RunSequential(opt); err != nil {
 				return err
 			}
 			compareArrays("multioct", eng.name, w.Inner, oracle, w.Env.Arrays, report)
@@ -347,6 +367,7 @@ func runValidate(n, block int) error {
 		}
 	}
 
+	fmt.Println(paths.String())
 	if mismatches > 0 {
 		return fmt.Errorf("%w: %d disagreement(s) across the engine/scheduler matrix", errCheckFailed, mismatches)
 	}
@@ -364,10 +385,10 @@ func compareFactor(wl, leg string, w *workload.Factor, oracle map[string]*field.
 	}
 }
 
-func tomcatvSerial(t *workload.Tomcatv, iters int, eng scan.Engine) error {
+func tomcatvSerial(t *workload.Tomcatv, iters int, opt scan.ExecOptions) error {
 	for i := 0; i < iters; i++ {
 		for _, b := range t.Blocks() {
-			if err := scan.Exec(b, t.Env, scan.ExecOptions{Engine: eng}); err != nil {
+			if err := scan.Exec(b, t.Env, opt); err != nil {
 				return err
 			}
 		}
@@ -375,10 +396,10 @@ func tomcatvSerial(t *workload.Tomcatv, iters int, eng scan.Engine) error {
 	return nil
 }
 
-func simpleSerial(s *workload.Simple, steps int, eng scan.Engine) error {
+func simpleSerial(s *workload.Simple, steps int, opt scan.ExecOptions) error {
 	for i := 0; i < steps; i++ {
 		for _, b := range s.Blocks() {
-			if err := scan.Exec(b, s.Env, scan.ExecOptions{Engine: eng}); err != nil {
+			if err := scan.Exec(b, s.Env, opt); err != nil {
 				return err
 			}
 		}
@@ -386,9 +407,9 @@ func simpleSerial(s *workload.Simple, steps int, eng scan.Engine) error {
 	return nil
 }
 
-func sweepSerial(s *workload.Sweep, eng scan.Engine) error {
+func sweepSerial(s *workload.Sweep, opt scan.ExecOptions) error {
 	for _, dirs := range s.Octants() {
-		if err := scan.Exec(s.OctantBlock(dirs), s.Env, scan.ExecOptions{Engine: eng}); err != nil {
+		if err := scan.Exec(s.OctantBlock(dirs), s.Env, opt); err != nil {
 			return err
 		}
 	}
@@ -406,4 +427,41 @@ func compareArrays(wl, leg string, region grid.Region, ref, got map[string]*fiel
 			report(wl, leg, name, d)
 		}
 	}
+}
+
+// serialPaths collects one single-rank metrics registry per workload for the
+// serial tape legs, so the validate output can say which executor path —
+// span, skewed, scalar, closure — each workload's tape actually took. A
+// workload silently falling back to the scalar engine shows up here instead
+// of hiding as an unexplained slowdown.
+type serialPaths struct {
+	names []string
+	regs  []*metrics.Registry
+}
+
+// reg returns a fresh registry attributed to workload wl.
+func (sp *serialPaths) reg(wl string) *metrics.Registry {
+	r := metrics.New(1)
+	sp.names = append(sp.names, wl)
+	sp.regs = append(sp.regs, r)
+	return r
+}
+
+// String renders the one-line summary printed at the end of -validate.
+func (sp *serialPaths) String() string {
+	var b strings.Builder
+	b.WriteString("kernel paths (serial tape):")
+	for i, name := range sp.names {
+		fmt.Fprintf(&b, " %s[%s]", name, pathLine(sp.regs[i]))
+	}
+	return b.String()
+}
+
+// pathLine formats the kernel-path counters of one registry.
+func pathLine(r *metrics.Registry) string {
+	s := r.Snapshot()
+	get := func(name string) int64 { return s.Counters[name].Total }
+	return fmt.Sprintf("span=%d skewed=%d scalar=%d closure=%d",
+		get(metrics.KernelPathSpan), get(metrics.KernelPathSkewed),
+		get(metrics.KernelPathScalar), get(metrics.KernelPathClosure))
 }

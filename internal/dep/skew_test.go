@@ -1,0 +1,127 @@
+package dep
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wavefront/internal/grid"
+)
+
+func sudv(dist ...int) UDV {
+	return UDV{Kind: True, Dist: grid.Direction(dist)}
+}
+
+func lowLoop(rank int) LoopSpec { return Identity(rank) }
+
+// TestSkewDecisionTable pins DeriveSkew's legality decisions: which UDV
+// sets admit a positive skew of the inner loop pair, which coefficients the
+// search picks, and which sets must be rejected with the witness surfaced.
+func TestSkewDecisionTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		rank   int
+		udvs   []UDV
+		loop   LoopSpec
+		wantCa int
+		wantCb int
+		refuse bool
+	}{
+		// Sweep3D restricted to rank 2: axis-unit distances in both
+		// dimensions; the unit diagonal carries both.
+		{"axis units", 2, []UDV{sudv(1, 0), sudv(0, 1)}, lowLoop(2), 1, 1, false},
+		// Smith-Waterman: axis units plus the diagonal.
+		{"sw", 2, []UDV{sudv(0, 1), sudv(1, 0), sudv(1, 1)}, lowLoop(2), 1, 1, false},
+		// An anti-diagonal distance forces an asymmetric skew: (1,1) gives
+		// wave distance 1-1 = 0, so the search must move on to (2,1).
+		{"anti-diagonal", 2, []UDV{sudv(1, 0), sudv(0, 1), sudv(1, -1)}, lowLoop(2), 2, 1, false},
+		// The mirrored pair bounds every candidate: ca-cb and cb-ca cannot
+		// both be positive, so no legal skew exists.
+		{"no positive skew", 2, []UDV{sudv(1, -1), sudv(-1, 1)}, lowLoop(2), 0, 0, true},
+		// A distance far steeper than the coefficient cap also refuses:
+		// (1,-5) needs ca > 5*cb, outside the searched window.
+		{"steeper than cap", 2, []UDV{sudv(0, 1), sudv(1, -5)}, lowLoop(2), 0, 0, true},
+		// Rank 3 collapses to the inner pair: the outer-carried distance
+		// (1,0,0) is ignored, leaving the rank-2 axis-unit table.
+		{"rank3 collapse", 3, []UDV{sudv(1, 0, 0), sudv(0, 1, 0), sudv(0, 0, 1)}, lowLoop(3), 1, 1, false},
+		// An outer-carried mixed distance stays outer-carried even when its
+		// in-plane part alone would refuse every candidate.
+		{"outer carries hostile plane", 3, []UDV{sudv(1, -1, 1), sudv(0, 1, 0), sudv(0, 0, 1)}, lowLoop(3), 1, 1, false},
+		// Zero UDVs constrain nothing.
+		{"zero ignored", 2, []UDV{sudv(0, 0), sudv(1, 1)}, lowLoop(2), 1, 1, false},
+		// Direction normalization: under a HighToLow inner pair the raw
+		// distances flip sign, so (-1,-1) is carried by the (1,1) skew.
+		{"high-to-low normalized", 2, []UDV{sudv(-1, 0), sudv(0, -1), sudv(-1, -1)},
+			LoopSpec{Perm: []int{0, 1}, Dirs: []grid.LoopDir{grid.HighToLow, grid.HighToLow}}, 1, 1, false},
+		// ...and the same distances under LowToHigh refuse (they point
+		// against the iteration order on both axes).
+		{"high-to-low misread", 2, []UDV{sudv(-1, -1), sudv(1, 1)}, lowLoop(2), 0, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sk, err := DeriveSkew(c.rank, c.udvs, c.loop)
+			if c.refuse {
+				if err == nil {
+					t.Fatalf("DeriveSkew = %v, want refusal", sk)
+				}
+				var nse *NoSkewError
+				if !errors.As(err, &nse) {
+					t.Fatalf("error %v is not a NoSkewError", err)
+				}
+				if !strings.Contains(err.Error(), "no positive skew") {
+					t.Errorf("error %q does not surface the reason", err)
+				}
+				if nse.Witness.Dist == nil {
+					t.Errorf("refusal carries no witness UDV")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("DeriveSkew: %v", err)
+			}
+			if sk.Ca != c.wantCa || sk.Cb != c.wantCb {
+				t.Fatalf("DeriveSkew = (%d,%d), want (%d,%d)", sk.Ca, sk.Cb, c.wantCa, c.wantCb)
+			}
+			if sk.A != c.loop.Perm[c.rank-2] || sk.B != c.loop.Perm[c.rank-1] {
+				t.Errorf("skew plane (%d,%d), want inner pair (%d,%d)",
+					sk.A, sk.B, c.loop.Perm[c.rank-2], c.loop.Perm[c.rank-1])
+			}
+			// The returned skew must actually carry every in-plane UDV.
+			for _, u := range c.udvs {
+				da, db, inPlane := 0, 0, true
+				for d, x := range u.Dist {
+					v := int(x)
+					if c.loop.Dirs[d] == grid.HighToLow {
+						v = -v
+					}
+					switch d {
+					case sk.A:
+						da = v
+					case sk.B:
+						db = v
+					default:
+						if v != 0 {
+							inPlane = false
+						}
+					}
+				}
+				if u.Dist.Zero() || !inPlane {
+					continue
+				}
+				if sk.Ca*da+sk.Cb*db <= 0 {
+					t.Errorf("skew (%d,%d) does not carry in-plane UDV %v", sk.Ca, sk.Cb, u.Dist)
+				}
+			}
+		})
+	}
+}
+
+// TestSkewRejectsDegenerate covers the argument-validation errors.
+func TestSkewRejectsDegenerate(t *testing.T) {
+	if _, err := DeriveSkew(1, []UDV{sudv(1)}, Identity(1)); err == nil {
+		t.Error("rank 1 must refuse")
+	}
+	if _, err := DeriveSkew(2, []UDV{sudv(1, 0)}, LoopSpec{Perm: []int{0}, Dirs: []grid.LoopDir{grid.LowToHigh}}); err == nil {
+		t.Error("mismatched Perm length must refuse")
+	}
+}

@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+func fuseEnv(n int) *expr.MapEnv {
+	bounds := grid.Square(2, -1, n+1)
+	env := &expr.MapEnv{
+		Arrays: map[string]*field.Field{
+			"a": field.MustNew("a", bounds, field.RowMajor),
+			"b": field.MustNew("b", bounds, field.RowMajor),
+			"u": field.MustNew("u", bounds, field.RowMajor),
+			"v": field.MustNew("v", bounds, field.RowMajor),
+		},
+		Scalars: map[string]float64{},
+	}
+	for i, name := range []string{"a", "b", "u", "v"} {
+		k := float64(i + 1)
+		env.Arrays[name].FillFunc(bounds, func(p grid.Point) float64 {
+			return k + 0.31*float64(p[0]) + 0.07*float64(p[1])
+		})
+	}
+	return env
+}
+
+// TestFusedLoadDedup pins the fusion contract "one load per shared
+// operand": two statements reading the same shifted operands share a single
+// load each in the fused tape.
+func TestFusedLoadDedup(t *testing.T) {
+	env := fuseEnv(8)
+	at := func(name string, dist ...int) expr.Node { return expr.Ref(name).At(grid.Direction(dist)) }
+	// Both statements read a@(0,1) and a@(0,-1); naive lowering would load
+	// four vectors, fusion needs only two.
+	rhsU := expr.Binary{Op: expr.Add, L: at("a", 0, 1), R: at("a", 0, -1)}
+	rhsV := expr.Binary{Op: expr.Mul, L: at("a", 0, -1), R: at("a", 0, 1)}
+	pr, err := Lower(2, []*field.Field{env.Arrays["u"], env.Arrays["v"]},
+		[]expr.Node{rhsU, rhsV}, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.FusedLoads(); got != 2 {
+		t.Errorf("fused tape performs %d loads, want 2 (one per shared operand)", got)
+	}
+}
+
+// TestFusedStoreForwarding: a later statement reading an earlier
+// statement's destination at zero distance consumes the stored register
+// directly — no load at all for that operand.
+func TestFusedStoreForwarding(t *testing.T) {
+	env := fuseEnv(8)
+	rhsU := expr.Binary{Op: expr.Mul, L: expr.Ref("a"), R: expr.Const(2)}
+	rhsV := expr.Binary{Op: expr.Add, L: expr.Ref("u"), R: expr.Ref("a")}
+	pr, err := Lower(2, []*field.Field{env.Arrays["u"], env.Arrays["v"]},
+		[]expr.Node{rhsU, rhsV}, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only "a" is ever loaded (once, shared by both statements); the read
+	// of u forwards from the store.
+	if got := pr.FusedLoads(); got != 1 {
+		t.Errorf("fused tape performs %d loads, want 1 (store-to-load forwarded)", got)
+	}
+}
+
+// TestFusedStoreInvalidation: a *shifted* read of an earlier destination
+// must NOT forward (the stored register holds offset-0 values), and a
+// cached load of the destination made before the store must be dropped.
+// The shifted read here is along the span axis at distance (0,1), an
+// anti-dependence the span order preserves; bit-identity against the
+// scalar tape proves the cache invalidation is sound.
+func TestFusedStoreInvalidation(t *testing.T) {
+	at := func(name string, dist ...int) expr.Node { return expr.Ref(name).At(grid.Direction(dist)) }
+	// Statement 1 reads u@(0,1) then writes u; statement 2 reads u@(0,1)
+	// again — it must see the NEW u, not statement 1's cached load.
+	rhsU := expr.Binary{Op: expr.Add, L: at("u", 0, 1), R: expr.Ref("a")}
+	rhsV := expr.Binary{Op: expr.Add, L: at("u", 0, 1), R: expr.Ref("b")}
+	udvs := []dep.UDV{{Kind: dep.Anti, Dist: grid.Direction{0, -1}, Array: "u"}}
+	region := grid.Square(2, 0, 7)
+	loop := dep.Identity(2)
+
+	envA, envB := fuseEnv(8), fuseEnv(8)
+	prA, err := Lower(2, []*field.Field{envA.Arrays["u"], envA.Arrays["v"]},
+		[]expr.Node{rhsU, rhsV}, envA, udvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prB, err := Lower(2, []*field.Field{envB.Arrays["u"], envB.Arrays["v"]},
+		[]expr.Node{rhsU, rhsV}, envB, udvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prA.Run(region, loop)
+	prB.RunScalar(region, loop)
+	for _, name := range []string{"u", "v"} {
+		got, want := envA.Arrays[name], envB.Arrays[name]
+		region.Each(nil, func(p grid.Point) {
+			if math.Float64bits(got.At(p)) != math.Float64bits(want.At(p)) {
+				t.Fatalf("%s at %v: fused %v != scalar %v", name, p, got.At(p), want.At(p))
+			}
+		})
+	}
+}
+
+// TestFusedSkewedMultiStatement runs a two-statement recurrence down the
+// skewed path and checks bit-identity against the scalar tape: fusion and
+// skewed addressing compose.
+func TestFusedSkewedMultiStatement(t *testing.T) {
+	at := func(name string, dist ...int) expr.Node { return expr.Ref(name).At(grid.Direction(dist)) }
+	add := func(l, r expr.Node) expr.Node { return expr.Binary{Op: expr.Add, L: l, R: r} }
+	// u is a two-dimensional recurrence (skew required); v accumulates u at
+	// zero distance (store-forwarded) plus the same shared src reads.
+	rhsU := add(add(at("u", -1, 0), at("u", 0, -1)), expr.Ref("a"))
+	rhsV := add(expr.Ref("u"), expr.Ref("a"))
+	udvs := []dep.UDV{udv(1, 0), udv(0, 1)}
+	region := grid.Square(2, 0, 9)
+	loop := dep.Identity(2)
+
+	envA, envB := fuseEnv(10), fuseEnv(10)
+	prA, err := Lower(2, []*field.Field{envA.Arrays["u"], envA.Arrays["v"]},
+		[]expr.Node{rhsU, rhsV}, envA, udvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prB, err := Lower(2, []*field.Field{envB.Arrays["u"], envB.Arrays["v"]},
+		[]expr.Node{rhsU, rhsV}, envB, udvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path := prA.Run(region, loop); path != PathSkewed {
+		t.Fatalf("Run took %v, want skewed", path)
+	}
+	prB.RunScalar(region, loop)
+	for _, name := range []string{"u", "v"} {
+		if d := envA.Arrays[name].MaxAbsDiff(region, envB.Arrays[name]); d != 0 {
+			t.Errorf("%s: fused skewed run differs from scalar by %g", name, d)
+		}
+	}
+}

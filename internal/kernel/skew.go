@@ -1,0 +1,204 @@
+package kernel
+
+import (
+	"wavefront/internal/dep"
+	"wavefront/internal/grid"
+)
+
+// The skewed executor: when the innermost dimension carries a dependence
+// (no span is legal) but the two innermost loop levels admit a hyperplane
+// t = Ca*ia + Cb*ib with every in-plane dependence distance strictly
+// positive under it (dep.DeriveSkew), the plane executes wave by wave and
+// each wave is one unit-stride-in-iteration-space diagonal run of the fused
+// tape.
+//
+// Addressing. Iteration coordinates (x, y) count from each dimension's
+// direction start; a field's flat offset at (x, y) is
+//
+//	base + x*stepA + y*stepB
+//
+// where stepA/stepB are the direction-signed element strides. With coprime
+// (Ca, Cb) the points of wave w form a single arithmetic progression
+// stepping (x, y) by (Cb, -Ca), so the per-element flat step is the
+// constant Cb*stepA - Ca*stepB and the fused tape's run executor applies
+// unchanged. x ranges over the congruence class x ≡ w·Ca⁻¹ (mod Cb)
+// clipped to [max(0, ceil((w - Cb·(Nb-1))/Ca)), min(Na-1, floor(w/Ca))].
+//
+// Legality. Every UDV with a nonzero component outside the plane is carried
+// by an outer loop (the derived nest satisfies it, and outer levels still
+// execute in exactly the derived order). Every in-plane UDV has positive
+// dot product with (Ca, Cb), so its source lies on a strictly earlier wave,
+// executed before this run starts; a dependence between two points of one
+// run would need dot product zero, which the strict inequality excludes.
+// The runs therefore execute an order-legal permutation of the same
+// per-point arithmetic as the scalar and closure engines — bit-identical
+// results, the same argument that makes the task-DAG schedule exact.
+
+// skewCache memoizes the hyperplane derivation for one loop spec. A kernel
+// runs every tile with the same derived loop, so after the first Run the
+// skew (or the proof that none exists) is a slice-compare away.
+type skewCache struct {
+	loop dep.LoopSpec
+	sk   dep.Skew
+	ok   bool
+}
+
+// skewFor derives (and caches) the hyperplane for loop.
+func (pr *Program) skewFor(loop dep.LoopSpec) (dep.Skew, bool) {
+	if c := pr.skc; c != nil && loopEqual(c.loop, loop) {
+		return c.sk, c.ok
+	}
+	c := &skewCache{loop: dep.LoopSpec{
+		Perm: append([]int(nil), loop.Perm...),
+		Dirs: append([]grid.LoopDir(nil), loop.Dirs...),
+	}}
+	if sk, err := dep.DeriveSkew(pr.rank, pr.udvs, loop); err == nil {
+		c.sk, c.ok = sk, true
+	}
+	pr.skc = c
+	return c.sk, c.ok
+}
+
+func loopEqual(a, b dep.LoopSpec) bool {
+	if len(a.Perm) != len(b.Perm) || len(a.Dirs) != len(b.Dirs) {
+		return false
+	}
+	for i := range a.Perm {
+		if a.Perm[i] != b.Perm[i] {
+			return false
+		}
+	}
+	for i := range a.Dirs {
+		if a.Dirs[i] != b.Dirs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// skewRunnable gates the skewed executor on unit region strides along the
+// plane dimensions: UDV distances are in element units, so on a strided
+// region the iteration-space distances would need rescaling — the scalar
+// tape handles that (rare) case instead.
+func skewRunnable(region grid.Region, sk dep.Skew) bool {
+	return region.Dim(sk.A).Stride == 1 && region.Dim(sk.B).Stride == 1
+}
+
+// SkewRunLen reports the longest diagonal run the skewed executor would
+// produce over region under loop, or 0 when no legal hyperplane exists (or
+// the inner loop pair is strided). The scan layer compares it against the
+// span profitability threshold before preferring the tape over the rank-2
+// closure pair.
+func (pr *Program) SkewRunLen(region grid.Region, loop dep.LoopSpec) int {
+	if pr.rank < 2 || region.Rank() != pr.rank {
+		return 0
+	}
+	sk, ok := pr.skewFor(loop)
+	if !ok || !skewRunnable(region, sk) {
+		return 0
+	}
+	na, nb := region.Dim(sk.A).Size(), region.Dim(sk.B).Size()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	m := (na + sk.Cb - 1) / sk.Cb
+	if k := (nb + sk.Ca - 1) / sk.Ca; k < m {
+		m = k
+	}
+	return m
+}
+
+// runSkewed executes the fused tape over hyperplane waves: levels
+// 0..rank-3 step the per-field base offsets exactly as the other odometers
+// do; the two innermost levels execute as diagonal runs.
+func (pr *Program) runSkewed(region grid.Region, loop dep.LoopSpec, sk dep.Skew) {
+	na, nb := region.Dim(sk.A).Size(), region.Dim(sk.B).Size()
+	maxRun := (na + sk.Cb - 1) / sk.Cb
+	if m := (nb + sk.Ca - 1) / sk.Ca; m < maxRun {
+		maxRun = m
+	}
+	pr.ensureRegs(maxRun)
+	for fi := range pr.fields {
+		sa := pr.strides[fi][sk.A]
+		if loop.Dirs[sk.A] == grid.HighToLow {
+			sa = -sa
+		}
+		sb := pr.strides[fi][sk.B]
+		if loop.Dirs[sk.B] == grid.HighToLow {
+			sb = -sb
+		}
+		pr.stepA[fi], pr.stepB[fi] = sa, sb
+		pr.steps[fi] = sk.Cb*sa - sk.Ca*sb
+	}
+	pr.runSkewOuter(region, loop, 0, na, nb, sk.Ca, sk.Cb)
+}
+
+func (pr *Program) runSkewOuter(region grid.Region, loop dep.LoopSpec, lvl, na, nb, ca, cb int) {
+	if lvl == pr.rank-2 {
+		pr.execWaves(na, nb, ca, cb)
+		return
+	}
+	d := loop.Perm[lvl]
+	r := region.Dim(d)
+	cnt := r.Size()
+	step := r.Stride
+	if loop.Dirs[d] == grid.HighToLow {
+		step = -step
+	}
+	save := pr.saved[lvl]
+	copy(save, pr.base)
+	for i := 0; ; i++ {
+		pr.runSkewOuter(region, loop, lvl+1, na, nb, ca, cb)
+		if i+1 >= cnt {
+			break
+		}
+		for fi := range pr.base {
+			pr.base[fi] += step * pr.strides[fi][d]
+		}
+	}
+	copy(pr.base, save)
+}
+
+// execWaves sweeps one (A, B) plane wave by wave. base holds each field's
+// flat offset of the plane's iteration origin (both dimensions at their
+// direction start); wave w's run starts at iteration (xlo, y0) and its
+// per-element flat steps were precomputed by runSkewed.
+func (pr *Program) execWaves(na, nb, ca, cb int) {
+	// Ca⁻¹ mod Cb selects the congruence class of x on each wave; the
+	// coefficients are coprime and tiny, so a linear scan finds it.
+	inv := 0
+	if cb > 1 {
+		for i := 1; i < cb; i++ {
+			if ca*i%cb == 1 {
+				inv = i
+				break
+			}
+		}
+	}
+	wmax := ca*(na-1) + cb*(nb-1)
+	for w := 0; w <= wmax; w++ {
+		xhi := w / ca
+		if xhi > na-1 {
+			xhi = na - 1
+		}
+		xlo := 0
+		if t := w - cb*(nb-1); t > 0 {
+			xlo = (t + ca - 1) / ca
+		}
+		if cb > 1 {
+			r := w % cb * inv % cb
+			if d := (r - xlo%cb + cb) % cb; d > 0 {
+				xlo += d
+			}
+		}
+		if xlo > xhi {
+			continue
+		}
+		m := (xhi-xlo)/cb + 1
+		y0 := (w - ca*xlo) / cb
+		for fi := range pr.rbase {
+			pr.rbase[fi] = pr.base[fi] + xlo*pr.stepA[fi] + y0*pr.stepB[fi]
+		}
+		pr.execRun(m)
+	}
+}

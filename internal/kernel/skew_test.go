@@ -1,0 +1,244 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"wavefront/internal/dep"
+	"wavefront/internal/expr"
+	"wavefront/internal/field"
+	"wavefront/internal/grid"
+)
+
+// skewCase is one recurrence whose dependences rule out span execution, so
+// the tape must either run skewed hyperplane diagonals or fall back to the
+// scalar interpreter. The reference is the scalar tape itself: both paths
+// execute identical per-point arithmetic, so any ordering bug shows up as a
+// bit-level mismatch.
+type skewCase struct {
+	name   string
+	rank   int
+	udvs   []dep.UDV
+	node   expr.Node // recurrence over dst plus a src term
+	loop   dep.LoopSpec
+	wantCa int
+	wantCb int
+}
+
+func skewCases() []skewCase {
+	dstM := func(dist ...int) expr.Node { return expr.Ref("dst").At(grid.Direction(dist)) }
+	add := func(l, r expr.Node) expr.Node { return expr.Binary{Op: expr.Add, L: l, R: r} }
+	return []skewCase{
+		{
+			// The Sweep3D plane restricted to rank 2: unit distances on
+			// both axes, carried by the (1,1) diagonal.
+			name: "unit diagonal", rank: 2,
+			udvs: []dep.UDV{udv(1, 0), udv(0, 1)},
+			node: add(add(dstM(-1, 0), dstM(0, -1)), expr.Ref("src")),
+			loop: dep.Identity(2), wantCa: 1, wantCb: 1,
+		},
+		{
+			// An anti-diagonal read forces the asymmetric (2,1) hyperplane,
+			// exercising the modular-inverse congruence walk (Cb=1 keeps
+			// one x-class; Ca=2 halves the run length).
+			name: "general coefficients", rank: 2,
+			udvs: []dep.UDV{udv(1, 0), udv(0, 1), udv(1, -1)},
+			node: add(add(dstM(-1, 0), dstM(0, -1)), add(dstM(-1, 1), expr.Ref("src"))),
+			loop: dep.Identity(2), wantCa: 2, wantCb: 1,
+		},
+		{
+			// Swapped coefficients: reading dst[i+1][j-1] gives distance
+			// (-1,1), legal under i-descending order, and the normalized
+			// plane distances ((1,0) flips to... Dirs[0]=HighToLow flips
+			// (−1,1) to (1,1) and (0,1) stays) admit the unit diagonal.
+			name: "mixed directions", rank: 2,
+			udvs:   []dep.UDV{udv(-1, 0), udv(0, 1), udv(-1, 1)},
+			node:   add(add(dstM(1, 0), dstM(0, -1)), add(dstM(1, -1), expr.Ref("src"))),
+			loop:   dep.LoopSpec{Perm: []int{0, 1}, Dirs: []grid.LoopDir{grid.HighToLow, grid.LowToHigh}},
+			wantCa: 1, wantCb: 1,
+		},
+		{
+			// Rank 3 Sweep3D shape: the outer loop carries dimension 0, the
+			// inner pair (1,2) skews.
+			name: "rank3 collapse", rank: 3,
+			udvs: []dep.UDV{udv(1, 0, 0), udv(0, 1, 0), udv(0, 0, 1)},
+			node: add(add(dstM(-1, 0, 0), dstM(0, -1, 0)), add(dstM(0, 0, -1), expr.Ref("src"))),
+			loop: dep.Identity(3), wantCa: 1, wantCb: 1,
+		},
+	}
+}
+
+func skewEnv(rank, n int) *expr.MapEnv {
+	bounds := grid.Square(rank, -1, n+1)
+	env := &expr.MapEnv{
+		Arrays: map[string]*field.Field{
+			"src": field.MustNew("src", bounds, field.RowMajor),
+			"dst": field.MustNew("dst", bounds, field.RowMajor),
+		},
+		Scalars: map[string]float64{},
+	}
+	env.Arrays["src"].FillFunc(bounds, func(p grid.Point) float64 {
+		v := 0.5
+		for d, x := range p {
+			v += float64((d+1)*x) * 0.137
+		}
+		return v
+	})
+	env.Arrays["dst"].FillFunc(bounds, func(p grid.Point) float64 {
+		v := 1.0
+		for d, x := range p {
+			v += float64((d+2)*x) * 0.071
+		}
+		return v
+	})
+	return env
+}
+
+// runSkewPair lowers the case twice against two identical environments,
+// runs the first Program on its chosen path and the second on the forced
+// scalar tape, and returns both dst fields plus the chosen path.
+func runSkewPair(t *testing.T, c skewCase, region grid.Region, n int) (*field.Field, *field.Field, Path) {
+	t.Helper()
+	envA, envB := skewEnv(c.rank, n), skewEnv(c.rank, n)
+	prA, err := Lower(c.rank, []*field.Field{envA.Arrays["dst"]}, []expr.Node{c.node}, envA, c.udvs)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	prB, err := Lower(c.rank, []*field.Field{envB.Arrays["dst"]}, []expr.Node{c.node}, envB, c.udvs)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	path := prA.Run(region, c.loop)
+	prB.RunScalar(region, c.loop)
+	return envA.Arrays["dst"], envB.Arrays["dst"], path
+}
+
+// TestSkewedRecurrenceMatchesScalar pins the skewed executor: recurrences
+// whose dependence structure forbids spans run as hyperplane diagonals, the
+// derived coefficients match the decision table, and every point is
+// bit-identical to the scalar tape's in-order execution.
+func TestSkewedRecurrenceMatchesScalar(t *testing.T) {
+	const n = 13
+	for _, c := range skewCases() {
+		t.Run(c.name, func(t *testing.T) {
+			v := c.loop.Perm[c.rank-1]
+			region := grid.Square(c.rank, 0, n)
+			envP := skewEnv(c.rank, n)
+			pr, err := Lower(c.rank, []*field.Field{envP.Arrays["dst"]}, []expr.Node{c.node}, envP, c.udvs)
+			if err != nil {
+				t.Fatalf("Lower: %v", err)
+			}
+			if pr.SpanOK(v) {
+				t.Fatalf("case is spannable along %d; it does not exercise the skew path", v)
+			}
+			if got := pr.SkewRunLen(region, c.loop); got <= 0 {
+				t.Fatalf("SkewRunLen = %d, want > 0", got)
+			}
+			got, want, path := runSkewPair(t, c, region, n)
+			if path != PathSkewed {
+				t.Fatalf("Run took %v, want skewed", path)
+			}
+			mismatch := 0
+			region.Each(nil, func(p grid.Point) {
+				if math.Float64bits(got.At(p)) != math.Float64bits(want.At(p)) && mismatch == 0 {
+					mismatch++
+					t.Errorf("at %v: skewed %v != scalar %v", p, got.At(p), want.At(p))
+				}
+			})
+		})
+	}
+}
+
+// TestSkewedDegenerateRegions covers the clipping edge cases: one-wide
+// regions in either plane dimension (every wave is a length-1 run), a
+// single point, and an empty region (no execution at all).
+func TestSkewedDegenerateRegions(t *testing.T) {
+	c := skewCases()[0]
+	shapes := []struct {
+		name string
+		dims []grid.Range
+	}{
+		{"one-wide inner", []grid.Range{{Lo: 0, Hi: 9, Stride: 1}, {Lo: 4, Hi: 4, Stride: 1}}},
+		{"one-wide outer", []grid.Range{{Lo: 4, Hi: 4, Stride: 1}, {Lo: 0, Hi: 9, Stride: 1}}},
+		{"single point", []grid.Range{{Lo: 3, Hi: 3, Stride: 1}, {Lo: 5, Hi: 5, Stride: 1}}},
+		{"empty", []grid.Range{{Lo: 3, Hi: 2, Stride: 1}, {Lo: 0, Hi: 9, Stride: 1}}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			region := grid.MustRegion(sh.dims...)
+			got, want, path := runSkewPair(t, c, region, 11)
+			if !region.Dim(0).Empty() && !region.Dim(1).Empty() && path != PathSkewed {
+				t.Fatalf("Run took %v, want skewed", path)
+			}
+			if d := got.MaxAbsDiff(grid.Square(2, -1, 12), want); d != 0 {
+				t.Errorf("skewed differs from scalar by %g (whole storage, degenerate region %v)", d, region)
+			}
+		})
+	}
+}
+
+// TestSkewedStridedFallsBack pins the legality gate: the skew addressing
+// assumes element-unit distances on both plane dimensions, so a strided
+// region must take the scalar tape instead, and still match it bit for bit.
+func TestSkewedStridedFallsBack(t *testing.T) {
+	c := skewCases()[0]
+	region := grid.MustRegion(grid.Range{Lo: 0, Hi: 10, Stride: 2}, grid.Range{Lo: 0, Hi: 10, Stride: 1})
+	got, want, path := runSkewPair(t, c, region, 11)
+	if path != PathScalar {
+		t.Fatalf("strided region took %v, want scalar fallback", path)
+	}
+	if d := got.MaxAbsDiff(region, want); d != 0 {
+		t.Errorf("fallback differs from scalar by %g", d)
+	}
+}
+
+// TestSkewedNoLegalSkewFallsBack: when the UDV set admits no positive
+// hyperplane the run must take the scalar path (and SkewRunLen must report
+// 0, which is what the profitability gate consults).
+func TestSkewedNoLegalSkewFallsBack(t *testing.T) {
+	c := skewCase{
+		rank: 2,
+		// The mirrored anti-diagonal pair refuses every candidate. The
+		// expression itself is a plain stencil; only the declared UDVs
+		// drive path selection.
+		udvs: []dep.UDV{udv(0, 1), udv(1, -1), udv(-1, 1)},
+		node: expr.Binary{Op: expr.Add, L: expr.Ref("src"), R: expr.Const(2)},
+		loop: dep.Identity(2),
+	}
+	region := grid.Square(2, 0, 11)
+	envP := skewEnv(2, 11)
+	pr, err := Lower(2, []*field.Field{envP.Arrays["dst"]}, []expr.Node{c.node}, envP, c.udvs)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	if got := pr.SkewRunLen(region, c.loop); got != 0 {
+		t.Fatalf("SkewRunLen = %d, want 0 with no legal skew", got)
+	}
+	got, want, path := runSkewPair(t, c, region, 11)
+	if path != PathScalar {
+		t.Fatalf("Run took %v, want scalar fallback", path)
+	}
+	if d := got.MaxAbsDiff(region, want); d != 0 {
+		t.Errorf("fallback differs from scalar by %g", d)
+	}
+}
+
+// TestSkewedZeroAlloc locks in the steady-state allocation contract for the
+// skewed path: after the first run (which leases registers and caches the
+// derived skew) further runs allocate nothing.
+func TestSkewedZeroAlloc(t *testing.T) {
+	c := skewCases()[1] // general (2,1) coefficients
+	const n = 24
+	env := skewEnv(c.rank, n)
+	pr, err := Lower(c.rank, []*field.Field{env.Arrays["dst"]}, []expr.Node{c.node}, env, c.udvs)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	region := grid.Square(c.rank, 0, n)
+	if path := pr.Run(region, c.loop); path != PathSkewed { // warm: lease + skew cache
+		t.Fatalf("Run took %v, want skewed", path)
+	}
+	if a := testing.AllocsPerRun(10, func() { pr.Run(region, c.loop) }); a != 0 {
+		t.Errorf("steady-state skewed run allocates %.0f times, want 0", a)
+	}
+}

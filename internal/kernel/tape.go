@@ -40,19 +40,19 @@ import (
 type op uint8
 
 const (
-	opLoad  op = iota // dst[e] = field[base+off+e*step]
-	opConst           // dst[e] = imm
-	opAdd             // dst = a + b
-	opSub             // dst = a - b
-	opMul             // dst = a * b
-	opDiv             // dst = a / b
-	opAddImm          // dst = a + imm
-	opSubImmR         // dst = a - imm
-	opSubImmL         // dst = imm - a
-	opMulImm          // dst = a * imm
-	opDivImmR         // dst = a / imm
-	opDivImmL         // dst = imm / a
-	opNeg             // dst = -a
+	opLoad    op = iota // dst[e] = field[base+off+e*step]
+	opConst             // dst[e] = imm
+	opAdd               // dst = a + b
+	opSub               // dst = a - b
+	opMul               // dst = a * b
+	opDiv               // dst = a / b
+	opAddImm            // dst = a + imm
+	opSubImmR           // dst = a - imm
+	opSubImmL           // dst = imm - a
+	opMulImm            // dst = a * imm
+	opDivImmR           // dst = a / imm
+	opDivImmL           // dst = imm / a
+	opNeg               // dst = -a
 	opSqrt
 	opAbs
 	opExp
@@ -64,6 +64,7 @@ const (
 	opMaxImm
 	opPowImmR // dst = pow(a, imm)
 	opPowImmL // dst = pow(imm, a)
+	opStore   // field[base+e*step] = a; fld is the destination field
 )
 
 // instr is one tape instruction. dst/a/b index scratch registers; fld
@@ -94,19 +95,63 @@ type Program struct {
 	data    [][]float64
 	strides [][]int // per field, per dimension
 	lows    [][]int
-	stmts   []stmtTape
-	nregs   int
-	spanOK  []bool // per dimension, from the block's UDVs
+	stmts   []stmtTape // per-statement tapes: the scalar (per-point) path
+	nregs   int        // register count of the widest statement tape
+	spanOK  []bool     // per dimension, from the block's UDVs
+	udvs    []dep.UDV  // retained for skew derivation
+
+	// fused is every statement in one vector pass — loads deduped across
+	// statements, stores inline via opStore, in statement order — executed
+	// per span or per skewed diagonal run. fusedRegs is its register count.
+	fused     []instr
+	fusedRegs int
+
+	// skc caches the hyperplane derivation for the one loop spec a kernel
+	// runs with (nil until the first non-spannable Run).
+	skc *skewCache
 
 	// Scratch state. regs are leased spans retained across runs; base is
 	// the per-field flat offset of the current outer-loop position; saved
 	// holds one base snapshot per loop level for the odometer recursion.
+	// rbase/steps are the per-field flat start and per-element flat step of
+	// the current run (a span or a skewed diagonal); stepA/stepB are the
+	// skewed executor's per-field iteration steps along the inner loop pair.
 	pool   *bufpool.Pool
 	prank  int
 	regs   [][]float64
 	regCap int
 	base   []int
 	saved  [][]int
+	rbase  []int
+	steps  []int
+	stepA  []int
+	stepB  []int
+}
+
+// Path identifies which executor a Run actually used.
+type Path int8
+
+const (
+	// PathScalar is the per-point tape in the derived loop order.
+	PathScalar Path = iota
+	// PathSpan is the vector tape over whole spans of the innermost
+	// (span-legal) dimension.
+	PathSpan
+	// PathSkewed is the vector tape over hyperplane (skewed diagonal) runs
+	// of the two innermost loop levels.
+	PathSkewed
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathScalar:
+		return "scalar"
+	case PathSpan:
+		return "span"
+	case PathSkewed:
+		return "skewed"
+	}
+	return fmt.Sprintf("Path(%d)", int8(p))
 }
 
 // Lower builds the program for a block's statements: dsts[i] is the
@@ -141,12 +186,149 @@ func Lower(rank int, dsts []*field.Field, rhs []expr.Node, env expr.Env, udvs []
 		}
 	}
 	pr.spanOK = spanMask(rank, udvs)
-	pr.base = make([]int, len(pr.fields))
+	pr.udvs = udvs
+	if err := pr.buildFused(); err != nil {
+		return nil, err
+	}
+	nf := len(pr.fields)
+	pr.base = make([]int, nf)
+	pr.rbase = make([]int, nf)
+	pr.steps = make([]int, nf)
+	pr.stepA = make([]int, nf)
+	pr.stepB = make([]int, nf)
 	pr.saved = make([][]int, rank)
 	for i := range pr.saved {
-		pr.saved[i] = make([]int, len(pr.fields))
+		pr.saved[i] = make([]int, nf)
 	}
 	return pr, nil
+}
+
+// readsA reports whether o reads register operand a (opStore reads a as its
+// value to store); readsB likewise for b.
+func readsA(o op) bool { return o != opLoad && o != opConst }
+
+func readsB(o op) bool {
+	switch o {
+	case opAdd, opSub, opMul, opDiv, opMin, opMax, opPow:
+		return true
+	}
+	return false
+}
+
+// buildFused concatenates the statement tapes into the single vector pass
+// the span and skewed executors run: statements stay in order (each one's
+// opStore precedes the next statement's instructions, exactly the order
+// execSpans used to produce), but a load of a field at an offset already
+// loaded reuses the earlier register, and a store forwards its register to
+// subsequent loads of the stored field at offset zero while invalidating
+// that field's other cached loads. The reused register holds exactly the
+// values a fresh load would read, so the fused pass is bit-identical to the
+// per-statement passes. Registers are renamed to SSA form first, then
+// compacted through a last-use scan back to a stack-discipline footprint.
+func (pr *Program) buildFused() error {
+	type key struct {
+		fld uint16
+		off int
+	}
+	cache := map[key]uint16{}
+	remap := make([]uint16, pr.nregs)
+	var ssa []instr
+	next := 0
+	for _, st := range pr.stmts {
+		for _, in := range st.ins {
+			if in.op == opLoad {
+				k := key{in.fld, in.off}
+				if r, ok := cache[k]; ok {
+					remap[in.dst] = r
+					continue
+				}
+			}
+			ni := in
+			if readsA(in.op) {
+				ni.a = remap[in.a]
+			}
+			if readsB(in.op) {
+				ni.b = remap[in.b]
+			}
+			if next > 0xffff {
+				return fmt.Errorf("kernel: fused tape needs too many registers")
+			}
+			ni.dst = uint16(next)
+			next++
+			remap[in.dst] = ni.dst
+			ssa = append(ssa, ni)
+			if in.op == opLoad {
+				cache[key{in.fld, in.off}] = ni.dst
+			}
+		}
+		out := remap[st.out]
+		ssa = append(ssa, instr{op: opStore, a: out, fld: st.dst})
+		for k := range cache {
+			if k.fld == st.dst {
+				delete(cache, k)
+			}
+		}
+		cache[key{fld: st.dst}] = out
+	}
+	pr.fused, pr.fusedRegs = compactRegs(ssa, next)
+	return nil
+}
+
+// compactRegs renumbers an SSA-form tape (every dst written exactly once)
+// onto a small physical register set: a last-use scan frees each register at
+// its final read, and a LIFO free list hands the hottest register back
+// first, so the fused pass keeps roughly the per-statement stack-discipline
+// working set and its spans stay cache-resident.
+func compactRegs(ssa []instr, nssa int) ([]instr, int) {
+	last := make([]int, nssa)
+	for i := range last {
+		last[i] = -1
+	}
+	for i := range ssa {
+		in := &ssa[i]
+		if readsA(in.op) {
+			last[in.a] = i
+		}
+		if readsB(in.op) {
+			last[in.b] = i
+		}
+	}
+	phys := make([]uint16, nssa)
+	var free []uint16
+	high := 0
+	out := make([]instr, len(ssa))
+	for i, in := range ssa {
+		sa, sb := in.a, in.b
+		ra, rb := readsA(in.op), readsB(in.op)
+		if ra {
+			in.a = phys[sa]
+		}
+		if rb {
+			in.b = phys[sb]
+		}
+		// Free operands whose final read is this instruction before
+		// allocating dst: the result may then reuse an operand's register,
+		// which is safe because every op reads its inputs before writing.
+		if ra && last[sa] == i {
+			free = append(free, phys[sa])
+		}
+		if rb && last[sb] == i && sb != sa {
+			free = append(free, phys[sb])
+		}
+		if in.op != opStore {
+			var p uint16
+			if n := len(free); n > 0 {
+				p, free = free[n-1], free[:n-1]
+			} else {
+				p = uint16(high)
+				high++
+			}
+			phys[in.dst] = p
+			in.dst = p
+		}
+		out[i] = in
+	}
+	return out, high
 }
 
 // SpanMask reports, per dimension, whether the dimension may legally run as
@@ -181,8 +363,27 @@ func spanMask(rank int, udvs []dep.UDV) []bool {
 // SpanOK reports whether dimension v may run as whole spans.
 func (pr *Program) SpanOK(v int) bool { return pr.spanOK[v] }
 
-// Registers returns the scratch register count (for tests and sizing).
-func (pr *Program) Registers() int { return pr.nregs }
+// Registers returns the scratch register count the program leases — the
+// wider of the scalar path's per-statement file and the fused pass's file
+// (for tests and sizing).
+func (pr *Program) Registers() int {
+	if pr.fusedRegs > pr.nregs {
+		return pr.fusedRegs
+	}
+	return pr.nregs
+}
+
+// FusedLoads returns the number of load instructions in the fused pass
+// (for tests asserting cross-statement operand dedup).
+func (pr *Program) FusedLoads() int {
+	n := 0
+	for _, in := range pr.fused {
+		if in.op == opLoad {
+			n++
+		}
+	}
+	return n
+}
 
 // fieldIndex interns f into the program's field table.
 func (pr *Program) fieldIndex(f *field.Field) (uint16, error) {
@@ -520,6 +721,9 @@ func (pr *Program) ensureRegs(n int) {
 	}
 	pr.ReleaseScratch()
 	nr := pr.nregs
+	if pr.fusedRegs > nr {
+		nr = pr.fusedRegs
+	}
 	if nr < 1 {
 		nr = 1
 	}
@@ -530,12 +734,61 @@ func (pr *Program) ensureRegs(n int) {
 	pr.regCap = n
 }
 
-// Run executes the program over region in the derived loop order. When the
-// innermost dimension is span-executable the statements run one at a time
-// over whole spans (always ascending — legal, since no dependence connects
-// two points of a span); otherwise the scalar tape runs the statements
-// interleaved point by point in exactly the loop's directions.
-func (pr *Program) Run(region grid.Region, loop dep.LoopSpec) {
+// Run executes the program over region in the derived loop order and
+// reports which executor ran. When the innermost dimension is
+// span-executable the fused tape runs over whole spans (always ascending —
+// legal, since no dependence connects two points of a span). When it is not
+// but a legal hyperplane of the two innermost levels exists, the fused tape
+// runs over skewed diagonal runs, wave by wave. Otherwise the scalar tape
+// runs the statements interleaved point by point in exactly the loop's
+// directions.
+func (pr *Program) Run(region grid.Region, loop dep.LoopSpec) Path {
+	if region.Rank() != pr.rank {
+		panic(fmt.Sprintf("kernel: region rank %d, program rank %d", region.Rank(), pr.rank))
+	}
+	v := loop.Perm[len(loop.Perm)-1]
+	span := pr.spanOK[v]
+	var sk dep.Skew
+	skew := false
+	if !span && pr.rank >= 2 {
+		if s, ok := pr.skewFor(loop); ok && skewRunnable(region, s) {
+			sk, skew = s, true
+		}
+	}
+	path := PathScalar
+	switch {
+	case span:
+		path = PathSpan
+	case skew:
+		path = PathSkewed
+	}
+	for d := 0; d < pr.rank; d++ {
+		if region.Dim(d).Empty() {
+			return path
+		}
+	}
+	pr.initBase(region, loop, span, v)
+	switch path {
+	case PathSpan:
+		d := region.Dim(v)
+		pr.ensureRegs(d.Size())
+		for fi := range pr.fields {
+			pr.steps[fi] = pr.strides[fi][v] * d.Stride
+		}
+		pr.runSpan(region, loop, 0, d.Size())
+	case PathSkewed:
+		pr.runSkewed(region, loop, sk)
+	default:
+		pr.ensureRegs(1)
+		pr.runScalar(region, loop, 0)
+	}
+	return path
+}
+
+// RunScalar executes the scalar tape unconditionally — every statement per
+// point, interleaved, in the derived loop order — regardless of span or
+// skew legality. It is the baseline engine behind -kernel=scalar.
+func (pr *Program) RunScalar(region grid.Region, loop dep.LoopSpec) {
 	if region.Rank() != pr.rank {
 		panic(fmt.Sprintf("kernel: region rank %d, program rank %d", region.Rank(), pr.rank))
 	}
@@ -544,10 +797,15 @@ func (pr *Program) Run(region grid.Region, loop dep.LoopSpec) {
 			return
 		}
 	}
-	v := loop.Perm[len(loop.Perm)-1]
-	span := pr.spanOK[v]
-	// Initialize each field's flat offset at the loop's starting corner. In
-	// span mode the inner dimension always starts at its low end.
+	pr.initBase(region, loop, false, 0)
+	pr.ensureRegs(1)
+	pr.runScalar(region, loop, 0)
+}
+
+// initBase sets each field's flat offset to the loop's starting corner. In
+// span mode the inner dimension v always starts at its low end; every other
+// mode starts every dimension at its direction start.
+func (pr *Program) initBase(region grid.Region, loop dep.LoopSpec, span bool, v int) {
 	for fi := range pr.fields {
 		off := 0
 		for d := 0; d < pr.rank; d++ {
@@ -560,21 +818,15 @@ func (pr *Program) Run(region grid.Region, loop dep.LoopSpec) {
 		}
 		pr.base[fi] = off
 	}
-	if span {
-		d := region.Dim(v)
-		pr.ensureRegs(d.Size())
-		pr.runSpan(region, loop, 0, v, d.Size(), d.Stride)
-	} else {
-		pr.ensureRegs(1)
-		pr.runScalar(region, loop, 0)
-	}
 }
 
 // runSpan is the outer-loop odometer: levels 0..rank-2 step the per-field
-// base offsets; the innermost level executes whole spans.
-func (pr *Program) runSpan(region grid.Region, loop dep.LoopSpec, lvl, v, n, vstride int) {
+// base offsets; the innermost level executes the fused tape over one whole
+// span (the per-run steps are fixed before the recursion starts).
+func (pr *Program) runSpan(region grid.Region, loop dep.LoopSpec, lvl, n int) {
 	if lvl == pr.rank-1 {
-		pr.execSpans(v, n, vstride)
+		copy(pr.rbase, pr.base)
+		pr.execRun(n)
 		return
 	}
 	d := loop.Perm[lvl]
@@ -587,7 +839,7 @@ func (pr *Program) runSpan(region grid.Region, loop dep.LoopSpec, lvl, v, n, vst
 	save := pr.saved[lvl]
 	copy(save, pr.base)
 	for i := 0; ; i++ {
-		pr.runSpan(region, loop, lvl+1, v, n, vstride)
+		pr.runSpan(region, loop, lvl+1, n)
 		if i+1 >= cnt {
 			break
 		}
@@ -598,151 +850,99 @@ func (pr *Program) runSpan(region grid.Region, loop dep.LoopSpec, lvl, v, n, vst
 	copy(pr.base, save)
 }
 
-// execSpans runs every statement's tape over one span of n points along
-// dimension v. Statement order is preserved at span granularity, which the
-// span-legality mask guarantees is equivalent to the per-point order.
-func (pr *Program) execSpans(v, n, vstride int) {
-	for si := range pr.stmts {
-		st := &pr.stmts[si]
-		for ii := range st.ins {
-			in := &st.ins[ii]
+// execRun executes the fused tape over one run of n points — a span or a
+// skewed diagonal. Each field's start offset is rbase[fld] and per-element
+// flat step is steps[fld] (negative for runs that walk a dimension
+// downward). The arithmetic bodies are the register-blocked helpers of
+// vec.go; the math-call ops stay as plain loops, where the call dominates.
+func (pr *Program) execRun(n int) {
+	for ii := range pr.fused {
+		in := &pr.fused[ii]
+		switch in.op {
+		case opLoad:
 			dst := pr.regs[in.dst][:n]
-			switch in.op {
-			case opLoad:
-				src := pr.data[in.fld]
-				b := pr.base[in.fld] + in.off
-				if step := pr.strides[in.fld][v] * vstride; step == 1 {
-					copy(dst, src[b:b+n])
-				} else {
-					for e := range dst {
-						dst[e] = src[b+e*step]
-					}
-				}
-			case opConst:
-				imm := in.imm
-				for e := range dst {
-					dst[e] = imm
-				}
-			case opAdd:
-				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
-				for e := range dst {
-					dst[e] = a[e] + b[e]
-				}
-			case opSub:
-				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
-				for e := range dst {
-					dst[e] = a[e] - b[e]
-				}
-			case opMul:
-				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
-				for e := range dst {
-					dst[e] = a[e] * b[e]
-				}
-			case opDiv:
-				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
-				for e := range dst {
-					dst[e] = a[e] / b[e]
-				}
-			case opAddImm:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = a[e] + imm
-				}
-			case opSubImmR:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = a[e] - imm
-				}
-			case opSubImmL:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = imm - a[e]
-				}
-			case opMulImm:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = a[e] * imm
-				}
-			case opDivImmR:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = a[e] / imm
-				}
-			case opDivImmL:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = imm / a[e]
-				}
-			case opNeg:
-				a := pr.regs[in.a][:n]
-				for e := range dst {
-					dst[e] = -a[e]
-				}
-			case opSqrt:
-				a := pr.regs[in.a][:n]
-				for e := range dst {
-					dst[e] = sqrt(a[e])
-				}
-			case opAbs:
-				a := pr.regs[in.a][:n]
-				for e := range dst {
-					dst[e] = abs(a[e])
-				}
-			case opExp:
-				a := pr.regs[in.a][:n]
-				for e := range dst {
-					dst[e] = exp(a[e])
-				}
-			case opLog:
-				a := pr.regs[in.a][:n]
-				for e := range dst {
-					dst[e] = logf(a[e])
-				}
-			case opMin:
-				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
-				for e := range dst {
-					dst[e] = minf(a[e], b[e])
-				}
-			case opMax:
-				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
-				for e := range dst {
-					dst[e] = maxf(a[e], b[e])
-				}
-			case opPow:
-				a, b := pr.regs[in.a][:n], pr.regs[in.b][:n]
-				for e := range dst {
-					dst[e] = pow(a[e], b[e])
-				}
-			case opMinImm:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = minf(a[e], imm)
-				}
-			case opMaxImm:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = maxf(a[e], imm)
-				}
-			case opPowImmR:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = pow(a[e], imm)
-				}
-			case opPowImmL:
-				a, imm := pr.regs[in.a][:n], in.imm
-				for e := range dst {
-					dst[e] = pow(imm, a[e])
-				}
+			src := pr.data[in.fld]
+			b := pr.rbase[in.fld] + in.off
+			if step := pr.steps[in.fld]; step == 1 {
+				copy(dst, src[b:b+n])
+			} else {
+				vgather(dst, src, b, step)
 			}
-		}
-		out := pr.regs[st.out][:n]
-		dd := pr.data[st.dst]
-		b := pr.base[st.dst]
-		if step := pr.strides[st.dst][v] * vstride; step == 1 {
-			copy(dd[b:b+n], out)
-		} else {
-			for e := range out {
-				dd[b+e*step] = out[e]
+		case opStore:
+			out := pr.regs[in.a][:n]
+			dd := pr.data[in.fld]
+			b := pr.rbase[in.fld]
+			if step := pr.steps[in.fld]; step == 1 {
+				copy(dd[b:b+n], out)
+			} else {
+				vscatter(dd, out, b, step)
+			}
+		case opConst:
+			vfill(pr.regs[in.dst][:n], in.imm)
+		case opAdd:
+			vadd(pr.regs[in.dst][:n], pr.regs[in.a], pr.regs[in.b])
+		case opSub:
+			vsub(pr.regs[in.dst][:n], pr.regs[in.a], pr.regs[in.b])
+		case opMul:
+			vmul(pr.regs[in.dst][:n], pr.regs[in.a], pr.regs[in.b])
+		case opDiv:
+			vdiv(pr.regs[in.dst][:n], pr.regs[in.a], pr.regs[in.b])
+		case opAddImm:
+			vaddImm(pr.regs[in.dst][:n], pr.regs[in.a], in.imm)
+		case opSubImmR:
+			vsubImmR(pr.regs[in.dst][:n], pr.regs[in.a], in.imm)
+		case opSubImmL:
+			vsubImmL(pr.regs[in.dst][:n], pr.regs[in.a], in.imm)
+		case opMulImm:
+			vmulImm(pr.regs[in.dst][:n], pr.regs[in.a], in.imm)
+		case opDivImmR:
+			vdivImmR(pr.regs[in.dst][:n], pr.regs[in.a], in.imm)
+		case opDivImmL:
+			vdivImmL(pr.regs[in.dst][:n], pr.regs[in.a], in.imm)
+		case opNeg:
+			vneg(pr.regs[in.dst][:n], pr.regs[in.a])
+		case opSqrt:
+			dst, a := pr.regs[in.dst][:n], pr.regs[in.a][:n]
+			for e := range dst {
+				dst[e] = sqrt(a[e])
+			}
+		case opAbs:
+			dst, a := pr.regs[in.dst][:n], pr.regs[in.a][:n]
+			for e := range dst {
+				dst[e] = abs(a[e])
+			}
+		case opExp:
+			dst, a := pr.regs[in.dst][:n], pr.regs[in.a][:n]
+			for e := range dst {
+				dst[e] = exp(a[e])
+			}
+		case opLog:
+			dst, a := pr.regs[in.dst][:n], pr.regs[in.a][:n]
+			for e := range dst {
+				dst[e] = logf(a[e])
+			}
+		case opMin:
+			vmin(pr.regs[in.dst][:n], pr.regs[in.a], pr.regs[in.b])
+		case opMax:
+			vmax(pr.regs[in.dst][:n], pr.regs[in.a], pr.regs[in.b])
+		case opPow:
+			dst, a, b := pr.regs[in.dst][:n], pr.regs[in.a][:n], pr.regs[in.b][:n]
+			for e := range dst {
+				dst[e] = pow(a[e], b[e])
+			}
+		case opMinImm:
+			vminImm(pr.regs[in.dst][:n], pr.regs[in.a], in.imm)
+		case opMaxImm:
+			vmaxImm(pr.regs[in.dst][:n], pr.regs[in.a], in.imm)
+		case opPowImmR:
+			dst, a := pr.regs[in.dst][:n], pr.regs[in.a][:n]
+			for e := range dst {
+				dst[e] = pow(a[e], in.imm)
+			}
+		case opPowImmL:
+			dst, a := pr.regs[in.dst][:n], pr.regs[in.a][:n]
+			for e := range dst {
+				dst[e] = pow(in.imm, a[e])
 			}
 		}
 	}

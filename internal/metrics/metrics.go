@@ -63,6 +63,17 @@ const (
 	// engine comparison.
 	KernelNsPerPoint = "kernel_ns_per_point"
 
+	// Kernel executor path mix (per-rank counters, one count per statement
+	// per tile): which path actually ran — whole unit-stride spans, skewed
+	// hyperplane runs, the scalar per-point tape, or the closure
+	// reference/fallback path. The Prometheus exporter renders the family
+	// as kernel_path_total{path="..."} so fallbacks are visible on a
+	// scrape, not just in post-mortems.
+	KernelPathSpan    = "kernel_path_span_total"
+	KernelPathSkewed  = "kernel_path_skewed_total"
+	KernelPathScalar  = "kernel_path_scalar_total"
+	KernelPathClosure = "kernel_path_closure_total"
+
 	// session layer (per-rank counters).
 	SessExchanges  = "session_halo_exchanges_total"
 	SessReductions = "session_reductions_total"

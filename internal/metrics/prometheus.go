@@ -9,6 +9,22 @@ import (
 // namePrefix namespaces every exported family.
 const namePrefix = "wavefront_"
 
+// kernelPathLabel maps the registry's flattened kernel-path counter names
+// back to the path label value of the kernel_path_total family.
+func kernelPathLabel(name string) (string, bool) {
+	switch name {
+	case KernelPathSpan:
+		return "span", true
+	case KernelPathSkewed:
+		return "skewed", true
+	case KernelPathScalar:
+		return "scalar", true
+	case KernelPathClosure:
+		return "closure", true
+	}
+	return "", false
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format (version 0.0.4): counters with a rank label, gauges bare,
 // histograms with cumulative le buckets, fits as sample-count counters
@@ -29,8 +45,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	pathTyped := false
 	for _, name := range names {
 		c := s.Counters[name]
+		// The kernel_path_* family flattens a path label into the counter
+		// name (the registry keys instruments by bare name); re-expand it
+		// here so the exposition carries one kernel_path_total family with
+		// path and rank labels.
+		if path, ok := kernelPathLabel(name); ok {
+			if !pathTyped {
+				fmt.Fprintf(w, "# TYPE %skernel_path_total counter\n", namePrefix)
+				pathTyped = true
+			}
+			for rank, v := range c.PerRank {
+				fmt.Fprintf(w, "%skernel_path_total{path=%q,rank=\"%d\"} %d\n", namePrefix, path, rank, v)
+			}
+			continue
+		}
 		fmt.Fprintf(w, "# TYPE %s%s counter\n", namePrefix, name)
 		for rank, v := range c.PerRank {
 			fmt.Fprintf(w, "%s%s{rank=\"%d\"} %d\n", namePrefix, name, rank, v)

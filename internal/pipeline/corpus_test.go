@@ -99,20 +99,24 @@ func TestDifferentialCorpus(t *testing.T) {
 									seed, p, b, w, err)
 							}
 						}
-						// Engine leg: the default runs above use the span
-						// tape; the same cell forced onto the per-point
-						// closure reference path must stay bit-identical.
-						closEnv := genEnv(seed)
-						ccfg := Config{Procs: p, Block: b, WavefrontDim: d.w, TileDim: d.t,
-							Kernel: scan.EngineClosure}
-						if _, err := Run(blk, closEnv, ccfg); err != nil {
-							t.Fatalf("seed %d p=%d b=%d: closure-engine run failed where tape passed: %v\n%s",
-								seed, p, b, err, blk)
-						}
-						for _, name := range genNames {
-							if diff := closEnv.Arrays[name].MaxAbsDiff(bounds, parEnv.Arrays[name]); diff != 0 {
-								t.Errorf("seed %d p=%d b=%d: closure-engine array %q differs from tape by %g\n%s",
-									seed, p, b, name, diff, blk)
+						// Engine legs: the default runs above use the tape
+						// (span or skewed as legality allows); the same cell
+						// forced onto the per-point closure reference path
+						// and onto the forced scalar tape must both stay
+						// bit-identical.
+						for _, eng := range []scan.Engine{scan.EngineClosure, scan.EngineScalar} {
+							engEnv := genEnv(seed)
+							ecfg := Config{Procs: p, Block: b, WavefrontDim: d.w, TileDim: d.t,
+								Kernel: eng}
+							if _, err := Run(blk, engEnv, ecfg); err != nil {
+								t.Fatalf("seed %d p=%d b=%d: engine %v run failed where tape passed: %v\n%s",
+									seed, p, b, eng, err, blk)
+							}
+							for _, name := range genNames {
+								if diff := engEnv.Arrays[name].MaxAbsDiff(bounds, parEnv.Arrays[name]); diff != 0 {
+									t.Errorf("seed %d p=%d b=%d: engine %v array %q differs from tape by %g\n%s",
+										seed, p, b, eng, name, diff, blk)
+								}
 							}
 						}
 					}

@@ -8,15 +8,20 @@ import (
 	"wavefront/internal/workload"
 )
 
-// The engine differential suite pins this PR's correctness contract on the
-// paper's three workloads: the span-tape kernel engine is a pure execution
+// The engine differential suite pins the correctness contract on the
+// paper's three workloads: the tape kernel engine is a pure execution
 // optimization. Every array a tape session produces — serial and at p = 1,
 // 2, 4 — must be bit-identical to the closure reference engine. Tomcatv's
 // forward/backward scans exercise the span path (dependence along dim 0
-// only), Sweep3D's octants the scalar-tape fallback (a dependence along
-// every dimension), and SIMPLE a mix of plain and scan blocks.
+// only), Sweep3D's octants the skewed hyperplane path (a dependence along
+// every dimension, carried by the (1,1) skew of the inner loop pair), and
+// SIMPLE a mix of plain and scan blocks. The forced scalar tape rides
+// along as a third leg: it is the baseline the vector paths are measured
+// against, and it must agree bit for bit too.
 
-func engines() []scan.Engine { return []scan.Engine{scan.EngineTape, scan.EngineClosure} }
+func engines() []scan.Engine {
+	return []scan.Engine{scan.EngineTape, scan.EngineClosure, scan.EngineScalar}
+}
 
 func TestEngineBitIdenticalTomcatv(t *testing.T) {
 	n, iters := 26, 3

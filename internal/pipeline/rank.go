@@ -121,6 +121,7 @@ func runRank(b *scan.Block, genv expr.Env, pl *plan, e *comm.Endpoint, phase *co
 	}
 	kern.SetEngine(pl.engine)
 	kern.SetScratch(pl.scratch, rank)
+	kern.SetMetrics(pl.metrics, rank)
 	// Registers leased from the shared pool go back when the rank retires
 	// so post-run Outstanding() audits see a drained pool.
 	defer kern.ReleaseScratch()

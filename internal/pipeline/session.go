@@ -691,22 +691,22 @@ type xchgRegs struct {
 func (s *Session) newRank(e *comm.Endpoint, restoring bool) (*Rank, error) {
 	scatterT0 := s.cfg.Trace.Now()
 	r := &Rank{
-		sess:     s,
-		e:        e,
-		id:       e.Rank(),
-		locals:   map[string]*field.Field{},
-		kernels:  map[*scan.Block]*scan.Kernel{},
-		dirty:    map[string]bool{},
-		captured: map[string]float64{},
-		wrote:    map[string]bool{},
-		sendSeq:  make([]int, s.cfg.Procs),
-		recvSeq:  make([]int, s.cfg.Procs),
-		curBlock: s.cfg.Block,
-		eplans:   map[*scan.Block]*execPlan{},
+		sess:      s,
+		e:         e,
+		id:        e.Rank(),
+		locals:    map[string]*field.Field{},
+		kernels:   map[*scan.Block]*scan.Kernel{},
+		dirty:     map[string]bool{},
+		captured:  map[string]float64{},
+		wrote:     map[string]bool{},
+		sendSeq:   make([]int, s.cfg.Procs),
+		recvSeq:   make([]int, s.cfg.Procs),
+		curBlock:  s.cfg.Block,
+		eplans:    map[*scan.Block]*execPlan{},
 		dags:      map[*scan.Block]*portionDAG{},
 		groupDags: map[*scan.Block]*groupDAG{},
-		portions: map[*scan.Block]grid.Region{},
-		needs:    make([]string, 0, len(s.names)),
+		portions:  map[*scan.Block]grid.Region{},
+		needs:     make([]string, 0, len(s.names)),
 	}
 	slab := s.slabs[r.id]
 	for _, name := range s.names {

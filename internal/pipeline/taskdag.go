@@ -77,6 +77,7 @@ func newPortionDAG(b *scan.Block, env *forwardEnv, an *scan.Analysis, L grid.Reg
 		// and each kernel leases its own registers, so concurrent first
 		// runs are safe.
 		k.SetScratch(scratch, rank)
+		k.SetMetrics(reg, rank)
 		pd.kernels[i] = k
 	}
 	loop := an.Loop

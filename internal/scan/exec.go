@@ -7,6 +7,7 @@ import (
 	"wavefront/internal/expr"
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
+	"wavefront/internal/metrics"
 	"wavefront/internal/trace"
 )
 
@@ -35,6 +36,12 @@ type ExecOptions struct {
 	// Workers is the task-DAG pool size including the caller; <= 0 selects
 	// runtime.GOMAXPROCS(0). Ignored under SchedStatic.
 	Workers int
+	// Metrics, when non-nil, publishes each kernel's executor-path tallies
+	// (kernel_path_total) under MetricsRank's shard, so callers can see
+	// which path — span, skewed, scalar, closure — actually ran.
+	Metrics *metrics.Registry
+	// MetricsRank is the registry shard serial execution attributes to.
+	MetricsRank int
 }
 
 // SpanPreference returns a loop-derivation preference that biases each
@@ -149,6 +156,7 @@ func execFused(b *Block, env expr.Env, an *Analysis, opt ExecOptions) error {
 	}
 	k.SetEngine(opt.Engine)
 	k.Instrument(opt.Trace, opt.TraceRank)
+	k.SetMetrics(opt.Metrics, opt.MetricsRank)
 	k.Run(b.Region, an.Loop)
 	return nil
 }

@@ -36,6 +36,17 @@ func ExecGroup(blocks []*Block, env expr.Env, opt ExecOptions) error {
 		}
 	}
 	if !merged {
+		// Static schedule: scan blocks sharing one region fuse into a
+		// single block — one tape pass over the region, statements
+		// concatenated, shared read-only operands loaded once — when one
+		// loop nest satisfies the union of their dependences. The blocks
+		// are independent (validated above), so any execution interleaving
+		// is bit-identical; fusion only changes dispatch and load traffic.
+		// Counter-propagating groups (e.g. opposing sweep octants) fail
+		// the merged derivation and simply run in sequence.
+		if fb := fuseGroup(blocks, opt); fb != nil {
+			return Exec(fb, env, opt)
+		}
 		for _, b := range blocks {
 			if err := Exec(b, env, opt); err != nil {
 				return err
@@ -79,6 +90,7 @@ func ExecGroup(blocks []*Block, env expr.Env, opt ExecOptions) error {
 				return err
 			}
 			k.SetEngine(opt.Engine)
+			k.SetMetrics(opt.Metrics, opt.MetricsRank)
 			kernels[i][w] = k
 		}
 		elems += b.Region.Size() * len(b.Stmts)
@@ -100,6 +112,36 @@ func ExecGroup(blocks []*Block, env expr.Env, opt ExecOptions) error {
 		opt.Trace.Record(ev)
 	}
 	return nil
+}
+
+// fuseGroup merges an all-scan group over one shared region into a single
+// scan block when the union of the blocks' dependences still derives a
+// legal loop nest; it returns nil (no fusion) otherwise. Merging the
+// statement lists merges exactly the per-block UDV sets: independence
+// guarantees no block writes an array another block touches, so no new
+// cross-block dependences arise, and reads of shared read-only arrays
+// carry no UDVs.
+func fuseGroup(blocks []*Block, opt ExecOptions) *Block {
+	if opt.Scheduler != SchedStatic {
+		return nil
+	}
+	first := blocks[0]
+	n := 0
+	for _, b := range blocks {
+		if b.Kind != ScanKind || !b.Region.Equal(first.Region) {
+			return nil
+		}
+		n += len(b.Stmts)
+	}
+	stmts := make([]Stmt, 0, n)
+	for _, b := range blocks {
+		stmts = append(stmts, b.Stmts...)
+	}
+	fb := &Block{Kind: ScanKind, Region: first.Region, Stmts: stmts}
+	if _, err := Analyze(fb, opt.Prefer); err != nil {
+		return nil
+	}
+	return fb
 }
 
 // CheckGroupIndependent verifies that the blocks commute: write sets are

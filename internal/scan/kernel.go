@@ -1,12 +1,15 @@
 package scan
 
 import (
+	"fmt"
+
 	"wavefront/internal/bufpool"
 	"wavefront/internal/dep"
 	"wavefront/internal/expr"
 	"wavefront/internal/field"
 	"wavefront/internal/grid"
 	"wavefront/internal/kernel"
+	"wavefront/internal/metrics"
 	"wavefront/internal/trace"
 )
 
@@ -15,13 +18,68 @@ type Engine int8
 
 const (
 	// EngineTape (the default) executes lowered instruction tapes over
-	// whole inner-loop spans where the dependences allow, with a scalar
-	// tape otherwise. Blocks that cannot be lowered (unbound names,
-	// mismatched field ranks) silently fall back to the closure path.
+	// whole inner-loop spans where the dependences allow, over skewed
+	// hyperplane runs when every dimension carries a dependence but a
+	// legal skew exists, and with a scalar tape otherwise. Blocks that
+	// cannot be lowered (unbound names, mismatched field ranks) silently
+	// fall back to the closure path.
 	EngineTape Engine = iota
 	// EngineClosure forces the per-point compiled-closure reference path.
 	EngineClosure
+	// EngineScalar forces the scalar tape — the per-point interpreter in
+	// the derived loop order, with span and skewed execution disabled. It
+	// is the baseline the vector paths are measured against.
+	EngineScalar
 )
+
+// Path identifies which executor a kernel Run actually used; the span,
+// skewed, and scalar values mirror kernel.Path, with PathClosure covering
+// both the compiled-closure reference engine and the rank-2 closure pair
+// the tape engine falls back to below the span profitability threshold.
+type Path int8
+
+const (
+	PathScalar Path = iota
+	PathSpan
+	PathSkewed
+	PathClosure
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathScalar:
+		return "scalar"
+	case PathSpan:
+		return "span"
+	case PathSkewed:
+		return "skewed"
+	case PathClosure:
+		return "closure"
+	}
+	return fmt.Sprintf("Path(%d)", int8(p))
+}
+
+// PathCounts tallies, per executor path, how many statement-runs a kernel
+// (or an accumulation of kernels) performed: each Run adds the block's
+// statement count to the path it took.
+type PathCounts struct {
+	Span, Skewed, Scalar, Closure int64
+}
+
+// Add accumulates o into c.
+func (c *PathCounts) Add(o PathCounts) {
+	c.Span += o.Span
+	c.Skewed += o.Skewed
+	c.Scalar += o.Scalar
+	c.Closure += o.Closure
+}
+
+// Total sums every path.
+func (c PathCounts) Total() int64 { return c.Span + c.Skewed + c.Scalar + c.Closure }
+
+func (c PathCounts) String() string {
+	return fmt.Sprintf("span=%d skewed=%d scalar=%d closure=%d", c.Span, c.Skewed, c.Scalar, c.Closure)
+}
 
 // Kernel is a block compiled against a concrete environment: the statement
 // right-hand sides are specialized to their fields and the destinations are
@@ -34,6 +92,12 @@ type Kernel struct {
 	// Tracing (nil = disabled): every Run records one fused-loop span.
 	tr     *trace.Recorder
 	trRank int
+	// Path accounting: paths tallies locally (always on — four int64 adds
+	// per tile); the resolved counters (nil = disabled) publish to a
+	// metrics registry under mRank's shard.
+	paths                      PathCounts
+	mSpan, mSkew, mScal, mClos *metrics.Counter
+	mRank                      int
 	// Tape engine (nil when the block could not be lowered).
 	prog *kernel.Program
 	// Generic closure path.
@@ -155,21 +219,35 @@ func (k *Kernel) Run(region grid.Region, loop dep.LoopSpec) {
 }
 
 func (k *Kernel) run(region grid.Region, loop dep.LoopSpec) {
+	if k.prog != nil && k.engine == EngineScalar {
+		k.prog.RunScalar(region, loop)
+		k.tally(PathScalar)
+		return
+	}
 	if k.prog != nil && k.engine == EngineTape {
-		// The tape pays a per-span dispatch cost that amortizes over the
-		// span length. When the inner dimension cannot run as spans (or
-		// the spans are shorter than the dispatch break-even) and the
-		// specialized rank-2 closure pair exists, that pair is faster —
-		// and bit-identical, so the choice is pure dispatch.
-		if k.rhs2 == nil || region.Rank() != 2 || k.spanProfitable(region, loop) {
-			k.prog.Run(region, loop)
+		// The tape pays a per-run dispatch cost that amortizes over the
+		// run length. When neither spans nor skewed diagonals reach the
+		// dispatch break-even and the specialized rank-2 closure pair
+		// exists, that pair is faster — and bit-identical, so the choice
+		// is pure dispatch.
+		if k.rhs2 == nil || region.Rank() != 2 || k.tapeProfitable(region, loop) {
+			switch k.prog.Run(region, loop) {
+			case kernel.PathSpan:
+				k.tally(PathSpan)
+			case kernel.PathSkewed:
+				k.tally(PathSkewed)
+			default:
+				k.tally(PathScalar)
+			}
 			return
 		}
 		k.run2(region, loop)
+		k.tally(PathClosure)
 		return
 	}
 	if k.rhs2 != nil && region.Rank() == 2 {
 		k.run2(region, loop)
+		k.tally(PathClosure)
 		return
 	}
 	forEach(region, loop, func(p grid.Point) {
@@ -177,16 +255,54 @@ func (k *Kernel) run(region grid.Region, loop dep.LoopSpec) {
 			k.dst[i].Set(p, k.rhs[i](p))
 		}
 	})
+	k.tally(PathClosure)
 }
 
-// minSpan is the inner-run length at which span execution starts beating
-// the rank-2 closure pair: below it, the per-span instruction dispatch
-// dominates the per-point closure-tree walk it replaces.
+// minSpan is the inner-run length at which vector (span or skewed-run)
+// execution starts beating the rank-2 closure pair: below it, the per-run
+// instruction dispatch dominates the per-point closure-tree walk it
+// replaces.
 const minSpan = 8
 
-func (k *Kernel) spanProfitable(region grid.Region, loop dep.LoopSpec) bool {
+func (k *Kernel) tapeProfitable(region grid.Region, loop dep.LoopSpec) bool {
 	v := loop.Perm[len(loop.Perm)-1]
-	return k.prog.SpanOK(v) && region.Dim(v).Size() >= minSpan
+	if k.prog.SpanOK(v) {
+		return region.Dim(v).Size() >= minSpan
+	}
+	return k.prog.SkewRunLen(region, loop) >= minSpan
+}
+
+// tally records which executor path a Run took, one count per statement.
+func (k *Kernel) tally(p Path) {
+	ns := int64(len(k.rhs))
+	switch p {
+	case PathSpan:
+		k.paths.Span += ns
+		k.mSpan.Add(k.mRank, ns)
+	case PathSkewed:
+		k.paths.Skewed += ns
+		k.mSkew.Add(k.mRank, ns)
+	case PathScalar:
+		k.paths.Scalar += ns
+		k.mScal.Add(k.mRank, ns)
+	case PathClosure:
+		k.paths.Closure += ns
+		k.mClos.Add(k.mRank, ns)
+	}
+}
+
+// PathCounts returns the kernel's local executor-path tally.
+func (k *Kernel) PathCounts() PathCounts { return k.paths }
+
+// SetMetrics publishes the kernel's path tallies to reg's kernel_path
+// counters under rank's shard (resolved once here, per the registry's
+// attach-time rule). A nil registry disables publication.
+func (k *Kernel) SetMetrics(reg *metrics.Registry, rank int) {
+	k.mSpan = reg.Counter(metrics.KernelPathSpan)
+	k.mSkew = reg.Counter(metrics.KernelPathSkewed)
+	k.mScal = reg.Counter(metrics.KernelPathScalar)
+	k.mClos = reg.Counter(metrics.KernelPathClosure)
+	k.mRank = rank
 }
 
 func (k *Kernel) run2(region grid.Region, loop dep.LoopSpec) {

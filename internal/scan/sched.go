@@ -88,6 +88,7 @@ func execTaskDAG(b *Block, env expr.Env, an *Analysis, opt ExecOptions) error {
 			return err
 		}
 		k.SetEngine(opt.Engine)
+		k.SetMetrics(opt.Metrics, opt.MetricsRank)
 		kernels[i] = k
 	}
 	g.SetRunner(func(worker int, tile grid.Region) {
